@@ -1,0 +1,34 @@
+# js-ceres — OCaml reproduction of "Are web applications ready for
+# parallelism?" (PPoPP 2015)
+
+.PHONY: all build test bench examples reports clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure of the paper's evaluation.
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/nbody_analysis.exe
+	dune exec examples/image_pipeline.exe
+	dune exec examples/survey_report.exe
+	dune exec examples/speculative_cloth.exe
+
+# Per-application markdown reports (paper Fig. 5 steps 5-7).
+reports:
+	for w in HAAR.js "Tear-able Cloth" CamanJS fluidSim Harmony Ace \
+	         MyScript Raytracing "Normal Mapping" sigma.js processing.js \
+	         D3.js; do \
+	  dune exec bin/jsceres.exe -- report "$$w" -o reports; \
+	done
+
+clean:
+	dune clean

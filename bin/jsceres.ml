@@ -1,0 +1,250 @@
+(* jsceres — command-line front end for the JS-CERES reproduction.
+
+   Mirrors the workflow of the paper's tool (Fig. 5): pick an
+   application (bundled workload or a MiniJS file), run it under one of
+   the staged instrumentation modes, and print the reports the authors
+   uploaded to github.com.
+
+     jsceres list
+     jsceres run <workload>            # uninstrumented + console output
+     jsceres profile <workload>        # Sec 3.1 lightweight + sampler
+     jsceres loops <workload>          # Sec 3.2 per-loop statistics
+     jsceres analyze <workload> [-f N] # Sec 3.3 dependence analysis
+     jsceres inspect <workload>        # Table 3 row(s) for the app
+     jsceres report <workload> [-o D]  # write the markdown report (Fig 5)
+     jsceres file <path> [-m MODE]     # analyze an arbitrary script *)
+
+open Cmdliner
+
+let find_workload name =
+  match Workloads.Registry.find name with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown workload %S; available:\n  %s\n" name
+      (String.concat "\n  " Workloads.Registry.names);
+    exit 2
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Bundled workload name (see `jsceres list`).")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_string (Workloads.Registry.table1 ());
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+         Printf.printf "  %-16s session %.0fs, %d scripted interaction(s)\n"
+           w.name (w.session_ms /. 1000.)
+           (List.length w.interactions))
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled case-study workloads.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name =
+    let w = find_workload name in
+    let ctx = Workloads.Harness.run_plain w in
+    List.iter print_endline (List.rev ctx.st.Interp.Value.console);
+    let clock = ctx.st.Interp.Value.clock in
+    Printf.printf "session: %.1f s total, %.2f s busy\n"
+      (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.now clock) /. 1000.)
+      (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.busy clock) /. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload without instrumentation.")
+    Term.(const run $ workload_arg)
+
+let profile_cmd =
+  let run name =
+    let w = find_workload name in
+    let t = Workloads.Harness.run_lightweight w in
+    Printf.printf
+      "%s: total %.1f s, sampler-active %.2f s, busy %.2f s, in loops %.2f s\n"
+      w.name (t.total_ms /. 1000.) (t.active_ms /. 1000.)
+      (t.busy_ms /. 1000.) (t.in_loops_ms /. 1000.);
+    Printf.printf "DOM accesses: %d, canvas accesses: %d\n" t.dom_accesses
+      t.canvas_accesses
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Lightweight profiling (Sec 3.1): session/active/in-loop time.")
+    Term.(const run $ workload_arg)
+
+let loops_cmd =
+  let run name =
+    let w = find_workload name in
+    let ctx, lp = Workloads.Harness.run_loop_profile w in
+    print_string (Ceres.Report.loop_profile_report lp ctx.infos)
+  in
+  Cmd.v
+    (Cmd.info "loops"
+       ~doc:"Loop profiling (Sec 3.2): instances, times, trip counts.")
+    Term.(const run $ workload_arg)
+
+let focus_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "f"; "focus" ] ~docv:"LOOP"
+        ~doc:"Restrict dependence recording to the nest of this loop id.")
+
+let analyze_cmd =
+  let run name focus =
+    let w = find_workload name in
+    let focus = Option.map (fun id -> [ id ]) focus in
+    let ctx, rt = Workloads.Harness.run_dependence ?focus w in
+    print_string
+      (Ceres.Report.dependence_report
+         ~title:(Printf.sprintf "dependence analysis of %s" w.name)
+         rt ctx.infos)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Dependence analysis (Sec 3.3): problematic memory accesses.")
+    Term.(const run $ workload_arg $ focus_arg)
+
+let inspect_cmd =
+  let run name =
+    let w = find_workload name in
+    List.iter
+      (fun (r : Workloads.Harness.nest_row) ->
+         Printf.printf
+           "%s: %.0f%% of loop time, %d instances, trips %.1f±%.1f,\n\
+           \  divergence %s, DOM %b, breaking deps %s, parallelization %s\n"
+           r.label r.pct_loop_time r.instances r.trips_mean r.trips_sd
+           (Ceres.Classify.divergence_to_string r.divergence)
+           r.dom_access
+           (Ceres.Classify.difficulty_to_string r.dep_difficulty)
+           (Ceres.Classify.difficulty_to_string r.par_difficulty);
+         print_string (Ceres.Advice.render ~label:r.label r.advice))
+      (Workloads.Harness.inspect w)
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Full Table 3 pipeline for one workload: profile, analyze, classify.")
+    Term.(const run $ workload_arg)
+
+let survey_cmd =
+  let run seed =
+    let respondents = Survey.Generator.generate ~seed () in
+    Printf.printf "%d synthetic respondents (seed %d)\n\n"
+      (Array.length respondents) seed;
+    let rows, uncoded = Survey.Aggregate.figure1 respondents in
+    print_string (Survey.Aggregate.render_figure1 rows);
+    Printf.printf "  (%d respondents without a codeable answer)\n\n" uncoded;
+    print_string
+      (Survey.Aggregate.render_figure2 (Survey.Aggregate.figure2 respondents));
+    print_string
+      (Survey.Aggregate.render_histogram
+         ~title:"functional (1) .. imperative (5):"
+         (Survey.Aggregate.figure3 respondents));
+    print_string
+      (Survey.Aggregate.render_histogram
+         ~title:"monomorphic (1) .. polymorphic (5):"
+         (Survey.Aggregate.figure4 respondents));
+    Printf.printf "operator preference: %.0f%%; inter-rater Jaccard: %.2f\n"
+      (Survey.Aggregate.operator_preference_pct respondents)
+      (Survey.Coding.inter_rater_agreement respondents)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 2015
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Seed for the synthetic respondent population.")
+  in
+  Cmd.v
+    (Cmd.info "survey"
+       ~doc:"Regenerate the developer-survey analysis (paper Sec. 2).")
+    Term.(const run $ seed_arg)
+
+let report_cmd =
+  let run name dir =
+    let w = find_workload name in
+    let path = Workloads.Harness.export_report ~dir w in
+    Printf.printf "wrote %s\n" path
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string "reports"
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Directory the markdown report is written into.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the full staged analysis and write a markdown report (the \
+          paper's Fig. 5 steps 5-7).")
+    Term.(const run $ workload_arg $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let mode_arg =
+  let modes =
+    [ ("plain", `Plain); ("light", `Light); ("loops", `Loops); ("dep", `Dep) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) `Plain
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Instrumentation mode: $(b,plain), $(b,light), $(b,loops) or $(b,dep).")
+
+let file_cmd =
+  let run path mode =
+    let source =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let program = Jsir.Parser.parse_program source in
+    let infos = Jsir.Loops.index program in
+    let st = Interp.Eval.create () in
+    Interp.Builtins.install st;
+    ignore (Dom.Document.install st);
+    (match mode with
+     | `Plain -> Interp.Eval.run_program st program
+     | `Light ->
+       let lw = Ceres.Install.lightweight st in
+       Interp.Eval.run_program st
+         (Ceres.Instrument.program Ceres.Instrument.Lightweight program);
+       ignore (Interp.Events.drain st);
+       Printf.printf "in loops: %.3f ms\n" (Ceres.Lightweight.in_loops_ms lw)
+     | `Loops ->
+       let lp = Ceres.Install.loop_profile st infos in
+       Interp.Eval.run_program st
+         (Ceres.Instrument.program Ceres.Instrument.Loop_profile program);
+       ignore (Interp.Events.drain st);
+       print_string (Ceres.Report.loop_profile_report lp infos)
+     | `Dep ->
+       let rt = Ceres.Install.dependence st infos in
+       Interp.Eval.run_program st
+         (Ceres.Instrument.program Ceres.Instrument.Dependence program);
+       ignore (Interp.Events.drain st);
+       print_string (Ceres.Report.dependence_report rt infos));
+    (match mode with
+     | `Plain -> ignore (Interp.Events.drain st)
+     | _ -> ());
+    List.iter print_endline (List.rev st.Interp.Value.console)
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniJS source file.")
+  in
+  Cmd.v
+    (Cmd.info "file" ~doc:"Run or analyze an arbitrary MiniJS script.")
+    Term.(const run $ path_arg $ mode_arg)
+
+let () =
+  let doc = "JS-CERES: profiling and dependence analysis for MiniJS programs" in
+  let info = Cmd.info "jsceres" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ list_cmd; run_cmd; profile_cmd; loops_cmd; analyze_cmd;
+                      inspect_cmd; report_cmd; survey_cmd; file_cmd ]))

@@ -1,0 +1,7 @@
+(* The paper's Sec. 3.3 walkthrough, reproduced end to end: analyse the
+   Fig. 6 N-body step under full dependence instrumentation and print
+   the warnings in the paper's triple notation.
+
+   Run with: dune exec examples/nbody_analysis.exe *)
+
+let () = print_string (Examples_support.Nbody.report ())

@@ -1,0 +1,68 @@
+(* Quickstart: the whole pipeline in ~60 lines.
+
+   1. Write a small JavaScript program (MiniJS).
+   2. Run it plainly.
+   3. Instrument it with JS-CERES in loop-profiling mode and see which
+      loops are hot.
+   4. Re-run under dependence analysis and read the warnings.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source = {|
+var xs = [];
+var i;
+for (i = 0; i < 2000; i++) { xs.push((i * 1103515245 + 12345) % 1000); }
+
+// hot loop 1: histogram (scatter writes, parallelizable)
+var hist = new Array(10);
+for (i = 0; i < 10; i++) { hist[i] = 0; }
+var j;
+for (j = 0; j < xs.length; j++) {
+  hist[Math.floor(xs[j] / 100)]++;
+}
+
+// hot loop 2: prefix maximum (a genuine serial chain)
+var best = [];
+best[0] = xs[0];
+var k;
+for (k = 1; k < xs.length; k++) {
+  best[k] = xs[k] > best[k - 1] ? xs[k] : best[k - 1];
+}
+
+console.log("histogram:", hist.join(" "));
+console.log("max:", best[xs.length - 1]);
+|}
+
+let () =
+  (* Plain run. *)
+  print_endline "--- plain run ---";
+  let st = Interp.Eval.create () in
+  Interp.Builtins.install st;
+  st.Interp.Value.echo_console <- true;
+  let program = Jsir.Parser.parse_program source in
+  Interp.Eval.run_program st program;
+
+  (* Loop profiling. *)
+  print_endline "\n--- loop profile (Sec 3.2) ---";
+  let st = Interp.Eval.create () in
+  Interp.Builtins.install st;
+  let infos = Jsir.Loops.index program in
+  let lp = Ceres.Install.loop_profile st infos in
+  Interp.Eval.run_program st
+    (Ceres.Instrument.program Ceres.Instrument.Loop_profile program);
+  print_string (Ceres.Report.loop_profile_report lp infos);
+
+  (* Dependence analysis. *)
+  print_endline "\n--- dependence analysis (Sec 3.3) ---";
+  let st = Interp.Eval.create () in
+  Interp.Builtins.install st;
+  let rt = Ceres.Install.dependence st infos in
+  Interp.Eval.run_program st
+    (Ceres.Instrument.program Ceres.Instrument.Dependence program);
+  print_string (Ceres.Report.dependence_report rt infos);
+  print_endline
+    "\nreading the report: the histogram loop only scatter-writes\n\
+     ('write to property [elem]'), so its iterations can run in\n\
+     parallel; the prefix-maximum loop shows a 'read of property\n\
+     [elem]' flow dependence - each iteration needs the previous\n\
+     one's result."

@@ -1,0 +1,144 @@
+(* Parallelization advice derived from the dependence warnings.
+
+   Paper Sec. 5.3: once a speculative parallelizer reports *why* it
+   aborted, "the developer would need to transform the code
+   significantly to solve the issue, part of which may be automated".
+   This module is that part: it folds a nest's warning inventory into a
+   ranked list of concrete transformations — privatize this variable,
+   rewrite that accumulation as a reduction, double-buffer this array,
+   hoist the DOM traffic — or names the serial chain that blocks
+   parallelization outright. *)
+
+type recommendation =
+  | Privatize of string
+      (** a [var]-hoisted temporary leaks across iterations: declare it
+          per-iteration (function extraction / let-style scoping) *)
+  | Reduce of string
+      (** scalar accumulation: give each worker a private copy and
+          combine with the (associative) operator *)
+  | Reduce_object of string
+      (** repeated read-modify-write of one object property: same
+          reduction treatment on the property *)
+  | Double_buffer of string
+      (** anti-dependent (WAR) array/property traffic: read from the
+          previous buffer, write to a fresh one, swap after the loop *)
+  | Hoist_dom of int
+      (** N DOM/canvas operations inside the loop: batch the state into
+          local buffers and flush after the loop (no browser has a
+          concurrent DOM) *)
+  | Serial_chain of string * int
+      (** a genuine flow dependence on this location at N sites: the
+          loop is serial as written; consider reordering (wavefront /
+          red-black) or algorithmic change *)
+  | Already_parallel
+      (** no carried dependences observed: the iterations can run in
+          parallel as-is *)
+
+let recommendation_to_string = function
+  | Privatize name ->
+    Printf.sprintf
+      "privatize variable '%s' (declare it per iteration, e.g. extract the body into a function)"
+      name
+  | Reduce name ->
+    Printf.sprintf
+      "rewrite the accumulation of variable '%s' as a parallel reduction"
+      name
+  | Reduce_object prop ->
+    Printf.sprintf
+      "rewrite the read-modify-write of property '%s' as a parallel reduction"
+      prop
+  | Double_buffer prop ->
+    Printf.sprintf
+      "double-buffer property '%s' (anti-dependence: read previous buffer, write next, swap after the loop)"
+      prop
+  | Hoist_dom n ->
+    Printf.sprintf
+      "hoist %d DOM/canvas operation(s) out of the loop (buffer locally, flush once after)"
+      n
+  | Serial_chain (loc, sites) ->
+    Printf.sprintf
+      "serial chain through '%s' at %d site(s): iterations genuinely depend on earlier results; needs reordering or an algorithmic change"
+      loc sites
+  | Already_parallel ->
+    "no loop-carried dependences observed: iterations can run in parallel as-is"
+
+(* Ranking: blockers first, then rewrites, then trivia. *)
+let weight = function
+  | Serial_chain _ -> 0
+  | Hoist_dom _ -> 1
+  | Reduce_object _ -> 2
+  | Reduce _ -> 3
+  | Double_buffer _ -> 4
+  | Privatize _ -> 5
+  | Already_parallel -> 6
+
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+       if Hashtbl.mem seen x then false
+       else begin
+         Hashtbl.replace seen x ();
+         true
+       end)
+    xs
+
+(* Build the advice for a nest from its impeding warnings and the DOM
+   traffic attributed to it. *)
+let for_nest (rt : Runtime.t) ~root ~dom_accesses : recommendation list =
+  let ws = Runtime.warnings_impeding rt ~root in
+  (* flow reads and the overwrites they pair with form reduction
+     candidates; flow without a matching overwrite is a serial chain *)
+  let flow : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let overwritten : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((w : Runtime.warning), count) ->
+       match w.kind with
+       | Runtime.Prop_read prop ->
+         Hashtbl.replace flow prop
+           (count + Option.value ~default:0 (Hashtbl.find_opt flow prop))
+       | Runtime.Prop_overwrite prop -> Hashtbl.replace overwritten prop ()
+       | _ -> ())
+    ws;
+  let base =
+    List.concat_map
+      (fun ((w : Runtime.warning), _count) ->
+         match w.kind with
+         | Runtime.Var_write name -> [ Privatize name ]
+         | Runtime.Var_accum name -> [ Reduce name ]
+         | Runtime.Induction_write _ -> []
+         | Runtime.Prop_write _ -> []
+         | Runtime.Prop_war prop -> [ Double_buffer prop ]
+         | Runtime.Prop_overwrite prop ->
+           if Hashtbl.mem flow prop then [ Reduce_object prop ] else []
+         | Runtime.Prop_read prop ->
+           if Hashtbl.mem overwritten prop then []
+           else [ Serial_chain (prop, Option.value ~default:1 (Hashtbl.find_opt flow prop)) ])
+      ws
+  in
+  let base = if dom_accesses > 0 then Hoist_dom dom_accesses :: base else base in
+  let base = dedup base in
+  (* a variable already covered by a reduction rewrite does not also
+     need privatizing (its first write predates the accumulator
+     detection) *)
+  let reduced =
+    List.filter_map (function Reduce n -> Some n | _ -> None) base
+  in
+  let base =
+    List.filter
+      (function Privatize n -> not (List.mem n reduced) | _ -> true)
+      base
+  in
+  match base with
+  | [] -> [ Already_parallel ]
+  | _ -> List.stable_sort (fun a b -> compare (weight a) (weight b)) base
+
+let render ?(label = "loop nest") recs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "parallelization advice for %s:\n" label);
+  List.iteri
+    (fun i r ->
+       Buffer.add_string buf
+         (Printf.sprintf "  %d. %s\n" (i + 1) (recommendation_to_string r)))
+    recs;
+  Buffer.contents buf

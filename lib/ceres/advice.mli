@@ -1,0 +1,30 @@
+(** Parallelization advice derived from dependence warnings.
+
+    Paper Sec. 5.3: a speculative parallelizer should report why it
+    aborted, and "the developer would need to transform the code ...
+    part of which may be automated". This module maps a nest's warning
+    inventory to a ranked list of concrete transformations. *)
+
+type recommendation =
+  | Privatize of string
+      (** leaked [var]-hoisted temporary: scope it per iteration *)
+  | Reduce of string
+      (** scalar accumulator: parallel reduction *)
+  | Reduce_object of string
+      (** read-modify-write of one object property: same treatment *)
+  | Double_buffer of string
+      (** anti-dependent traffic: read previous buffer, write next *)
+  | Hoist_dom of int
+      (** N DOM/canvas operations inside the loop: buffer and flush *)
+  | Serial_chain of string * int
+      (** genuine flow dependence: serial as written *)
+  | Already_parallel
+
+val recommendation_to_string : recommendation -> string
+
+val for_nest :
+  Runtime.t -> root:Jsir.Ast.loop_id -> dom_accesses:int ->
+  recommendation list
+(** Ranked advice (blockers first) for the nest rooted at [root]. *)
+
+val render : ?label:string -> recommendation list -> string

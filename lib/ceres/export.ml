@@ -1,0 +1,46 @@
+(* Report export (paper Fig. 5, steps 5-7).
+
+   The paper's proxy pairs analysis results with the original sources
+   and commits them to a git repository "as it provides both version
+   tracking and a convenient way to link result reports to source
+   code". We write the same content as a directory of markdown
+   reports; versioning is left to the user's own repository. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+       | _ -> '-')
+    name
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Export: %s exists and is not a directory" dir)
+
+(* Write a markdown report assembled from titled sections; returns the
+   path written. Code sections are fenced. *)
+let write_report ~dir ~name ~(sections : (string * [ `Text of string | `Code of string ]) list) =
+  ensure_dir dir;
+  let path = Filename.concat dir (sanitize name ^ ".md") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       Printf.fprintf oc "# JS-CERES report: %s\n\n" name;
+       List.iter
+         (fun (title, body) ->
+            Printf.fprintf oc "## %s\n\n" title;
+            match body with
+            | `Text text ->
+              output_string oc text;
+              output_string oc "\n\n"
+            | `Code text ->
+              output_string oc "```\n";
+              output_string oc text;
+              if String.length text > 0 && text.[String.length text - 1] <> '\n'
+              then output_char oc '\n';
+              output_string oc "```\n\n")
+         sections);
+  path

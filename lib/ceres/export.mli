@@ -1,0 +1,14 @@
+(** Report export (paper Fig. 5, steps 5-7).
+
+    The paper's proxy committed per-application reports to a git
+    repository; we write the same content as markdown files and leave
+    versioning to the enclosing repository. *)
+
+val write_report :
+  dir:string ->
+  name:string ->
+  sections:(string * [ `Text of string | `Code of string ]) list ->
+  string
+(** [write_report ~dir ~name ~sections] creates [dir] if needed and
+    writes [dir/<sanitised name>.md] assembled from titled sections
+    ([`Code] sections are fenced); returns the path written. *)

@@ -1,0 +1,288 @@
+(* Glue between instrumented code and the analysis runtimes.
+
+   Registers handlers for the [__ceres_*] intrinsics that
+   {!Instrument} inserts. Handlers receive *unevaluated* operand
+   expressions, so a wrapped operation evaluates each operand exactly
+   once and in the original order — compound assignments and update
+   expressions keep their single-evaluation semantics. One analysis
+   mode is attached per interpreter state, mirroring the paper's
+   separate staged runs. *)
+
+open Interp.Value
+
+let ev st scope this e = Interp.Eval.eval st scope this e
+
+let expect_num st scope this e =
+  match ev st scope this e with
+  | Num f -> int_of_float f
+  | v -> type_error st ("intrinsic expected a number, got " ^ type_of v)
+
+let expect_str st scope this e =
+  match ev st scope this e with
+  | Str s -> s
+  | v -> type_error st ("intrinsic expected a string, got " ^ type_of v)
+
+let register st name handler = Hashtbl.replace st.intrinsics name handler
+
+(* Type tag for the polymorphism monitor: distinguishes null from real
+   objects (the paper excludes defined/undefined/null flips). *)
+let type_tag_of = function
+  | Null -> "null"
+  | v -> type_of v
+
+let binop_of_name = function
+  | "+" -> Jsir.Ast.Add
+  | "-" -> Jsir.Ast.Sub
+  | "*" -> Jsir.Ast.Mul
+  | "/" -> Jsir.Ast.Div
+  | "%" -> Jsir.Ast.Mod
+  | "&" -> Jsir.Ast.Band
+  | "|" -> Jsir.Ast.Bor
+  | "^" -> Jsir.Ast.Bxor
+  | "<<" -> Jsir.Ast.Lshift
+  | ">>" -> Jsir.Ast.Rshift
+  | ">>>" -> Jsir.Ast.Urshift
+  | op -> invalid_arg ("Install.binop_of_name: " ^ op)
+
+(* ------------------------------------------------------------------ *)
+
+let lightweight st : Lightweight.t =
+  let lw = Lightweight.create st.clock in
+  register st "__ceres_light_enter" (fun _ _ _ _ ->
+      Lightweight.on_enter lw;
+      Undefined);
+  register st "__ceres_light_exit" (fun _ _ _ _ ->
+      Lightweight.on_exit lw;
+      Undefined);
+  lw
+
+let loop_profile st (infos : Jsir.Loops.info array) : Loop_profile.t =
+  let lp = Loop_profile.create st.clock infos in
+  register st "__ceres_loop_enter" (fun st scope this args ->
+      (match args with
+       | [ id ] -> Loop_profile.on_enter lp (expect_num st scope this id)
+       | _ -> ());
+      Undefined);
+  register st "__ceres_loop_iter" (fun st scope this args ->
+      (match args with
+       | [ id ] -> Loop_profile.on_iter lp (expect_num st scope this id)
+       | _ -> ());
+      Undefined);
+  register st "__ceres_loop_exit" (fun st scope this args ->
+      (match args with
+       | [ id ] -> Loop_profile.on_exit lp (expect_num st scope this id)
+       | _ -> ());
+      Undefined);
+  lp
+
+(* ------------------------------------------------------------------ *)
+
+let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
+  let rt = Runtime.create ?focus infos in
+  let loop_event f =
+    fun st scope this args ->
+      (match args with
+       | [ id ] -> f rt (expect_num st scope this id)
+       | _ -> ());
+      Undefined
+  in
+  register st "__ceres_loop_enter" (loop_event Runtime.on_loop_enter);
+  register st "__ceres_loop_iter" (loop_event Runtime.on_loop_iter);
+  register st "__ceres_loop_exit" (loop_event Runtime.on_loop_exit);
+  register st "__ceres_fn_scope" (fun _ scope _ _ ->
+      Runtime.on_scope_created rt ~sid:scope.sid;
+      Undefined);
+  register st "__ceres_created" (fun st scope this args ->
+      match args with
+      | [ e ] ->
+        let v = ev st scope this e in
+        (match v with
+         | Obj o -> Runtime.on_object_created rt ~oid:o.oid
+         | _ -> ());
+        v
+      | _ -> type_error st "__ceres_created arity");
+  (* --- variables --- *)
+  let owner_sid scope name =
+    Option.map (fun (s : scope) -> s.sid) (owner_scope scope name)
+  in
+  let var_write_handler ~induction =
+    fun st scope this args ->
+      match args with
+      | [ name_e; line_e; op_e; rhs_e ] ->
+        let name = expect_str st scope this name_e in
+        let line = expect_num st scope this line_e in
+        let op = expect_str st scope this op_e in
+        let v =
+          if String.equal op "=" then ev st scope this rhs_e
+          else begin
+            let old_v = get_var st scope name in
+            let rhs_v = ev st scope this rhs_e in
+            Interp.Eval.eval_binop st (binop_of_name op) old_v rhs_v
+          end
+        in
+        Runtime.on_var_write ~induction
+          ~accum:(not (String.equal op "="))
+          rt ~name ~owner_sid:(owner_sid scope name) ~line;
+        Runtime.note_type rt ~name ~line ~type_tag:(type_tag_of v);
+        set_var st scope name v;
+        v
+      | _ -> type_error st "__ceres_var_write arity"
+  in
+  register st "__ceres_var_write" (var_write_handler ~induction:false);
+  register st "__ceres_induction_write" (var_write_handler ~induction:true);
+  let var_update_handler ~induction =
+    fun st scope this args ->
+      match args with
+      | [ name_e; line_e; kind_e; prefix_e ] ->
+        let name = expect_str st scope this name_e in
+        let line = expect_num st scope this line_e in
+        let kind = expect_str st scope this kind_e in
+        let prefix = to_boolean (ev st scope this prefix_e) in
+        let old_n = to_number st (get_var st scope name) in
+        let new_n =
+          if String.equal kind "++" then old_n +. 1. else old_n -. 1.
+        in
+        Runtime.on_var_write ~induction ~accum:true rt ~name
+          ~owner_sid:(owner_sid scope name) ~line;
+        Runtime.note_type rt ~name ~line ~type_tag:"number";
+        set_var st scope name (Num new_n);
+        Num (if prefix then new_n else old_n)
+      | _ -> type_error st "__ceres_var_update arity"
+  in
+  register st "__ceres_var_update" (var_update_handler ~induction:false);
+  register st "__ceres_induction_update" (var_update_handler ~induction:true);
+  (* --- properties ---
+     The characterization basis depends on how the receiver is named:
+     [p.vX = ...] with [p] a plain variable is characterized through
+     the binding [p] (the paper's N-body discussion), while receivers
+     from arbitrary expressions use the object's creation stamp. *)
+  let basis_of scope (obj_e : Jsir.Ast.expr) : Runtime.basis =
+    match obj_e.e with
+    | Jsir.Ast.Ident x ->
+      Runtime.Via_binding
+        (Option.map (fun (s : scope) -> s.sid) (owner_scope scope x))
+    | _ -> Runtime.Via_object
+  in
+  let record_read base prop line =
+    match base with
+    | Obj o -> Runtime.on_prop_read rt ~oid:o.oid ~prop ~line
+    | _ -> ()
+  in
+  let record_write ~basis base prop line =
+    match base with
+    | Obj o -> Runtime.on_prop_write rt ~basis ~oid:o.oid ~prop ~line
+    | _ -> ()
+  in
+  let do_prop_write st scope this ~basis base prop line op rhs_e =
+    let v =
+      if String.equal op "=" then ev st scope this rhs_e
+      else begin
+        record_read base prop line;
+        let old_v = Interp.Eval.get_prop st base prop in
+        let rhs_v = ev st scope this rhs_e in
+        Interp.Eval.eval_binop st (binop_of_name op) old_v rhs_v
+      end
+    in
+    record_write ~basis base prop line;
+    Runtime.note_type rt ~name:(Runtime.canonical_prop prop) ~line
+      ~type_tag:(type_tag_of v);
+    Interp.Eval.set_prop st base prop v;
+    v
+  in
+  register st "__ceres_prop_write" (fun st scope this args ->
+      match args with
+      | [ obj_e; prop_e; line_e; op_e; rhs_e ] ->
+        let base = ev st scope this obj_e in
+        let prop = expect_str st scope this prop_e in
+        let line = expect_num st scope this line_e in
+        let op = expect_str st scope this op_e in
+        let basis = basis_of scope obj_e in
+        do_prop_write st scope this ~basis base prop line op rhs_e
+      | _ -> type_error st "__ceres_prop_write arity");
+  register st "__ceres_index_write" (fun st scope this args ->
+      match args with
+      | [ obj_e; idx_e; line_e; op_e; rhs_e ] ->
+        let base = ev st scope this obj_e in
+        let prop = to_string st (ev st scope this idx_e) in
+        let line = expect_num st scope this line_e in
+        let op = expect_str st scope this op_e in
+        let basis = basis_of scope obj_e in
+        do_prop_write st scope this ~basis base prop line op rhs_e
+      | _ -> type_error st "__ceres_index_write arity");
+  let do_prop_update st ~basis base prop line kind prefix =
+    record_read base prop line;
+    let old_n = to_number st (Interp.Eval.get_prop st base prop) in
+    let new_n = if String.equal kind "++" then old_n +. 1. else old_n -. 1. in
+    record_write ~basis base prop line;
+    Interp.Eval.set_prop st base prop (Num new_n);
+    Num (if prefix then new_n else old_n)
+  in
+  register st "__ceres_prop_update" (fun st scope this args ->
+      match args with
+      | [ obj_e; prop_e; line_e; kind_e; prefix_e ] ->
+        let base = ev st scope this obj_e in
+        let prop = expect_str st scope this prop_e in
+        let line = expect_num st scope this line_e in
+        let kind = expect_str st scope this kind_e in
+        let prefix = to_boolean (ev st scope this prefix_e) in
+        do_prop_update st ~basis:(basis_of scope obj_e) base prop line kind
+          prefix
+      | _ -> type_error st "__ceres_prop_update arity");
+  register st "__ceres_index_update" (fun st scope this args ->
+      match args with
+      | [ obj_e; idx_e; line_e; kind_e; prefix_e ] ->
+        let base = ev st scope this obj_e in
+        let prop = to_string st (ev st scope this idx_e) in
+        let line = expect_num st scope this line_e in
+        let kind = expect_str st scope this kind_e in
+        let prefix = to_boolean (ev st scope this prefix_e) in
+        do_prop_update st ~basis:(basis_of scope obj_e) base prop line kind
+          prefix
+      | _ -> type_error st "__ceres_index_update arity");
+  register st "__ceres_prop_read" (fun st scope this args ->
+      match args with
+      | [ obj_e; prop_e; line_e ] ->
+        let base = ev st scope this obj_e in
+        let prop = expect_str st scope this prop_e in
+        let line = expect_num st scope this line_e in
+        record_read base prop line;
+        Interp.Eval.get_prop st base prop
+      | _ -> type_error st "__ceres_prop_read arity");
+  register st "__ceres_index_read" (fun st scope this args ->
+      match args with
+      | [ obj_e; idx_e; line_e ] ->
+        let base = ev st scope this obj_e in
+        let prop = to_string st (ev st scope this idx_e) in
+        let line = expect_num st scope this line_e in
+        record_read base prop line;
+        Interp.Eval.get_prop st base prop
+      | _ -> type_error st "__ceres_index_read arity");
+  let method_call st scope this base prop line arg_es =
+    record_read base prop line;
+    let fn = Interp.Eval.get_prop st base prop in
+    let args = List.map (ev st scope this) arg_es in
+    Interp.Eval.call st fn base args
+  in
+  register st "__ceres_method_call" (fun st scope this args ->
+      match args with
+      | obj_e :: prop_e :: line_e :: arg_es ->
+        let base = ev st scope this obj_e in
+        let prop = expect_str st scope this prop_e in
+        let line = expect_num st scope this line_e in
+        method_call st scope this base prop line arg_es
+      | _ -> type_error st "__ceres_method_call arity");
+  register st "__ceres_index_method_call" (fun st scope this args ->
+      match args with
+      | obj_e :: idx_e :: line_e :: arg_es ->
+        let base = ev st scope this obj_e in
+        let prop = to_string st (ev st scope this idx_e) in
+        let line = expect_num st scope this line_e in
+        method_call st scope this base prop line arg_es
+      | _ -> type_error st "__ceres_index_method_call arity");
+  (* DOM/canvas attribution: chain any existing host-access listener. *)
+  let previous = st.on_host_access in
+  st.on_host_access <-
+    (fun category op ->
+       previous category op;
+       Runtime.on_host_access rt);
+  rt

@@ -1,0 +1,48 @@
+(* Lightweight profiling mode (paper Sec. 3.1).
+
+   Measures exactly two scalars: total application time and total time
+   spent inside loops. An open-loop counter is incremented before and
+   decremented after every syntactic loop; a timestamp is taken when
+   the counter rises from 0 and the elapsed time is accumulated when it
+   returns to 0, so nested loops are not double-counted. Timestamps
+   come from the interpreter's high-resolution virtual clock (the
+   stand-in for the paper's W3C High Resolution Time). *)
+
+type t = {
+  clock : Ceres_util.Vclock.t;
+  mutable open_loops : int;
+  mutable entered_at : int64;
+  mutable total_in_loops : int64; (* busy vticks spent under >=1 loop *)
+  mutable toplevel_entries : int; (* times the counter rose from 0 *)
+}
+
+let create clock =
+  { clock; open_loops = 0; entered_at = 0L; total_in_loops = 0L;
+    toplevel_entries = 0 }
+
+let on_enter t =
+  if t.open_loops = 0 then begin
+    t.entered_at <- Ceres_util.Vclock.busy t.clock;
+    t.toplevel_entries <- t.toplevel_entries + 1
+  end;
+  t.open_loops <- t.open_loops + 1
+
+let on_exit t =
+  t.open_loops <- t.open_loops - 1;
+  if t.open_loops = 0 then
+    t.total_in_loops <-
+      Int64.add t.total_in_loops
+        (Int64.sub (Ceres_util.Vclock.busy t.clock) t.entered_at);
+  if t.open_loops < 0 then t.open_loops <- 0
+
+let in_loops_ms t =
+  let ticks =
+    if t.open_loops > 0 then
+      (* Still inside a loop: include the open span. *)
+      Int64.add t.total_in_loops
+        (Int64.sub (Ceres_util.Vclock.busy t.clock) t.entered_at)
+    else t.total_in_loops
+  in
+  Ceres_util.Vclock.to_ms t.clock ticks
+
+let toplevel_entries t = t.toplevel_entries

@@ -1,0 +1,24 @@
+(** Lightweight profiling mode (paper Sec. 3.1).
+
+    Two scalars only: total application time (read off the virtual
+    clock by the harness) and total time spent inside syntactic loops,
+    kept by an open-loop counter — nested loops are not
+    double-counted. *)
+
+type t
+
+val create : Ceres_util.Vclock.t -> t
+
+val on_enter : t -> unit
+(** A loop was entered (fired by the instrumented program). *)
+
+val on_exit : t -> unit
+(** A loop was left; when the open-loop counter returns to zero the
+    elapsed busy time is accumulated. *)
+
+val in_loops_ms : t -> float
+(** Total busy milliseconds spent under at least one loop so far
+    (including the currently open span, if any). *)
+
+val toplevel_entries : t -> int
+(** How many times the counter rose from zero. *)

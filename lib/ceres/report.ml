@@ -1,0 +1,78 @@
+(* Human-readable reports, in the notation of the paper's Sec. 3.3.
+
+   The paper's proxy committed per-application reports to a git
+   repository; we render the same content as text blocks the CLI and
+   examples print (and tests assert on). *)
+
+let warning_to_string (infos : Jsir.Loops.info array)
+    ((w : Runtime.warning), count) =
+  Printf.sprintf "%s (line %d): %s%s"
+    (Runtime.access_kind_to_string w.kind)
+    w.line
+    (Triple.to_string infos w.characterization)
+    (if count > 1 then Printf.sprintf "  [%d occurrences]" count else "")
+
+let dependence_report ?(title = "dependence analysis") rt
+    (infos : Jsir.Loops.info array) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let ws = Runtime.warnings rt in
+  if ws = [] then Buffer.add_string buf "  no problematic accesses\n"
+  else
+    List.iter
+      (fun w ->
+         Buffer.add_string buf "  warning: ";
+         Buffer.add_string buf (warning_to_string infos w);
+         Buffer.add_char buf '\n')
+      ws;
+  let recursions = Runtime.recursion_warnings rt in
+  if recursions > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  note: %d recursive loop re-entries; affected nests discarded\n"
+         recursions);
+  Buffer.contents buf
+
+let nest_report rt (infos : Jsir.Loops.info array) ~root =
+  let info = Jsir.Loops.find infos root in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "loop nest rooted at %s:\n" (Jsir.Loops.label info));
+  if Runtime.is_tainted rt root then
+    Buffer.add_string buf
+      "  recursion detected through this nest; results discarded\n"
+  else begin
+    let ws = Runtime.warnings_for_nest rt ~root in
+    if ws = [] then Buffer.add_string buf "  no problematic accesses\n"
+    else
+      List.iter
+        (fun w ->
+           Buffer.add_string buf "  warning: ";
+           Buffer.add_string buf (warning_to_string infos w);
+           Buffer.add_char buf '\n')
+        ws
+  end;
+  Buffer.contents buf
+
+let loop_profile_report lp (infos : Jsir.Loops.info array) =
+  let tbl =
+    Ceres_util.Table.create
+      ~title:"loop profile"
+      [ "loop"; "instances"; "total ms"; "avg ms"; "trips avg"; "trips sd" ]
+  in
+  Ceres_util.Table.set_align tbl
+    [ Left; Right; Right; Right; Right; Right ];
+  Array.iter
+    (fun (info : Jsir.Loops.info) ->
+       let s = Loop_profile.stats lp info.id in
+       let n = Ceres_util.Welford.count s.time in
+       if n > 0 then
+         Ceres_util.Table.add_row tbl
+           [ Jsir.Loops.label info;
+             string_of_int n;
+             Printf.sprintf "%.2f" (Ceres_util.Welford.total s.time);
+             Printf.sprintf "%.3f" (Ceres_util.Welford.mean s.time);
+             Printf.sprintf "%.1f" (Ceres_util.Welford.mean s.trips);
+             Printf.sprintf "%.1f" (Ceres_util.Welford.stddev s.trips) ])
+    infos;
+  Ceres_util.Table.render tbl

@@ -1,0 +1,18 @@
+(** Human-readable reports in the notation of the paper's Sec. 3.3. *)
+
+val warning_to_string :
+  Jsir.Loops.info array -> Runtime.warning * int -> string
+(** One warning with its triple list, e.g.
+    ["write to variable p (line 7): while(line 23) ok ok -> for(line 6) ok dependence"]. *)
+
+val dependence_report :
+  ?title:string -> Runtime.t -> Jsir.Loops.info array -> string
+(** All warnings of a run, plus the recursion-guard note when nests
+    were discarded. *)
+
+val nest_report : Runtime.t -> Jsir.Loops.info array -> root:Jsir.Ast.loop_id -> string
+(** The warnings attributed to one loop nest (the focused view the
+    paper shows for the N-body [for]). *)
+
+val loop_profile_report : Loop_profile.t -> Jsir.Loops.info array -> string
+(** Sec. 3.2 statistics as an aligned table. *)

@@ -1,0 +1,421 @@
+(* The dependence-analysis engine (paper Sec. 3.3).
+
+   This module is deliberately free of interpreter value types: it
+   receives loop events and accesses keyed by scope ids ([sid]) and
+   object ids ([oid]), maintains the characterization stack, stamps,
+   and per-property write snapshots, and aggregates warnings. The glue
+   that evaluates operands and performs the actual reads/writes lives
+   in {!Install}.
+
+   Reported access kinds, as in the paper:
+   - (a) writes to variables declared outside the current loop
+     iteration's context — output (write-after-write) dependences;
+   - (b) writes to properties of objects instantiated outside the
+     current iteration — output dependences, possibly anti;
+   - (c) reads of properties last written in a *different* iteration —
+     flow (read-after-write) dependences. *)
+
+type access_kind =
+  | Var_write of string
+      (** plain reassignment of a shared variable: a leaked loop-local
+          temporary, privatizable *)
+  | Var_accum of string
+      (** compound/self-referencing update of a shared variable: a
+          reduction-style accumulation *)
+  | Induction_write of string
+      (** write to a for-head induction variable; real but trivially
+          privatizable, so reported separately and ignored by the
+          difficulty classifier *)
+  | Prop_write of string
+      (** write to a property of an object shared with other
+          iterations — a potential output/anti dependence *)
+  | Prop_overwrite of string
+      (** the property had already been written in a different
+          iteration of the same nest: an observed WAW dependence *)
+  | Prop_read of string
+      (** flow (read-after-write) dependence: the value read was
+          produced by a different iteration *)
+  | Prop_war of string
+      (** anti (write-after-read) dependence: the overwritten value had
+          been read by a different iteration — the paper's "may be
+          involved in anti-dependencies" case for type (b) accesses *)
+
+(* Array element names are canonicalised for aggregation: a loop that
+   writes a[0], a[1], ... a[n] produces one warning family "[elem]"
+   with a count, not n distinct warnings. Snapshots used for flow
+   detection keep the exact element names. *)
+let canonical_prop prop =
+  match int_of_string_opt prop with Some _ -> "[elem]" | None -> prop
+
+let access_kind_to_string = function
+  | Var_write name -> Printf.sprintf "write to variable %s" name
+  | Var_accum name -> Printf.sprintf "accumulating write to variable %s" name
+  | Induction_write name ->
+    Printf.sprintf "write to induction variable %s" name
+  | Prop_write prop -> Printf.sprintf "write to property %s" prop
+  | Prop_overwrite prop ->
+    Printf.sprintf "repeated write (WAW) to property %s" prop
+  | Prop_read prop -> Printf.sprintf "read of property %s" prop
+  | Prop_war prop ->
+    Printf.sprintf "anti-dependent write (WAR) to property %s" prop
+
+type warning = {
+  kind : access_kind;
+  line : int; (* source line of the access *)
+  characterization : Triple.characterization;
+  carrier : Jsir.Ast.loop_id option;
+      (* the loop whose iterations carry / share the location; used to
+         attribute the warning to a nest when classifying *)
+}
+
+type loop_dyn = {
+  mutable instances : int;
+  mutable cur_entry : int; (* seq at entry of current instance *)
+  mutable prev_entry : int; (* seq at entry of previous instance; 0 if none *)
+  mutable dom_accesses : int; (* host DOM/canvas ops while this loop open *)
+}
+
+type frame = {
+  floop : Jsir.Ast.loop_id;
+  finstance : int;
+  mutable fiteration : int;
+}
+
+type t = {
+  infos : Jsir.Loops.info array;
+  dyn : loop_dyn array;
+  mutable stack : frame list; (* innermost first *)
+  mutable seq : int;
+  scope_stamps : (int, Triple.stamp) Hashtbl.t;
+  obj_stamps : (int, Triple.stamp) Hashtbl.t;
+  write_snaps : (int * string, Triple.stamp) Hashtbl.t;
+  read_snaps : (int * string, Triple.stamp) Hashtbl.t;
+      (* last read per (object, property): WAR detection *)
+  var_snaps : (int * string, Triple.stamp) Hashtbl.t;
+      (* last write per (owner scope, variable): distinguishes genuine
+         cross-iteration accumulators from compound updates of a
+         temporary assigned earlier in the same iteration *)
+  warnings : (warning, int ref) Hashtbl.t;
+  tainted : bool array; (* recursion through the loop detected *)
+  focus : Jsir.Ast.loop_id list; (* [] = record everywhere *)
+  mutable recursion_warnings : int;
+  mutable accesses_checked : int;
+  type_sites : (string * int, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* (location name, line) -> set of observed value types; backs the
+         polymorphism check of the paper's Sec. 4.2 *)
+}
+
+let create ?(focus = []) (infos : Jsir.Loops.info array) : t =
+  let n = Array.length infos in
+  { infos;
+    dyn =
+      Array.init n (fun _ ->
+          { instances = 0; cur_entry = 0; prev_entry = 0; dom_accesses = 0 });
+    stack = [];
+    seq = 1;
+    scope_stamps = Hashtbl.create 256;
+    obj_stamps = Hashtbl.create 4096;
+    write_snaps = Hashtbl.create 4096;
+    read_snaps = Hashtbl.create 4096;
+    var_snaps = Hashtbl.create 1024;
+    warnings = Hashtbl.create 64;
+    tainted = Array.make n false;
+    focus;
+    recursion_warnings = 0;
+    accesses_checked = 0;
+    type_sites = Hashtbl.create 256 }
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let current_marks t : Triple.mark list =
+  List.rev_map
+    (fun f ->
+       { Triple.loop = f.floop; instance = f.finstance; iteration = f.fiteration })
+    t.stack
+
+let current_stamp t : Triple.stamp =
+  { Triple.marks = Array.of_list (current_marks t); seq = t.seq }
+
+let recording t =
+  match t.focus with
+  | [] -> t.stack <> []
+  | focus -> List.exists (fun f -> List.mem f.floop focus) t.stack
+
+let prev_entry_seq t loop = t.dyn.(loop).prev_entry
+
+(* ------------------------------------------------------------------ *)
+(* Loop events                                                         *)
+
+let on_loop_enter t id =
+  let seq = next_seq t in
+  let d = t.dyn.(id) in
+  d.instances <- d.instances + 1;
+  d.prev_entry <- d.cur_entry;
+  d.cur_entry <- seq;
+  (* Recursion guard: re-entering a loop that is already open means the
+     loop body (transitively) called a function that reached the same
+     syntactic loop. The characterization stack would grow unboundedly;
+     the paper raises a warning and discards the nest's results. *)
+  if List.exists (fun f -> f.floop = id) t.stack then begin
+    t.tainted.(id) <- true;
+    t.recursion_warnings <- t.recursion_warnings + 1
+  end;
+  t.stack <- { floop = id; finstance = d.instances; fiteration = 0 } :: t.stack
+
+let on_loop_iter t id =
+  ignore (next_seq t);
+  match t.stack with
+  | f :: _ when f.floop = id -> f.fiteration <- f.fiteration + 1
+  | _ ->
+    (* Recursive shadowing: bump the topmost matching frame. *)
+    (match List.find_opt (fun f -> f.floop = id) t.stack with
+     | Some f -> f.fiteration <- f.fiteration + 1
+     | None -> ())
+
+let on_loop_exit t id =
+  ignore (next_seq t);
+  match t.stack with
+  | f :: rest when f.floop = id -> t.stack <- rest
+  | _ ->
+    (* Unwind to the matching frame (an exception may have skipped
+       inner exits; the instrumenter's try/finally makes this rare). *)
+    let rec drop = function
+      | [] -> []
+      | f :: rest -> if f.floop = id then rest else drop rest
+    in
+    t.stack <- drop t.stack
+
+(* ------------------------------------------------------------------ *)
+(* Creation stamping                                                   *)
+
+let on_scope_created t ~sid =
+  Hashtbl.replace t.scope_stamps sid
+    { (current_stamp t) with seq = next_seq t }
+
+let on_object_created t ~oid =
+  Hashtbl.replace t.obj_stamps oid
+    { (current_stamp t) with seq = next_seq t }
+
+let scope_stamp t sid =
+  Option.value ~default:Triple.root_stamp (Hashtbl.find_opt t.scope_stamps sid)
+
+let obj_stamp t oid =
+  Option.value ~default:Triple.root_stamp (Hashtbl.find_opt t.obj_stamps oid)
+
+(* ------------------------------------------------------------------ *)
+(* Access checks                                                       *)
+
+let add_warning t kind line characterization carrier =
+  let w = { kind; line; characterization; carrier } in
+  match Hashtbl.find_opt t.warnings w with
+  | Some count -> incr count
+  | None -> Hashtbl.replace t.warnings w (ref 1)
+
+let characterize_against t stamp =
+  Triple.characterize ~prev_entry_seq:(prev_entry_seq t) stamp
+    (current_marks t)
+
+let on_var_write ?(induction = false) ?(accum = false) t ~name ~owner_sid
+    ~line =
+  if recording t then begin
+    t.accesses_checked <- t.accesses_checked + 1;
+    let stamp =
+      match owner_sid with
+      | Some sid -> scope_stamp t sid
+      | None -> Triple.root_stamp (* implicit/global variables *)
+    in
+    let c = characterize_against t stamp in
+    if Triple.is_problematic c then begin
+      (* A compound update only behaves as a reduction when the value
+         it folds over was produced by a *different* iteration; [x /=
+         l] right after [x = e] in the same iteration is still a plain
+         temporary write. *)
+      let key = (Option.value ~default:(-1) owner_sid, name) in
+      let cross_iteration_read =
+        accum
+        &&
+        match Hashtbl.find_opt t.var_snaps key with
+        | None -> false
+        | Some snap ->
+          Triple.iteration_carrier (characterize_against t snap) <> None
+      in
+      let kind =
+        if induction then Induction_write name
+        else if cross_iteration_read then Var_accum name
+        else Var_write name
+      in
+      add_warning t kind line c (Triple.sharing_carrier c)
+    end;
+    let key = (Option.value ~default:(-1) owner_sid, name) in
+    Hashtbl.replace t.var_snaps key
+      { (current_stamp t) with seq = next_seq t }
+  end
+
+(* Characterization basis for a property access: when the receiver is a
+   plain variable ([p.vX = ...]), the paper characterizes the access
+   through the *binding* [p] — that is why extracting the loop body
+   into a per-iteration callback turns those warnings into "ok ok" —
+   while receivers produced by arbitrary expressions are characterized
+   through the object's creation stamp (the proxy wrap). *)
+type basis =
+  | Via_object
+  | Via_binding of int option (* owner scope sid; None = global *)
+
+let basis_stamp t ~oid = function
+  | Via_object -> obj_stamp t oid
+  | Via_binding (Some sid) -> scope_stamp t sid
+  | Via_binding None -> Triple.root_stamp
+
+let on_prop_write t ~basis ~oid ~prop ~line =
+  if recording t then begin
+    t.accesses_checked <- t.accesses_checked + 1;
+    (* Observed WAW: the same (object, property) slot was already
+       written in a different iteration of a still-open loop instance. *)
+    (match Hashtbl.find_opt t.write_snaps (oid, prop) with
+     | Some snap ->
+       let c = characterize_against t snap in
+       (match Triple.iteration_carrier c with
+        | Some carrier ->
+          add_warning t (Prop_overwrite (canonical_prop prop)) line c
+            (Some carrier)
+        | None -> ())
+     | None -> ());
+    (* Observed WAR: the slot's previous value was read by a different
+       iteration, so reordering the iterations would change that read.
+       The write consumes the pending reads (later anti-dependences are
+       relative to this new value). *)
+    (match Hashtbl.find_opt t.read_snaps (oid, prop) with
+     | Some snap ->
+       let c = characterize_against t snap in
+       (match Triple.iteration_carrier c with
+        | Some carrier ->
+          add_warning t (Prop_war (canonical_prop prop)) line c (Some carrier)
+        | None -> ());
+       Hashtbl.remove t.read_snaps (oid, prop)
+     | None -> ());
+    let c = characterize_against t (basis_stamp t ~oid basis) in
+    if Triple.is_problematic c then
+      add_warning t (Prop_write (canonical_prop prop)) line c
+        (Triple.sharing_carrier c);
+    (* Remember the write context for flow-dependence detection. *)
+    Hashtbl.replace t.write_snaps (oid, prop)
+      { (current_stamp t) with seq = next_seq t }
+  end
+
+let on_prop_read t ~oid ~prop ~line =
+  if recording t then begin
+    t.accesses_checked <- t.accesses_checked + 1;
+    (* Keep the most "foreign" unconsumed read: a pending read from an
+       earlier iteration must not be masked by a same-iteration read of
+       the slot, or the WAR against the eventual write would be lost. *)
+    let keep_old =
+      match Hashtbl.find_opt t.read_snaps (oid, prop) with
+      | Some old ->
+        Triple.iteration_carrier (characterize_against t old) <> None
+      | None -> false
+    in
+    if not keep_old then
+      Hashtbl.replace t.read_snaps (oid, prop)
+        { (current_stamp t) with seq = next_seq t };
+    match Hashtbl.find_opt t.write_snaps (oid, prop) with
+    | None -> () (* never written during analysis: no flow dependence *)
+    | Some snap ->
+      let c = characterize_against t snap in
+      (* Only iteration-carried flow is a parallelization obstacle:
+         values written before the loop's current instance began are
+         inputs the instance could receive up front. *)
+      (match Triple.iteration_carrier c with
+       | Some carrier ->
+         add_warning t (Prop_read (canonical_prop prop)) line c (Some carrier)
+       | None -> ())
+  end
+
+(* Observed-type tracking (paper Sec. 4.2): a write site is
+   polymorphic when it stores values of more than one type there, not
+   counting undefined/null ("we do not consider a variable polymorphic
+   if it changes between defined, undefined, and null"). *)
+let note_type t ~name ~line ~type_tag =
+  if recording t then begin
+    match type_tag with
+    | "undefined" -> ()
+    | tag ->
+      let key = (name, line) in
+      let set =
+        match Hashtbl.find_opt t.type_sites key with
+        | Some set -> set
+        | None ->
+          let set = Hashtbl.create 2 in
+          Hashtbl.replace t.type_sites key set;
+          set
+      in
+      Hashtbl.replace set tag ()
+  end
+
+(* Write sites (inside recorded loops) that stored more than one
+   non-null type, with the types observed. *)
+let polymorphic_sites t =
+  Hashtbl.fold
+    (fun (name, line) set acc ->
+       let tags =
+         Hashtbl.fold (fun tag () acc -> tag :: acc) set []
+         |> List.filter (fun tag -> tag <> "null")
+         |> List.sort compare
+       in
+       if List.length tags >= 2 then (name, line, tags) :: acc else acc)
+    t.type_sites []
+  |> List.sort compare
+
+let monomorphic_site_count t =
+  Hashtbl.length t.type_sites - List.length (polymorphic_sites t)
+
+(* DOM/canvas traffic attribution: charge every open loop. *)
+let on_host_access t =
+  List.iter (fun f ->
+      let d = t.dyn.(f.floop) in
+      d.dom_accesses <- d.dom_accesses + 1)
+    t.stack
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+
+let warnings t =
+  Hashtbl.fold (fun w count acc -> (w, !count) :: acc) t.warnings []
+  |> List.sort (fun ((a : warning), _) (b, _) ->
+      compare (a.line, a.kind) (b.line, b.kind))
+
+let in_nest t ~root id =
+  let rec up i =
+    if i = root then true
+    else
+      match (Jsir.Loops.find t.infos i).parent with
+      | Some p -> up p
+      | None -> false
+  in
+  up id
+
+(* Warnings whose innermost characterized level belongs to the loop
+   nest rooted at [root] (per the static index) — the report view. *)
+let warnings_for_nest t ~root =
+  warnings t
+  |> List.filter (fun ((w : warning), _) ->
+      match List.rev w.characterization with
+      | (innermost : Triple.level) :: _ -> in_nest t ~root innermost.lid
+      | [] -> false)
+
+(* Warnings that actually impede parallelizing iterations of loops in
+   the nest rooted at [root]: their carrier loop lies inside the
+   nest. *)
+let warnings_impeding t ~root =
+  warnings t
+  |> List.filter (fun ((w : warning), _) ->
+      match w.carrier with
+      | Some c -> in_nest t ~root c
+      | None -> false)
+
+let is_tainted t id = t.tainted.(id)
+let dom_accesses_in t id = t.dyn.(id).dom_accesses
+let instances_of t id = t.dyn.(id).instances
+let accesses_checked t = t.accesses_checked
+let recursion_warnings t = t.recursion_warnings

@@ -1,0 +1,128 @@
+(* Static programming-style census (paper Sec. 2.3 / 5.5).
+
+   The survey found developers *prefer* high-level array operators,
+   yet the paper's case study observes that "the case study
+   applications contain very few loops that use functional operators"
+   and "all loops that are compute-intensive are written in an
+   imperative style". This walker measures that: it counts syntactic
+   loops against calls to the builtin higher-order array operators in
+   a program's source. *)
+
+open Jsir.Ast
+
+let functional_operators =
+  [ "map"; "forEach"; "filter"; "reduce"; "some"; "every"; "sort" ]
+
+type census = {
+  loops : int; (* syntactic loops (for/while/do/for-in) *)
+  operator_calls : int; (* call sites of the builtin HOFs *)
+  per_operator : (string * int) list; (* descending *)
+  function_count : int; (* function declarations + expressions *)
+}
+
+let census (p : program) : census =
+  let loops = ref 0
+  and functions = ref 0
+  and ops : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump name =
+    Hashtbl.replace ops name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt ops name))
+  in
+  let rec stmt (s : stmt) =
+    match s.s with
+    | Empty | Break _ | Continue _ -> ()
+    | Labeled (_, body) -> stmt body
+    | Expr_stmt e | Throw e -> expr e
+    | Return e -> Option.iter expr e
+    | Var_decl decls -> List.iter (fun (_, i) -> Option.iter expr i) decls
+    | If (c, t, e) ->
+      expr c;
+      stmt t;
+      Option.iter stmt e
+    | While (_, c, b) ->
+      incr loops;
+      expr c;
+      stmt b
+    | Do_while (_, b, c) ->
+      incr loops;
+      stmt b;
+      expr c
+    | For (_, init, c, u, b) ->
+      incr loops;
+      (match init with
+       | Some (Init_expr e) -> expr e
+       | Some (Init_var decls) ->
+         List.iter (fun (_, i) -> Option.iter expr i) decls
+       | None -> ());
+      Option.iter expr c;
+      Option.iter expr u;
+      stmt b
+    | For_in (_, _, o, b) ->
+      incr loops;
+      expr o;
+      stmt b
+    | Try (b, c, f) ->
+      List.iter stmt b;
+      Option.iter (fun (_, cb) -> List.iter stmt cb) c;
+      Option.iter (List.iter stmt) f
+    | Block b -> List.iter stmt b
+    | Func_decl f -> func f
+    | Switch (sc, cases) ->
+      expr sc;
+      List.iter
+        (fun (g, b) ->
+           Option.iter expr g;
+           List.iter stmt b)
+        cases
+  and func (f : func) =
+    incr functions;
+    List.iter stmt f.body
+  and expr (e : expr) =
+    match e.e with
+    | Number _ | String _ | Bool _ | Null | Undefined | Ident _ | This -> ()
+    | Array_lit es -> List.iter expr es
+    | Object_lit kvs -> List.iter (fun (_, v) -> expr v) kvs
+    | Function_expr f -> func f
+    | Member (o, _) -> expr o
+    | Index (o, i) ->
+      expr o;
+      expr i
+    | Call (callee, args) ->
+      (match callee.e with
+       | Member (_, name) when List.mem name functional_operators ->
+         bump name
+       | _ -> ());
+      expr callee;
+      List.iter expr args
+    | New (c, args) ->
+      expr c;
+      List.iter expr args
+    | Unop (_, x) -> expr x
+    | Binop (_, l, r) | Logical (_, l, r) | Seq (l, r) ->
+      expr l;
+      expr r
+    | Cond (c, t, f) ->
+      expr c;
+      expr t;
+      expr f
+    | Assign (tgt, _, rhs) ->
+      target tgt;
+      expr rhs
+    | Update (_, _, tgt) -> target tgt
+    | Intrinsic (_, args) -> List.iter expr args
+  and target = function
+    | Tgt_ident _ -> ()
+    | Tgt_member (o, _) -> expr o
+    | Tgt_index (o, i) ->
+      expr o;
+      expr i
+  in
+  List.iter stmt p.stmts;
+  let per_operator =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ops []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { loops = !loops;
+    operator_calls = List.fold_left (fun a (_, n) -> a + n) 0 per_operator;
+    per_operator;
+    function_count = !functions }

@@ -1,0 +1,352 @@
+(* Canvas 2D context simulator.
+
+   The paper's workloads are dominated by Canvas traffic (Harmony draws
+   strokes, CamanJS and Normal Mapping read/write ImageData, fluidSim
+   blits a density field). The simulator keeps a real RGBA pixel
+   buffer per canvas plus a draw-call journal, and reports every
+   operation through [state.on_host_access "canvas" op] so JS-CERES can
+   attribute Canvas use to the loop nest that performed it — the
+   paper's Table 3 "DOM access" column counts Canvas as DOM-family
+   state, since neither has a concurrent implementation in browsers. *)
+
+open Interp.Value
+
+type draw_call = {
+  op : string;
+  x : float;
+  y : float;
+  w : float;
+  h : float;
+}
+
+type t = {
+  width : int;
+  height : int;
+  pixels : Bytes.t; (* RGBA, row-major *)
+  mutable fill_style : int * int * int * int;
+  mutable stroke_style : int * int * int * int;
+  mutable line_width : float;
+  mutable path : (float * float) list; (* current path points, reversed *)
+  mutable calls : draw_call list; (* reversed journal *)
+  mutable call_count : int;
+}
+
+let create ~width ~height =
+  { width;
+    height;
+    pixels = Bytes.make (width * height * 4) '\000';
+    fill_style = (0, 0, 0, 255);
+    stroke_style = (0, 0, 0, 255);
+    line_width = 1.;
+    path = [];
+    calls = [];
+    call_count = 0 }
+
+let record t op ~x ~y ~w ~h =
+  t.call_count <- t.call_count + 1;
+  (* Keep the journal bounded; counts stay exact. *)
+  if t.call_count <= 10_000 then t.calls <- { op; x; y; w; h } :: t.calls
+
+let journal t = List.rev t.calls
+let call_count t = t.call_count
+
+let parse_hex_pair s i =
+  int_of_string ("0x" ^ String.sub s i 2)
+
+(* Parse "#rrggbb", "#rgb", "rgb(r,g,b)" and "rgba(r,g,b,a)". Unknown
+   strings fall back to opaque black, as browsers do for most CSS
+   keyword colours we don't model. *)
+let parse_color s =
+  let s = String.trim (String.lowercase_ascii s) in
+  try
+    if String.length s = 7 && s.[0] = '#' then
+      (parse_hex_pair s 1, parse_hex_pair s 3, parse_hex_pair s 5, 255)
+    else if String.length s = 4 && s.[0] = '#' then
+      let c i = int_of_string (Printf.sprintf "0x%c%c" s.[i] s.[i]) in
+      (c 1, c 2, c 3, 255)
+    else if String.length s > 4 && String.sub s 0 4 = "rgb(" then begin
+      let inner = String.sub s 4 (String.length s - 5) in
+      match String.split_on_char ',' inner with
+      | [ r; g; b ] ->
+        ( int_of_string (String.trim r),
+          int_of_string (String.trim g),
+          int_of_string (String.trim b),
+          255 )
+      | _ -> (0, 0, 0, 255)
+    end
+    else if String.length s > 5 && String.sub s 0 5 = "rgba(" then begin
+      let inner = String.sub s 5 (String.length s - 6) in
+      match String.split_on_char ',' inner with
+      | [ r; g; b; a ] ->
+        ( int_of_string (String.trim r),
+          int_of_string (String.trim g),
+          int_of_string (String.trim b),
+          int_of_float (float_of_string (String.trim a) *. 255.) )
+      | _ -> (0, 0, 0, 255)
+    end
+    else (0, 0, 0, 255)
+  with _ -> (0, 0, 0, 255)
+
+let set_pixel t x y (r, g, b, a) =
+  if x >= 0 && x < t.width && y >= 0 && y < t.height then begin
+    let off = ((y * t.width) + x) * 4 in
+    Bytes.set t.pixels off (Char.chr (r land 255));
+    Bytes.set t.pixels (off + 1) (Char.chr (g land 255));
+    Bytes.set t.pixels (off + 2) (Char.chr (b land 255));
+    Bytes.set t.pixels (off + 3) (Char.chr (a land 255))
+  end
+
+let get_pixel t x y =
+  if x >= 0 && x < t.width && y >= 0 && y < t.height then begin
+    let off = ((y * t.width) + x) * 4 in
+    ( Char.code (Bytes.get t.pixels off),
+      Char.code (Bytes.get t.pixels (off + 1)),
+      Char.code (Bytes.get t.pixels (off + 2)),
+      Char.code (Bytes.get t.pixels (off + 3)) )
+  end
+  else (0, 0, 0, 0)
+
+let fill_rect t ~x ~y ~w ~h =
+  record t "fillRect" ~x ~y ~w ~h;
+  let x0 = max 0 (int_of_float x) and y0 = max 0 (int_of_float y) in
+  let x1 = min t.width (int_of_float (x +. w)) in
+  let y1 = min t.height (int_of_float (y +. h)) in
+  for py = y0 to y1 - 1 do
+    for px = x0 to x1 - 1 do
+      set_pixel t px py t.fill_style
+    done
+  done
+
+let clear_rect t ~x ~y ~w ~h =
+  record t "clearRect" ~x ~y ~w ~h;
+  let x0 = max 0 (int_of_float x) and y0 = max 0 (int_of_float y) in
+  let x1 = min t.width (int_of_float (x +. w)) in
+  let y1 = min t.height (int_of_float (y +. h)) in
+  for py = y0 to y1 - 1 do
+    for px = x0 to x1 - 1 do
+      set_pixel t px py (0, 0, 0, 0)
+    done
+  done
+
+(* Bresenham raster of the current path on [stroke]. *)
+let draw_line t (x0, y0) (x1, y1) color =
+  let x0 = int_of_float x0 and y0 = int_of_float y0 in
+  let x1 = int_of_float x1 and y1 = int_of_float y1 in
+  let dx = abs (x1 - x0) and dy = -abs (y1 - y0) in
+  let sx = if x0 < x1 then 1 else -1 in
+  let sy = if y0 < y1 then 1 else -1 in
+  let err = ref (dx + dy) in
+  let x = ref x0 and y = ref y0 in
+  let continue = ref true in
+  while !continue do
+    set_pixel t !x !y color;
+    if !x = x1 && !y = y1 then continue := false
+    else begin
+      let e2 = 2 * !err in
+      if e2 >= dy then begin
+        err := !err + dy;
+        x := !x + sx
+      end;
+      if e2 <= dx then begin
+        err := !err + dx;
+        y := !y + sy
+      end
+    end
+  done
+
+let stroke t =
+  record t "stroke" ~x:0. ~y:0. ~w:0. ~h:0.;
+  let rec segments = function
+    | a :: (b :: _ as rest) ->
+      draw_line t a b t.stroke_style;
+      segments rest
+    | _ -> ()
+  in
+  segments (List.rev t.path)
+
+(* ------------------------------------------------------------------ *)
+(* JS-facing context object                                            *)
+
+(* Contexts are looked up through a per-document registry so that
+   independent interpreter states never alias. *)
+type registry = (int, t) Hashtbl.t
+
+let make_registry () : registry = Hashtbl.create 16
+
+let context_of_reg reg st ctx_val =
+  match ctx_val with
+  | Obj o ->
+    (match Hashtbl.find_opt reg o.oid with
+     | Some t -> t
+     | None -> type_error st "not a canvas context")
+  | _ -> type_error st "not a canvas context"
+
+let touch st op = st.on_host_access "canvas" op
+
+(* Native rendering work is not free: charge the virtual clock in
+   proportion to the touched area so canvas-heavy phases show up as
+   CPU-active time, as they do in a browser. *)
+let charge st cost = Ceres_util.Vclock.advance st.clock (max 1 cost)
+
+let nth_num st args n =
+  match List.nth_opt args n with
+  | Some v -> to_number st v
+  | None -> 0.
+
+(* Build the JS object for a 2D context backed by [t]. *)
+let make_context_obj st (reg : registry) t =
+  let ctx = make_obj st in
+  ctx.host_tag <- Some "canvas-context";
+  Hashtbl.replace reg ctx.oid t;
+  let context_of st v = context_of_reg reg st v in
+  let def name fn = raw_set_prop ctx name (Obj (make_host_fn st name fn)) in
+  def "fillRect" (fun st this args ->
+      touch st "fillRect";
+      let t = context_of st this in
+      (match get_prop_obj (match this with Obj o -> o | _ -> assert false)
+               "fillStyle"
+       with
+       | Str s -> t.fill_style <- parse_color s
+       | _ -> ());
+      let w = nth_num st args 2 and h = nth_num st args 3 in
+      charge st (int_of_float (Float.abs (w *. h)) / 4);
+      fill_rect t ~x:(nth_num st args 0) ~y:(nth_num st args 1) ~w ~h;
+      Undefined);
+  def "clearRect" (fun st this args ->
+      touch st "clearRect";
+      let t = context_of st this in
+      let w = nth_num st args 2 and h = nth_num st args 3 in
+      charge st (int_of_float (Float.abs (w *. h)) / 4);
+      clear_rect t ~x:(nth_num st args 0) ~y:(nth_num st args 1) ~w ~h;
+      Undefined);
+  def "beginPath" (fun st this _ ->
+      touch st "beginPath";
+      let t = context_of st this in
+      t.path <- [];
+      Undefined);
+  def "moveTo" (fun st this args ->
+      touch st "moveTo";
+      let t = context_of st this in
+      t.path <- [ (nth_num st args 0, nth_num st args 1) ];
+      Undefined);
+  def "lineTo" (fun st this args ->
+      touch st "lineTo";
+      let t = context_of st this in
+      t.path <- (nth_num st args 0, nth_num st args 1) :: t.path;
+      Undefined);
+  def "arc" (fun st this args ->
+      touch st "arc";
+      let t = context_of st this in
+      (* Approximate the arc with 16 path segments. *)
+      let cx = nth_num st args 0 and cy = nth_num st args 1 in
+      let r = nth_num st args 2 in
+      let a0 = nth_num st args 3 and a1 = nth_num st args 4 in
+      for i = 0 to 16 do
+        let a = a0 +. ((a1 -. a0) *. float_of_int i /. 16.) in
+        t.path <- (cx +. (r *. cos a), cy +. (r *. sin a)) :: t.path
+      done;
+      record t "arc" ~x:cx ~y:cy ~w:r ~h:0.;
+      Undefined);
+  def "closePath" (fun st this _ ->
+      touch st "closePath";
+      let t = context_of st this in
+      (match List.rev t.path with
+       | first :: _ :: _ -> t.path <- first :: t.path
+       | _ -> ());
+      Undefined);
+  def "stroke" (fun st this _ ->
+      touch st "stroke";
+      let t = context_of st this in
+      (match get_prop_obj (match this with Obj o -> o | _ -> assert false)
+               "strokeStyle"
+       with
+       | Str s -> t.stroke_style <- parse_color s
+       | _ -> ());
+      charge st (8 * List.length t.path);
+      stroke t;
+      Undefined);
+  def "fill" (fun st this _ ->
+      touch st "fill";
+      let t = context_of st this in
+      record t "fill" ~x:0. ~y:0. ~w:0. ~h:0.;
+      Undefined);
+  def "save" (fun st this _ ->
+      touch st "save";
+      ignore (context_of st this);
+      Undefined);
+  def "restore" (fun st this _ ->
+      touch st "restore";
+      ignore (context_of st this);
+      Undefined);
+  def "getImageData" (fun st this args ->
+      touch st "getImageData";
+      let t = context_of st this in
+      let x = int_of_float (nth_num st args 0) in
+      let y = int_of_float (nth_num st args 1) in
+      let w = int_of_float (nth_num st args 2) in
+      let h = int_of_float (nth_num st args 3) in
+      charge st (w * h);
+      record t "getImageData" ~x:(float_of_int x) ~y:(float_of_int y)
+        ~w:(float_of_int w) ~h:(float_of_int h);
+      let data = Array.make (w * h * 4) (Num 0.) in
+      for row = 0 to h - 1 do
+        for col = 0 to w - 1 do
+          let r, g, b, a = get_pixel t (x + col) (y + row) in
+          let off = ((row * w) + col) * 4 in
+          data.(off) <- Num (float_of_int r);
+          data.(off + 1) <- Num (float_of_int g);
+          data.(off + 2) <- Num (float_of_int b);
+          data.(off + 3) <- Num (float_of_int a)
+        done
+      done;
+      let img = make_obj st in
+      raw_set_prop img "width" (Num (float_of_int w));
+      raw_set_prop img "height" (Num (float_of_int h));
+      raw_set_prop img "data" (Obj (make_array st data));
+      Obj img);
+  def "createImageData" (fun st this args ->
+      touch st "createImageData";
+      ignore (context_of st this);
+      let w = int_of_float (nth_num st args 0) in
+      let h = int_of_float (nth_num st args 1) in
+      charge st (w * h / 2);
+      let img = make_obj st in
+      raw_set_prop img "width" (Num (float_of_int w));
+      raw_set_prop img "height" (Num (float_of_int h));
+      raw_set_prop img "data"
+        (Obj (make_array st (Array.make (w * h * 4) (Num 0.))));
+      Obj img);
+  def "putImageData" (fun st this args ->
+      touch st "putImageData";
+      let t = context_of st this in
+      (match List.nth_opt args 0 with
+       | Some (Obj img) ->
+         let x = int_of_float (nth_num st args 1) in
+         let y = int_of_float (nth_num st args 2) in
+         let w = int_of_float (to_number st (get_prop_obj img "width")) in
+         let h = int_of_float (to_number st (get_prop_obj img "height")) in
+         charge st (w * h);
+         record t "putImageData" ~x:(float_of_int x) ~y:(float_of_int y)
+           ~w:(float_of_int w) ~h:(float_of_int h);
+         (match get_prop_obj img "data" with
+          | Obj { arr = Some a; _ } ->
+            let byte i =
+              if i < a.len then
+                int_of_float (to_number st a.elems.(i))
+              else 0
+            in
+            for row = 0 to h - 1 do
+              for col = 0 to w - 1 do
+                let off = ((row * w) + col) * 4 in
+                set_pixel t (x + col) (y + row)
+                  (byte off, byte (off + 1), byte (off + 2), byte (off + 3))
+              done
+            done
+          | _ -> ())
+       | _ -> ());
+      Undefined);
+  raw_set_prop ctx "fillStyle" (Str "#000000");
+  raw_set_prop ctx "strokeStyle" (Str "#000000");
+  raw_set_prop ctx "lineWidth" (Num 1.);
+  raw_set_prop ctx "globalAlpha" (Num 1.);
+  ctx

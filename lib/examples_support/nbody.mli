@@ -1,0 +1,25 @@
+(** The paper's Fig. 6 N-body walkthrough, shared by the `nbody` bench
+    section, [examples/nbody_analysis.exe] and the regression tests
+    that pin the Sec. 3.3 characterizations verbatim. *)
+
+val source : string
+(** The step/display program, laid out so the hot [for] sits at line 6
+    and the driving [while] at line 23 (approximating the listing). *)
+
+val setup : string
+(** Scene construction (particles, force stub); runs uninstrumented,
+    like browser state predating the analysis. *)
+
+type analysis = {
+  infos : Jsir.Loops.info array;
+  rt : Ceres.Runtime.t;
+  for_loop : Jsir.Ast.loop_id; (** the paper's "for(line 6)" *)
+  while_loop : Jsir.Ast.loop_id; (** the paper's "while(line 24)" *)
+}
+
+val analyze : unit -> analysis
+(** Run the example under full dependence instrumentation. *)
+
+val report : unit -> string
+(** The rendered walkthrough, including the paper's expected output for
+    comparison. *)

@@ -1,0 +1,733 @@
+(* Tree-walking evaluator for MiniJS.
+
+   Evaluation advances the state's virtual clock by a small cost per
+   operation, which is what makes the reproduction's Table 2/3 timings
+   deterministic. Analysis instrumentation reaches the evaluator only
+   through [Ast.Intrinsic] nodes, dispatched to handlers registered in
+   [state.intrinsics]; an uninstrumented program runs with zero
+   analysis overhead, mirroring the paper's staged methodology. *)
+
+open Jsir.Ast
+open Value
+
+type completion =
+  | Cnormal
+  | Creturn of value
+  | Cbreak of string option (* optional target label *)
+  | Ccontinue of string option
+
+(* Per-operation vtick costs. The absolute values are arbitrary; only
+   ratios matter for the reproduced tables. *)
+let cost_node = 1
+let cost_prop = 1
+let cost_call = 4
+let cost_alloc = 3
+
+let tick st n =
+  Ceres_util.Vclock.advance st.clock n;
+  if Int64.compare (Ceres_util.Vclock.busy st.clock) st.budget > 0 then
+    raise Budget_exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Hoisting: collect var-declared names and function declarations of a
+   function (or program) body, without descending into nested
+   functions. *)
+
+let rec hoisted_names acc stmts =
+  List.fold_left hoisted_of_stmt acc stmts
+
+and hoisted_of_stmt acc (s : stmt) =
+  match s.s with
+  | Var_decl decls -> List.fold_left (fun acc (n, _) -> n :: acc) acc decls
+  | Func_decl f ->
+    (match f.fname with Some n -> n :: acc | None -> acc)
+  | If (_, t, e) ->
+    let acc = hoisted_of_stmt acc t in
+    (match e with Some e -> hoisted_of_stmt acc e | None -> acc)
+  | While (_, _, body) | Do_while (_, body, _) -> hoisted_of_stmt acc body
+  | For (_, init, _, _, body) ->
+    let acc =
+      match init with
+      | Some (Init_var decls) ->
+        List.fold_left (fun acc (n, _) -> n :: acc) acc decls
+      | _ -> acc
+    in
+    hoisted_of_stmt acc body
+  | For_in (_, binder, _, body) ->
+    let acc =
+      match binder with Binder_var n -> n :: acc | Binder_ident _ -> acc
+    in
+    hoisted_of_stmt acc body
+  | Try (body, catch, finally) ->
+    let acc = hoisted_names acc body in
+    let acc =
+      match catch with Some (_, cb) -> hoisted_names acc cb | None -> acc
+    in
+    (match finally with Some fb -> hoisted_names acc fb | None -> acc)
+  | Block body -> hoisted_names acc body
+  | Switch (_, cases) ->
+    List.fold_left (fun acc (_, body) -> hoisted_names acc body) acc cases
+  | Labeled (_, body) -> hoisted_of_stmt acc body
+  | Expr_stmt _ | Return _ | Break _ | Continue _ | Throw _ | Empty -> acc
+
+let rec function_decls acc stmts =
+  List.fold_left
+    (fun acc (s : stmt) ->
+       match s.s with
+       | Func_decl f -> f :: acc
+       | Block body -> function_decls acc body
+       | Labeled (_, body) -> function_decls acc [ body ]
+       | If (_, t, e) ->
+         let acc = function_decls acc [ t ] in
+         (match e with Some e -> function_decls acc [ e ] | None -> acc)
+       | _ -> acc)
+    acc stmts
+
+(* ------------------------------------------------------------------ *)
+
+let make_closure st scope (f : func) =
+  let fo = make_function st (Closure { fn = f; captured = scope }) in
+  (* Give every closure a fresh [prototype] for [new]. *)
+  let proto_obj = make_obj st in
+  raw_set_prop proto_obj "constructor" (Obj fo);
+  raw_set_prop fo "prototype" (Obj proto_obj);
+  raw_set_prop fo "length" (Num (float_of_int (List.length f.params)));
+  (match f.fname with
+   | Some n -> raw_set_prop fo "name" (Str n)
+   | None -> ());
+  fo
+
+let hoist_into st scope stmts =
+  let names = hoisted_names [] stmts in
+  List.iter (declare scope) names;
+  (* Function declarations are initialised at scope entry. *)
+  let decls = List.rev (function_decls [] stmts) in
+  List.iter
+    (fun (f : func) ->
+       match f.fname with
+       | Some n -> set_var st scope n (Obj (make_closure st scope f))
+       | None -> ())
+    decls
+
+(* Property access on arbitrary values. *)
+let get_prop st v key =
+  tick st cost_prop;
+  match v with
+  | Obj o -> get_prop_obj o key
+  | Str s ->
+    if String.equal key "length" then Num (float_of_int (String.length s))
+    else
+      (match array_index_of_key key with
+       | Some i when i < String.length s -> Str (String.make 1 s.[i])
+       | Some _ -> Undefined
+       | None -> get_prop_obj st.string_proto key)
+  | Num _ -> get_prop_obj st.number_proto key
+  | Bool _ -> get_prop_obj st.object_proto key
+  | Undefined | Null ->
+    type_error st
+      (Printf.sprintf "cannot read property %S of %s" key (type_of v))
+
+let set_prop st v key value =
+  tick st cost_prop;
+  match v with
+  | Obj o ->
+    (* Writing a DOM element property (innerHTML, textContent, style
+       members, ...) mutates browser state: report it as DOM traffic. *)
+    if o.host_tag = Some "element" then st.on_host_access "dom" ("set " ^ key);
+    set_prop_obj o key value
+  | Undefined | Null ->
+    type_error st
+      (Printf.sprintf "cannot set property %S of %s" key (type_of v))
+  | _ -> () (* writes to primitives are silently dropped, as in JS *)
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                               *)
+
+let rec call st (callee : value) (this : value) (args : value list) : value =
+  tick st cost_call;
+  match callee with
+  | Obj ({ call = Some c; _ } as fo) ->
+    st.call_depth <- st.call_depth + 1;
+    if st.call_depth > st.max_call_depth then begin
+      st.call_depth <- st.call_depth - 1;
+      throw_error st "RangeError" "maximum call stack size exceeded"
+    end;
+    let result =
+      Fun.protect
+        ~finally:(fun () -> st.call_depth <- st.call_depth - 1)
+        (fun () ->
+           match c with
+           | Host (name, fn) ->
+             st.on_call_enter (Some name);
+             Fun.protect
+               ~finally:(fun () -> st.on_call_exit ())
+               (fun () -> fn st this args)
+           | Closure { fn; captured } ->
+             st.on_call_enter fn.fname;
+             Fun.protect
+               ~finally:(fun () -> st.on_call_exit ())
+               (fun () -> call_closure st fo fn captured this args))
+    in
+    result
+  | _ -> type_error st (type_of callee ^ " is not a function")
+
+and call_closure st fo (fn : func) captured this args =
+  (* A named function expression sees its own name. *)
+  let base =
+    match fn.fname with
+    | Some name when lookup_cell captured name = None ->
+      let wrapper = fresh_scope st (Some captured) in
+      declare wrapper name;
+      (match Hashtbl.find_opt wrapper.vars name with
+       | Some cell -> cell.v <- Obj fo
+       | None -> ());
+      wrapper
+    | _ -> captured
+  in
+  let scope = fresh_scope st (Some base) in
+  let rec bind params args =
+    match params, args with
+    | [], _ -> ()
+    | p :: ps, [] ->
+      declare scope p;
+      bind ps []
+    | p :: ps, a :: rest ->
+      declare scope p;
+      (match Hashtbl.find_opt scope.vars p with
+       | Some cell -> cell.v <- a
+       | None -> ());
+      bind ps rest
+  in
+  bind fn.params args;
+  (* [arguments] array, used by a couple of workloads. *)
+  declare scope "arguments";
+  (match Hashtbl.find_opt scope.vars "arguments" with
+   | Some cell -> cell.v <- Obj (make_array st (Array.of_list args))
+   | None -> ());
+  hoist_into st scope fn.body;
+  match exec_stmts st scope this fn.body with
+  | Creturn v -> v
+  | Cnormal -> Undefined
+  | Cbreak _ | Ccontinue _ ->
+    type_error st "break/continue escaped function body"
+
+and construct st (callee : value) (args : value list) : value =
+  match callee with
+  | Obj ({ call = Some _; _ } as fo) ->
+    tick st cost_alloc;
+    let proto =
+      match raw_get_own fo "prototype" with
+      | Some (Obj p) -> Some p
+      | _ -> Some st.object_proto
+    in
+    let obj = make_obj ~proto st in
+    (match call st callee (Obj obj) args with
+     | Obj _ as result -> result
+     | _ -> Obj obj)
+  | _ -> type_error st (type_of callee ^ " is not a constructor")
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+and eval st scope this (e : expr) : value =
+  tick st cost_node;
+  match e.e with
+  | Number f -> Num f
+  | String s -> Str s
+  | Bool b -> Bool b
+  | Null -> Null
+  | Undefined -> Undefined
+  | This -> this
+  | Ident name -> get_var st scope name
+  | Array_lit elems ->
+    tick st cost_alloc;
+    let values = List.map (eval st scope this) elems in
+    Obj (make_array st (Array.of_list values))
+  | Object_lit props ->
+    tick st cost_alloc;
+    let o = make_obj st in
+    List.iter
+      (fun (k, ve) -> raw_set_prop o k (eval st scope this ve))
+      props;
+    Obj o
+  | Function_expr f ->
+    tick st cost_alloc;
+    Obj (make_closure st scope f)
+  | Member (oe, field) ->
+    let base = eval st scope this oe in
+    get_prop st base field
+  | Index (oe, ie) ->
+    let base = eval st scope this oe in
+    let idx = eval st scope this ie in
+    get_prop st base (to_string st idx)
+  | Call (callee_e, arg_es) ->
+    (* Method calls bind [this] to the receiver. *)
+    (match callee_e.e with
+     | Member (oe, field) ->
+       let base = eval st scope this oe in
+       let fn = get_prop st base field in
+       let args = List.map (eval st scope this) arg_es in
+       st.on_call_site e.at.left.line fn (List.length args);
+       call st fn base args
+     | Index (oe, ie) ->
+       let base = eval st scope this oe in
+       let idx = eval st scope this ie in
+       let fn = get_prop st base (to_string st idx) in
+       let args = List.map (eval st scope this) arg_es in
+       st.on_call_site e.at.left.line fn (List.length args);
+       call st fn base args
+     | _ ->
+       let fn = eval st scope this callee_e in
+       let args = List.map (eval st scope this) arg_es in
+       st.on_call_site e.at.left.line fn (List.length args);
+       call st fn (Obj st.global_obj) args)
+  | New (callee_e, arg_es) ->
+    let fn = eval st scope this callee_e in
+    let args = List.map (eval st scope this) arg_es in
+    construct st fn args
+  | Unop (op, operand) -> eval_unop st scope this op operand
+  | Binop (op, l, r) ->
+    let lv = eval st scope this l in
+    let rv = eval st scope this r in
+    eval_binop st op lv rv
+  | Logical (And, l, r) ->
+    let lv = eval st scope this l in
+    if to_boolean lv then eval st scope this r else lv
+  | Logical (Or, l, r) ->
+    let lv = eval st scope this l in
+    if to_boolean lv then lv else eval st scope this r
+  | Cond (c, t, f) ->
+    if to_boolean (eval st scope this c) then eval st scope this t
+    else eval st scope this f
+  | Assign (tgt, None, rhs) ->
+    let r = eval_ref st scope this tgt in
+    let v = eval st scope this rhs in
+    write_ref st scope r v;
+    v
+  | Assign (tgt, Some op, rhs) ->
+    let r = eval_ref st scope this tgt in
+    let old_v = read_ref st scope r in
+    let rhs_v = eval st scope this rhs in
+    let v = eval_binop st op old_v rhs_v in
+    write_ref st scope r v;
+    v
+  | Update (kind, prefix, tgt) ->
+    let r = eval_ref st scope this tgt in
+    let old_n = to_number st (read_ref st scope r) in
+    let new_n = match kind with Incr -> old_n +. 1. | Decr -> old_n -. 1. in
+    write_ref st scope r (Num new_n);
+    Num (if prefix then new_n else old_n)
+  | Seq (l, r) ->
+    ignore (eval st scope this l);
+    eval st scope this r
+  | Intrinsic (name, args) ->
+    (match Hashtbl.find_opt st.intrinsics name with
+     | Some handler -> handler st scope this args
+     | None ->
+       type_error st (Printf.sprintf "unknown intrinsic %s" name))
+
+(* A reference: either a variable or an (object, key) slot. Evaluating
+   the reference once and reusing it gives compound assignments and
+   updates single-evaluation semantics. *)
+and eval_ref st scope this (tgt : target) =
+  match tgt with
+  | Tgt_ident name -> `Var name
+  | Tgt_member (oe, field) ->
+    let base = eval st scope this oe in
+    `Slot (base, field)
+  | Tgt_index (oe, ie) ->
+    let base = eval st scope this oe in
+    let idx = eval st scope this ie in
+    `Slot (base, to_string st idx)
+
+and read_ref st scope = function
+  | `Var name -> get_var st scope name
+  | `Slot (base, key) -> get_prop st base key
+
+and write_ref st scope = function
+  | `Var name -> fun v -> set_var st scope name v
+  | `Slot (base, key) -> fun v -> set_prop st base key v
+
+and eval_unop st scope this op operand =
+  match op with
+  | Typeof ->
+    (* typeof of an undeclared variable must not throw. *)
+    (match operand.e with
+     | Ident name ->
+       (match lookup_cell scope name with
+        | Some cell -> Str (type_of cell.v)
+        | None ->
+          if has_prop_obj st.global_obj name then
+            Str (type_of (get_prop_obj st.global_obj name))
+          else Str "undefined")
+     | _ -> Str (type_of (eval st scope this operand)))
+  | Delete ->
+    (match operand.e with
+     | Member (oe, field) ->
+       (match eval st scope this oe with
+        | Obj o -> Bool (raw_delete_prop o field)
+        | _ -> Bool true)
+     | Index (oe, ie) ->
+       let base = eval st scope this oe in
+       let key = to_string st (eval st scope this ie) in
+       (match base with
+        | Obj o ->
+          (match o.arr, array_index_of_key key with
+           | Some a, Some i when i < a.len ->
+             a.elems.(i) <- Undefined;
+             Bool true
+           | _ -> Bool (raw_delete_prop o key))
+        | _ -> Bool true)
+     | _ -> Bool true)
+  | Neg -> Num (-.to_number st (eval st scope this operand))
+  | Positive -> Num (to_number st (eval st scope this operand))
+  | Not -> Bool (not (to_boolean (eval st scope this operand)))
+  | Bitnot ->
+    Num (Int32.to_float (Int32.lognot (to_int32 st (eval st scope this operand))))
+  | Void ->
+    ignore (eval st scope this operand);
+    Undefined
+
+and eval_binop st op lv rv =
+  match op with
+  | Add ->
+    let lp = to_primitive st lv and rp = to_primitive st rv in
+    (match lp, rp with
+     | Str _, _ | _, Str _ -> Str (to_string st lp ^ to_string st rp)
+     | _ -> Num (to_number st lp +. to_number st rp))
+  | Sub -> Num (to_number st lv -. to_number st rv)
+  | Mul -> Num (to_number st lv *. to_number st rv)
+  | Div -> Num (to_number st lv /. to_number st rv)
+  | Mod -> Num (Float.rem (to_number st lv) (to_number st rv))
+  | Eq -> Bool (abstract_eq st lv rv)
+  | Neq -> Bool (not (abstract_eq st lv rv))
+  | Strict_eq -> Bool (strict_eq lv rv)
+  | Strict_neq -> Bool (not (strict_eq lv rv))
+  | Lt | Le | Gt | Ge ->
+    let lp = to_primitive st lv and rp = to_primitive st rv in
+    (match lp, rp with
+     | Str a, Str b ->
+       let c = String.compare a b in
+       Bool
+         (match op with
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+          | _ -> assert false)
+     | _ ->
+       let a = to_number st lp and b = to_number st rp in
+       if Float.is_nan a || Float.is_nan b then Bool false
+       else
+         Bool
+           (match op with
+            | Lt -> a < b
+            | Le -> a <= b
+            | Gt -> a > b
+            | Ge -> a >= b
+            | _ -> assert false))
+  | Band ->
+    Num (Int32.to_float (Int32.logand (to_int32 st lv) (to_int32 st rv)))
+  | Bor ->
+    Num (Int32.to_float (Int32.logor (to_int32 st lv) (to_int32 st rv)))
+  | Bxor ->
+    Num (Int32.to_float (Int32.logxor (to_int32 st lv) (to_int32 st rv)))
+  | Lshift ->
+    let shift = to_uint32 st rv land 31 in
+    Num (Int32.to_float (Int32.shift_left (to_int32 st lv) shift))
+  | Rshift ->
+    let shift = to_uint32 st rv land 31 in
+    Num (Int32.to_float (Int32.shift_right (to_int32 st lv) shift))
+  | Urshift ->
+    let shift = to_uint32 st rv land 31 in
+    Num (float_of_int ((to_uint32 st lv) lsr shift))
+  | Instanceof ->
+    (match rv with
+     | Obj fo when fo.call <> None ->
+       (match raw_get_own fo "prototype", lv with
+        | Some (Obj proto), Obj o ->
+          let rec walk = function
+            | None -> false
+            | Some p -> p.oid = proto.oid || walk p.proto
+          in
+          Bool (walk o.proto)
+        | _ -> Bool false)
+     | _ -> type_error st "right-hand side of instanceof is not callable")
+  | In ->
+    (match rv with
+     | Obj o -> Bool (has_prop_obj o (to_string st lv))
+     | _ -> type_error st "right-hand side of 'in' is not an object")
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+and exec_stmts st scope this stmts : completion =
+  let rec go = function
+    | [] -> Cnormal
+    | s :: rest ->
+      (match exec_stmt st scope this s with
+       | Cnormal -> go rest
+       | other -> other)
+  in
+  go stmts
+
+(* Does a break/continue completion target this loop? [None] targets
+   the innermost loop; a label targets the loop carrying it. *)
+and exec_stmt st scope this (s : stmt) : completion =
+  exec_stmt_labeled st scope this ~label:None s
+
+and exec_stmt_labeled st scope this ~label (s : stmt) : completion =
+  let for_me = function None -> true | Some l -> label = Some l in
+  ignore for_me;
+  tick st cost_node;
+  match s.s with
+  | Empty -> Cnormal
+  | Expr_stmt e ->
+    ignore (eval st scope this e);
+    Cnormal
+  | Var_decl decls ->
+    List.iter
+      (fun (name, init) ->
+         declare scope name;
+         match init with
+         | None -> ()
+         | Some e ->
+           let v = eval st scope this e in
+           set_var st scope name v)
+      decls;
+    Cnormal
+  | Func_decl _ -> Cnormal (* bound during hoisting *)
+  | If (cond, then_s, else_s) ->
+    if to_boolean (eval st scope this cond) then exec_stmt st scope this then_s
+    else (
+      match else_s with
+      | Some s -> exec_stmt st scope this s
+      | None -> Cnormal)
+  | While (_, cond, body) ->
+    let rec loop () =
+      if to_boolean (eval st scope this cond) then
+        match exec_stmt st scope this body with
+        | Cnormal -> loop ()
+        | Ccontinue l when for_me l -> loop ()
+        | Cbreak l when for_me l -> Cnormal
+        | (Creturn _ | Cbreak _ | Ccontinue _) as r -> r
+      else Cnormal
+    in
+    loop ()
+  | Do_while (_, body, cond) ->
+    let rec loop () =
+      match exec_stmt st scope this body with
+      | Cnormal ->
+        if to_boolean (eval st scope this cond) then loop () else Cnormal
+      | Ccontinue l when for_me l ->
+        if to_boolean (eval st scope this cond) then loop () else Cnormal
+      | Cbreak l when for_me l -> Cnormal
+      | (Creturn _ | Cbreak _ | Ccontinue _) as r -> r
+    in
+    loop ()
+  | For (_, init, cond, update, body) ->
+    (match init with
+     | None -> ()
+     | Some (Init_expr e) -> ignore (eval st scope this e)
+     | Some (Init_var decls) ->
+       List.iter
+         (fun (name, ie) ->
+            declare scope name;
+            match ie with
+            | None -> ()
+            | Some e -> set_var st scope name (eval st scope this e))
+         decls);
+    let test () =
+      match cond with
+      | None -> true
+      | Some c -> to_boolean (eval st scope this c)
+    in
+    let step () =
+      match update with
+      | None -> ()
+      | Some u -> ignore (eval st scope this u)
+    in
+    let rec loop () =
+      if test () then
+        match exec_stmt st scope this body with
+        | Cnormal ->
+          step ();
+          loop ()
+        | Ccontinue l when for_me l ->
+          step ();
+          loop ()
+        | Cbreak l when for_me l -> Cnormal
+        | (Creturn _ | Cbreak _ | Ccontinue _) as r -> r
+      else Cnormal
+    in
+    loop ()
+  | For_in (_, binder, obj_e, body) ->
+    let keys =
+      match eval st scope this obj_e with
+      | Obj o -> own_keys o
+      | _ -> []
+    in
+    let name =
+      match binder with
+      | Binder_var n ->
+        declare scope n;
+        n
+      | Binder_ident n -> n
+    in
+    let rec loop = function
+      | [] -> Cnormal
+      | k :: rest ->
+        set_var st scope name (Str k);
+        (match exec_stmt st scope this body with
+         | Cnormal -> loop rest
+         | Ccontinue l when for_me l -> loop rest
+         | Cbreak l when for_me l -> Cnormal
+         | (Creturn _ | Cbreak _ | Ccontinue _) as r -> r)
+    in
+    loop keys
+  | Return e ->
+    let v = match e with None -> Undefined | Some e -> eval st scope this e in
+    Creturn v
+  | Break l -> Cbreak l
+  | Continue l -> Ccontinue l
+  | Throw e ->
+    let v = eval st scope this e in
+    raise (Js_throw v)
+  | Try (body, catch, finally) ->
+    let run_finally () =
+      match finally with
+      | None -> Cnormal
+      | Some fb -> exec_stmts st scope this fb
+    in
+    let result =
+      try `Completion (exec_stmts st scope this body) with
+      | Js_throw v ->
+        (match catch with
+         | Some (name, cbody) ->
+           declare scope name;
+           set_var st scope name v;
+           (try `Completion (exec_stmts st scope this cbody)
+            with Js_throw v2 -> `Exn v2)
+         | None -> `Exn v)
+    in
+    (* finally runs on every path; its abrupt completion wins. *)
+    (match run_finally () with
+     | Cnormal ->
+       (match result with
+        | `Completion c -> c
+        | `Exn v -> raise (Js_throw v))
+     | abrupt -> abrupt)
+  | Block body -> exec_stmts st scope this body
+  | Switch (scrutinee_e, cases) ->
+    let v = eval st scope this scrutinee_e in
+    let rec find_match = function
+      | [] -> None
+      | (Some guard, _) :: rest ->
+        if strict_eq v (eval st scope this guard) then
+          Some (List.length rest)
+        else find_match rest
+      | (None, _) :: rest -> find_match rest
+    in
+    let start_from_end =
+      match find_match cases with
+      | Some n -> Some n
+      | None ->
+        let rec find_default = function
+          | [] -> None
+          | (None, _) :: rest -> Some (List.length rest)
+          | _ :: rest -> find_default rest
+        in
+        find_default cases
+    in
+    (match start_from_end with
+     | None -> Cnormal
+     | Some from_end ->
+       let total = List.length cases in
+       let selected = List.filteri (fun i _ -> i >= total - from_end - 1) cases in
+       let rec run = function
+         | [] -> Cnormal
+         | (_, body) :: rest ->
+           (match exec_stmts st scope this body with
+            | Cnormal -> run rest
+            | Cbreak None -> Cnormal
+            | other -> other)
+       in
+       run selected)
+  | Labeled (name, body) ->
+    (* attach the label to a directly labeled loop so [continue name]
+       works; [break name] exits any labeled statement *)
+    let result =
+      match body.s with
+      | While _ | Do_while _ | For _ | For_in _ ->
+        exec_stmt_labeled st scope this ~label:(Some name) body
+      | _ -> exec_stmt st scope this body
+    in
+    (match result with
+     | Cbreak (Some l) when l = name -> Cnormal
+     | other -> other)
+
+(* ------------------------------------------------------------------ *)
+(* State construction and program execution                            *)
+
+let default_budget = Int64.of_string "2_000_000_000_000"
+
+let create ?(seed = 20150207) ?(budget = default_budget)
+    ?(ticks_per_ms = 100_000) () : state =
+  let clock = Ceres_util.Vclock.create ~ticks_per_ms () in
+  let prng = Ceres_util.Prng.of_int seed in
+  (* Bootstrapping: build a provisional record with placeholder protos,
+     then tie the knot. *)
+  let dummy_obj =
+    { oid = -1; props = Hashtbl.create 1; key_order = []; proto = None;
+      call = None; arr = None; host_tag = None }
+  in
+  let st =
+    { clock;
+      prng;
+      global_scope = { sid = 0; vars = Hashtbl.create 64; parent = None };
+      global_obj = dummy_obj;
+      object_proto = dummy_obj;
+      array_proto = dummy_obj;
+      function_proto = dummy_obj;
+      string_proto = dummy_obj;
+      number_proto = dummy_obj;
+      error_proto = dummy_obj;
+      next_oid = 1;
+      next_sid = 1;
+      call_depth = 0;
+      max_call_depth = 2000;
+      budget;
+      console = [];
+      echo_console = false;
+      intrinsics = Hashtbl.create 32;
+      on_scope_create = (fun _ -> ());
+      on_call_enter = (fun _ -> ());
+      on_call_exit = (fun () -> ());
+      on_host_access = (fun _ _ -> ());
+      on_call_site = (fun _ _ _ -> ());
+      apply = (fun _ _ _ _ -> Undefined);
+      events = [];
+      next_event_seq = 0 }
+  in
+  let object_proto =
+    { oid = 0; props = Hashtbl.create 16; key_order = []; proto = None;
+      call = None; arr = None; host_tag = None }
+  in
+  st.object_proto <- object_proto;
+  st.array_proto <- make_obj ~proto:(Some object_proto) st;
+  st.function_proto <- make_obj ~proto:(Some object_proto) st;
+  st.string_proto <- make_obj ~proto:(Some object_proto) st;
+  st.number_proto <- make_obj ~proto:(Some object_proto) st;
+  st.error_proto <- make_obj ~proto:(Some object_proto) st;
+  st.global_obj <- make_obj ~proto:(Some object_proto) st;
+  st.apply <- (fun st fn this args -> call st fn this args);
+  st
+
+let run_program st (p : program) : unit =
+  hoist_into st st.global_scope p.stmts;
+  match exec_stmts st st.global_scope (Obj st.global_obj) p.stmts with
+  | Cnormal | Creturn _ -> ()
+  | Cbreak _ | Ccontinue _ -> type_error st "break/continue at top level"
+
+let eval_in_global st (e : expr) : value =
+  eval st st.global_scope (Obj st.global_obj) e

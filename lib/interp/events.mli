@@ -1,0 +1,26 @@
+(** Browser-style event loop.
+
+    JavaScript in a page runs as a sequence of turns — timer callbacks,
+    animation frames, dispatched input events. Between turns the
+    virtual clock advances as *idle* time, which is how Table 2
+    distinguishes an application's total session time from the time the
+    CPU is actually active. *)
+
+val schedule_value :
+  Value.state -> delay_ms:float -> Value.value -> Value.value list -> int
+(** Queue a callback with arguments at [now + delay_ms]; returns the
+    timer id ([clearTimeout]-compatible). *)
+
+val pending : Value.state -> int
+(** Number of queued events. *)
+
+val run_until : Value.state -> until_ms:float -> int
+(** Run events in due order until the virtual clock passes [until_ms]
+    (absolute, from time zero) or the queue drains; events scheduled by
+    running callbacks participate. Idle time is inserted between
+    events, and the clock is padded to the window edge at the end.
+    Returns the number of events run. *)
+
+val drain : Value.state -> int
+(** Run every pending event regardless of the window; for tests and the
+    CLI. *)

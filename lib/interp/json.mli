@@ -1,0 +1,17 @@
+(** JSON builtin: [JSON.stringify] and [JSON.parse].
+
+    ECMAScript semantics for the common cases: [undefined] and
+    functions are dropped from objects and become [null] in arrays,
+    non-finite numbers stringify as [null], cyclic structures throw a
+    TypeError, and [parse] rejects trailing input with a SyntaxError. *)
+
+val install : Value.state -> unit
+(** Installed by {!Builtins.install}. *)
+
+val stringify_value :
+  Value.state -> seen:int list -> Value.value -> string option
+(** [None] for values JSON omits (undefined, functions).
+    @raise Cycle on cyclic structures (internal; the JS-facing
+    [JSON.stringify] converts it to a TypeError). *)
+
+exception Cycle

@@ -1,0 +1,410 @@
+(* Runtime values for the MiniJS interpreter.
+
+   The representation follows JavaScript's object model closely enough
+   for the paper's analysis to be meaningful:
+   - objects are mutable property maps with a prototype link;
+   - arrays are objects with a dense element store and a live [length];
+   - functions are objects with an attached callable (closure or host
+     function), so they can carry properties ([prototype] in
+     particular) and be constructed with [new];
+   - every object carries a unique [oid]; JS-CERES keys its
+     creation-site stamps and per-property write snapshots on it.
+
+   Scopes implement [var] function scoping: one {!scope} per function
+   invocation (plus the global scope), each with a unique [sid] that
+   the dependence analysis stamps at creation. *)
+
+type value =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Undefined
+  | Null
+  | Obj of obj
+
+and obj = {
+  oid : int;
+  props : (string, value) Hashtbl.t;
+  mutable key_order : string list; (* reversed insertion order *)
+  mutable proto : obj option;
+  mutable call : callable option;
+  mutable arr : arr_data option;
+  mutable host_tag : string option;
+      (* host-object discriminator, e.g. "canvas-context" *)
+}
+
+and arr_data = { mutable elems : value array; mutable len : int }
+
+and callable =
+  | Closure of closure
+  | Host of string * host_fn
+
+and closure = { fn : Jsir.Ast.func; captured : scope }
+
+and host_fn = state -> value -> value list -> value
+(* state, this, arguments *)
+
+and scope = {
+  sid : int;
+  vars : (string, cell) Hashtbl.t;
+  parent : scope option;
+}
+
+and cell = { mutable v : value }
+
+and state = {
+  clock : Ceres_util.Vclock.t;
+  prng : Ceres_util.Prng.t;
+  mutable global_scope : scope;
+  mutable global_obj : obj;
+  mutable object_proto : obj;
+  mutable array_proto : obj;
+  mutable function_proto : obj;
+  mutable string_proto : obj;
+  mutable number_proto : obj;
+  mutable error_proto : obj;
+  mutable next_oid : int;
+  mutable next_sid : int;
+  mutable call_depth : int;
+  max_call_depth : int;
+  mutable budget : int64; (* max busy vticks; raise Budget_exhausted past it *)
+  mutable console : string list; (* reversed log of console output *)
+  mutable echo_console : bool;
+  intrinsics : (string, intrinsic) Hashtbl.t;
+  (* instrumentation and embedding hooks *)
+  mutable on_scope_create : scope -> unit;
+  mutable on_call_enter : string option -> unit;
+  mutable on_call_exit : unit -> unit;
+  mutable on_host_access : string -> string -> unit;
+      (* category (e.g. "dom"), operation *)
+  mutable on_call_site : int -> value -> int -> unit;
+      (* source line of a call site, callee value, argument count *)
+  mutable apply : state -> value -> value -> value list -> value;
+      (* callback into the evaluator, installed by [Eval.create] *)
+  mutable events : event list; (* pending timer queue, kept sorted *)
+  mutable next_event_seq : int;
+}
+
+and intrinsic = state -> scope -> value -> Jsir.Ast.expr list -> value
+(* state, lexical scope, this, UNevaluated argument expressions: the
+   analysis runtime controls evaluation order so wrapped operations
+   evaluate their operands exactly once. *)
+
+and event = {
+  due : int64; (* vclock time, in vticks *)
+  seq : int;
+  callback : value;
+  args : value list;
+}
+
+exception Js_throw of value
+(** A JavaScript exception in flight ([throw] / host-raised errors). *)
+
+exception Budget_exhausted
+(** The interpreter exceeded its busy-tick budget. *)
+
+let type_of = function
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Bool _ -> "boolean"
+  | Undefined -> "undefined"
+  | Null -> "object"
+  | Obj o -> if o.call <> None then "function" else "object"
+
+(* ------------------------------------------------------------------ *)
+(* Object primitives                                                   *)
+
+let fresh_oid st =
+  let oid = st.next_oid in
+  st.next_oid <- st.next_oid + 1;
+  oid
+
+let make_obj ?proto st =
+  { oid = fresh_oid st;
+    props = Hashtbl.create 8;
+    key_order = [];
+    proto = (match proto with Some p -> p | None -> Some st.object_proto);
+    call = None;
+    arr = None;
+    host_tag = None }
+
+let make_array st values =
+  let o = make_obj ~proto:(Some st.array_proto) st in
+  let n = Array.length values in
+  let cap = max 8 n in
+  let elems = Array.make cap Undefined in
+  Array.blit values 0 elems 0 n;
+  o.arr <- Some { elems; len = n };
+  o
+
+let make_function st call =
+  let o = make_obj ~proto:(Some st.function_proto) st in
+  o.call <- Some call;
+  o
+
+let make_host_fn st name fn = make_function st (Host (name, fn))
+
+let is_array o = o.arr <> None
+
+let array_index_of_key key =
+  match int_of_string_opt key with
+  | Some i when i >= 0 && string_of_int i = key -> Some i
+  | _ -> None
+
+let raw_set_prop o key v =
+  if not (Hashtbl.mem o.props key) then o.key_order <- key :: o.key_order;
+  Hashtbl.replace o.props key v
+
+let raw_get_own o key = Hashtbl.find_opt o.props key
+
+let raw_delete_prop o key =
+  if Hashtbl.mem o.props key then begin
+    Hashtbl.remove o.props key;
+    o.key_order <- List.filter (fun k -> not (String.equal k key)) o.key_order;
+    true
+  end
+  else true (* deleting a missing property succeeds in JS *)
+
+let own_keys o =
+  let named = List.rev o.key_order in
+  match o.arr with
+  | None -> named
+  | Some a ->
+    let idx = List.init a.len string_of_int in
+    idx @ named
+
+(* Grow an array store to hold index [i]. *)
+let ensure_capacity a i =
+  let cap = Array.length a.elems in
+  if i >= cap then begin
+    let ncap = max (i + 1) (max 8 (2 * cap)) in
+    let elems = Array.make ncap Undefined in
+    Array.blit a.elems 0 elems 0 a.len;
+    a.elems <- elems
+  end
+
+let array_set_length a n =
+  if n < a.len then begin
+    (* truncate, clearing dropped slots so they can be collected *)
+    for i = n to a.len - 1 do
+      a.elems.(i) <- Undefined
+    done;
+    a.len <- n
+  end
+  else if n > a.len then begin
+    ensure_capacity a (n - 1);
+    a.len <- n
+  end
+
+(* Prototype-chain property lookup on a bare object. *)
+let rec get_prop_obj o key =
+  match o.arr, array_index_of_key key with
+  | Some a, Some i ->
+    if i < a.len then a.elems.(i)
+    else lookup_chain o key
+  | Some a, None when String.equal key "length" -> Num (float_of_int a.len)
+  | _ -> lookup_chain o key
+
+and lookup_chain o key =
+  match raw_get_own o key with
+  | Some v -> v
+  | None ->
+    (match o.proto with
+     | Some p -> get_prop_obj p key
+     | None -> Undefined)
+
+let set_prop_obj o key v =
+  match o.arr, array_index_of_key key with
+  | Some a, Some i ->
+    ensure_capacity a i;
+    a.elems.(i) <- v;
+    if i >= a.len then a.len <- i + 1
+  | Some a, None when String.equal key "length" ->
+    (match v with
+     | Num f when Float.is_integer f && f >= 0. ->
+       array_set_length a (int_of_float f)
+     | _ -> raise (Js_throw (Str "Invalid array length")))
+  | _ -> raw_set_prop o key v
+
+let has_prop_obj o key =
+  let rec chain o =
+    Hashtbl.mem o.props key
+    || (match o.proto with Some p -> chain p | None -> false)
+  in
+  (match o.arr, array_index_of_key key with
+   | Some a, Some i -> i < a.len
+   | Some _, None when String.equal key "length" -> true
+   | _ -> false)
+  || chain o
+
+(* ------------------------------------------------------------------ *)
+(* Coercions                                                           *)
+
+let to_boolean = function
+  | Bool b -> b
+  | Num f -> not (f = 0. || Float.is_nan f)
+  | Str s -> String.length s > 0
+  | Undefined | Null -> false
+  | Obj _ -> true
+
+let number_of_string s =
+  let s = String.trim s in
+  if s = "" then 0.
+  else
+    match float_of_string_opt s with
+    | Some f -> f
+    | None ->
+      (* JS also accepts 0x literals; float_of_string already does. *)
+      Float.nan
+
+(* String conversion may need to call a user [toString]; the [st]
+   parameter provides [apply] for that. *)
+let rec to_string st v =
+  match v with
+  | Str s -> s
+  | Num f -> Jsir.Printer.number_to_string f
+  | Bool b -> if b then "true" else "false"
+  | Undefined -> "undefined"
+  | Null -> "null"
+  | Obj o ->
+    (match get_prop_obj o "toString" with
+     | Obj f when f.call <> None ->
+       (match st.apply st (Obj f) v [] with
+        | Obj _ -> default_obj_string st o
+        | prim -> to_string st prim)
+     | _ -> default_obj_string st o)
+
+and default_obj_string st o =
+  match o.arr with
+  | Some a ->
+    let parts =
+      List.init a.len (fun i ->
+          match a.elems.(i) with
+          | Undefined | Null -> ""
+          | v -> to_string st v)
+    in
+    String.concat "," parts
+  | None -> if o.call <> None then "function () { [code] }" else "[object Object]"
+
+let to_number st v =
+  match v with
+  | Num f -> f
+  | Bool b -> if b then 1. else 0.
+  | Str s -> number_of_string s
+  | Null -> 0.
+  | Undefined -> Float.nan
+  | Obj _ -> number_of_string (to_string st v)
+
+(* ToPrimitive with default hint, as needed by [+] and [==]. *)
+let to_primitive st v =
+  match v with
+  | Obj _ -> Str (to_string st v)
+  | prim -> prim
+
+let two_pow_32 = 4294967296.
+
+let to_int32 st v =
+  let f = to_number st v in
+  if Float.is_nan f || Float.abs f = Float.infinity then 0l
+  else begin
+    let m = Float.rem (Float.trunc f) two_pow_32 in
+    let m = if m < 0. then m +. two_pow_32 else m in
+    let m = if m >= two_pow_32 /. 2. then m -. two_pow_32 else m in
+    Int32.of_float m
+  end
+
+let to_uint32 st v =
+  let f = to_number st v in
+  if Float.is_nan f || Float.abs f = Float.infinity then 0
+  else begin
+    let m = Float.rem (Float.trunc f) two_pow_32 in
+    let m = if m < 0. then m +. two_pow_32 else m in
+    int_of_float m
+  end
+
+(* Abstract equality (==), covering the coercion lattice our workloads
+   exercise. *)
+let rec abstract_eq st a b =
+  match a, b with
+  | Num x, Num y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Undefined, Undefined | Null, Null -> true
+  | Undefined, Null | Null, Undefined -> true
+  | Obj x, Obj y -> x.oid = y.oid
+  | Num _, Str _ -> abstract_eq st a (Num (to_number st b))
+  | Str _, Num _ -> abstract_eq st (Num (to_number st a)) b
+  | Bool _, _ -> abstract_eq st (Num (to_number st a)) b
+  | _, Bool _ -> abstract_eq st a (Num (to_number st b))
+  | Obj _, (Num _ | Str _) -> abstract_eq st (to_primitive st a) b
+  | (Num _ | Str _), Obj _ -> abstract_eq st a (to_primitive st b)
+  | _ -> false
+
+let strict_eq a b =
+  match a, b with
+  | Num x, Num y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Undefined, Undefined | Null, Null -> true
+  | Obj x, Obj y -> x.oid = y.oid
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+
+let fresh_scope st parent =
+  let sid = st.next_sid in
+  st.next_sid <- st.next_sid + 1;
+  let scope = { sid; vars = Hashtbl.create 8; parent } in
+  st.on_scope_create scope;
+  scope
+
+let declare scope name =
+  if not (Hashtbl.mem scope.vars name) then
+    Hashtbl.replace scope.vars name { v = Undefined }
+
+let rec owner_scope scope name =
+  if Hashtbl.mem scope.vars name then Some scope
+  else
+    match scope.parent with
+    | Some p -> owner_scope p name
+    | None -> None
+
+let rec lookup_cell scope name =
+  match Hashtbl.find_opt scope.vars name with
+  | Some cell -> Some cell
+  | None ->
+    (match scope.parent with
+     | Some p -> lookup_cell p name
+     | None -> None)
+
+let get_var st scope name =
+  match lookup_cell scope name with
+  | Some cell -> cell.v
+  | None ->
+    (* Fall back to global-object properties (host globals live there). *)
+    if has_prop_obj st.global_obj name then get_prop_obj st.global_obj name
+    else
+      raise
+        (Js_throw (Str (Printf.sprintf "ReferenceError: %s is not defined" name)))
+
+let set_var st scope name v =
+  match lookup_cell scope name with
+  | Some cell -> cell.v <- v
+  | None ->
+    (* Implicit global, as in sloppy-mode JS. *)
+    declare st.global_scope name;
+    (match Hashtbl.find_opt st.global_scope.vars name with
+     | Some cell -> cell.v <- v
+     | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Error helpers                                                       *)
+
+let throw_error st kind msg =
+  let o = make_obj ~proto:(Some st.error_proto) st in
+  raw_set_prop o "name" (Str kind);
+  raw_set_prop o "message" (Str msg);
+  raise (Js_throw (Obj o))
+
+let type_error st msg = throw_error st "TypeError" msg

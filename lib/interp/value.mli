@@ -1,0 +1,173 @@
+(** Runtime values and interpreter state for MiniJS.
+
+    The representation follows JavaScript's object model closely enough
+    for the paper's analysis to be meaningful: mutable property maps
+    with prototype links, arrays with a dense element store and a live
+    [length], functions as callable objects, and [var] function scoping
+    (one {!scope} per invocation). Every object carries a unique [oid]
+    and every scope a unique [sid]; JS-CERES keys its creation-site
+    stamps and write snapshots on them.
+
+    The types are transparent: the interpreter, the DOM, the analysis
+    glue and the tests all pattern-match on them. Treat direct mutation
+    outside those layers as off-limits. *)
+
+type value =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Undefined
+  | Null
+  | Obj of obj
+
+and obj = {
+  oid : int; (** unique object identity *)
+  props : (string, value) Hashtbl.t;
+  mutable key_order : string list; (** reversed insertion order *)
+  mutable proto : obj option;
+  mutable call : callable option; (** Some = the object is a function *)
+  mutable arr : arr_data option; (** Some = the object is an array *)
+  mutable host_tag : string option;
+      (** host-object discriminator, e.g. ["element"],
+          ["canvas-context"] *)
+}
+
+and arr_data = { mutable elems : value array; mutable len : int }
+
+and callable =
+  | Closure of closure
+  | Host of string * host_fn
+
+and closure = { fn : Jsir.Ast.func; captured : scope }
+
+and host_fn = state -> value -> value list -> value
+(** state, [this], arguments. *)
+
+and scope = {
+  sid : int; (** unique scope identity, stamped by the analysis *)
+  vars : (string, cell) Hashtbl.t;
+  parent : scope option;
+}
+
+and cell = { mutable v : value }
+
+and state = {
+  clock : Ceres_util.Vclock.t;
+  prng : Ceres_util.Prng.t; (** backs [Math.random]; seeded *)
+  mutable global_scope : scope;
+  mutable global_obj : obj;
+  mutable object_proto : obj;
+  mutable array_proto : obj;
+  mutable function_proto : obj;
+  mutable string_proto : obj;
+  mutable number_proto : obj;
+  mutable error_proto : obj;
+  mutable next_oid : int;
+  mutable next_sid : int;
+  mutable call_depth : int;
+  max_call_depth : int; (** exceeded -> catchable RangeError *)
+  mutable budget : int64; (** max busy vticks; {!Budget_exhausted} past it *)
+  mutable console : string list; (** reversed console output *)
+  mutable echo_console : bool;
+  intrinsics : (string, intrinsic) Hashtbl.t;
+      (** handlers for {!Jsir.Ast.Intrinsic} nodes, registered by
+          {!Ceres.Install} *)
+  mutable on_scope_create : scope -> unit;
+  mutable on_call_enter : string option -> unit;
+  mutable on_call_exit : unit -> unit;
+  mutable on_host_access : string -> string -> unit;
+      (** (category, operation): the DOM/canvas report channel *)
+  mutable on_call_site : int -> value -> int -> unit;
+      (** (source line, callee, argument count) for every syntactic
+          call; backs the call-site mono/polymorphism census *)
+  mutable apply : state -> value -> value -> value list -> value;
+      (** callback into the evaluator, installed by [Eval.create] *)
+  mutable events : event list;
+  mutable next_event_seq : int;
+}
+
+and intrinsic = state -> scope -> value -> Jsir.Ast.expr list -> value
+(** Receives the lexical scope, [this] and the *unevaluated* argument
+    expressions, so wrapped operations control evaluation order. *)
+
+and event = { due : int64; seq : int; callback : value; args : value list }
+
+exception Js_throw of value
+(** A JavaScript exception in flight. *)
+
+exception Budget_exhausted
+
+val type_of : value -> string
+(** JavaScript [typeof] (with [typeof null = "object"]). *)
+
+(** {1 Objects} *)
+
+val fresh_oid : state -> int
+val make_obj : ?proto:obj option -> state -> obj
+val make_array : state -> value array -> obj
+val make_function : state -> callable -> obj
+val make_host_fn : state -> string -> host_fn -> obj
+val is_array : obj -> bool
+
+val array_index_of_key : string -> int option
+(** [Some i] when the key is a canonical array index. *)
+
+val raw_set_prop : obj -> string -> value -> unit
+(** Own-property write, bypassing array index handling and hooks. *)
+
+val raw_get_own : obj -> string -> value option
+val raw_delete_prop : obj -> string -> bool
+val own_keys : obj -> string list
+(** Array indices first, then named keys in insertion order. *)
+
+val ensure_capacity : arr_data -> int -> unit
+val array_set_length : arr_data -> int -> unit
+
+val get_prop_obj : obj -> string -> value
+(** Prototype-chain lookup, array-index aware. *)
+
+val set_prop_obj : obj -> string -> value -> unit
+val has_prop_obj : obj -> string -> bool
+
+(** {1 Coercions} *)
+
+val to_boolean : value -> bool
+val number_of_string : string -> float
+val to_string : state -> value -> string
+(** May call a user [toString] through [state.apply]. *)
+
+val default_obj_string : state -> obj -> string
+val to_number : state -> value -> float
+val to_primitive : state -> value -> value
+val to_int32 : state -> value -> int32
+val to_uint32 : state -> value -> int
+val abstract_eq : state -> value -> value -> bool
+(** JavaScript [==] over the coercion lattice. *)
+
+val strict_eq : value -> value -> bool
+(** JavaScript [===]; objects by identity. *)
+
+(** {1 Scopes} *)
+
+val fresh_scope : state -> scope option -> scope
+(** New scope (fires [on_scope_create]). *)
+
+val declare : scope -> string -> unit
+(** Bind the name to [Undefined] if not already bound here. *)
+
+val owner_scope : scope -> string -> scope option
+(** The scope in the chain that owns the binding. *)
+
+val lookup_cell : scope -> string -> cell option
+val get_var : state -> scope -> string -> value
+(** Falls back to global-object properties; ReferenceError if absent. *)
+
+val set_var : state -> scope -> string -> value -> unit
+(** Sloppy-mode semantics: unbound names become implicit globals. *)
+
+(** {1 Errors} *)
+
+val throw_error : state -> string -> string -> 'a
+(** Throw a JS error object with the given [name] and message. *)
+
+val type_error : state -> string -> 'a

@@ -1,0 +1,183 @@
+(* Abstract syntax for MiniJS, the JavaScript subset interpreted by this
+   reproduction. The subset covers what the paper's analysis cares
+   about: [var] function scoping (Sec. 3.3's example hinges on it),
+   closures, prototype objects, dynamically typed values, arrays with
+   higher-order methods, and the full statement/operator repertoire of
+   pre-ES6 imperative JavaScript. Loops carry a unique [loop_id]
+   assigned by the parser: JS-CERES keys all its per-loop statistics and
+   dependence characterizations on that identifier.
+
+   [Intrinsic] nodes never appear in parsed source; the Ceres
+   instrumenter inserts them and the interpreter dispatches them to the
+   registered analysis runtime. *)
+
+type pos = { line : int; col : int }
+type span = { left : pos; right : pos }
+
+let no_pos = { line = 0; col = 0 }
+let no_span = { left = no_pos; right = no_pos }
+
+type loop_id = int
+
+type unop =
+  | Neg
+  | Positive
+  | Not
+  | Bitnot
+  | Typeof
+  | Void
+  | Delete
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq       (* == *)
+  | Neq      (* != *)
+  | Strict_eq  (* === *)
+  | Strict_neq (* !== *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Band
+  | Bor
+  | Bxor
+  | Lshift
+  | Rshift   (* >> *)
+  | Urshift  (* >>> *)
+  | Instanceof
+  | In
+
+type logop = And | Or
+
+(* Compound assignment carries the underlying arithmetic operator;
+   plain [=] is [None]. *)
+type assign_op = binop option
+
+type expr = { e : expr_desc; at : span }
+
+and expr_desc =
+  | Number of float
+  | String of string
+  | Bool of bool
+  | Null
+  | Undefined
+  | Ident of string
+  | This
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Function_expr of func
+  | Member of expr * string
+  | Index of expr * expr
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Logical of logop * expr * expr
+  | Cond of expr * expr * expr
+  | Assign of target * assign_op * expr
+  | Update of update_kind * bool * target  (* kind, prefix?, target *)
+  | Seq of expr * expr
+  | Intrinsic of string * expr list
+
+and update_kind = Incr | Decr
+
+and target =
+  | Tgt_ident of string
+  | Tgt_member of expr * string
+  | Tgt_index of expr * expr
+
+and func = {
+  fname : string option;
+  params : string list;
+  body : stmt list;
+  fspan : span;
+}
+
+and stmt = { s : stmt_desc; sat : span }
+
+and stmt_desc =
+  | Expr_stmt of expr
+  | Var_decl of (string * expr option) list
+  | If of expr * stmt * stmt option
+  | While of loop_id * expr * stmt
+  | Do_while of loop_id * stmt * expr
+  | For of loop_id * for_init option * expr option * expr option * stmt
+  | For_in of loop_id * for_in_binder * expr * stmt
+  | Return of expr option
+  | Break of string option (* optional target label *)
+  | Continue of string option
+  | Throw of expr
+  | Try of stmt list * (string * stmt list) option * stmt list option
+  | Block of stmt list
+  | Func_decl of func
+  | Switch of expr * (expr option * stmt list) list
+  | Labeled of string * stmt
+  | Empty
+
+and for_init =
+  | Init_var of (string * expr option) list
+  | Init_expr of expr
+
+and for_in_binder =
+  | Binder_var of string   (* for (var k in o) *)
+  | Binder_ident of string (* for (k in o) *)
+
+type program = { stmts : stmt list; loop_count : int }
+
+(* Constructors used by the instrumenter, which synthesises nodes with
+   no meaningful source location. *)
+
+let mk ?(at = no_span) e = { e; at }
+let mk_stmt ?(at = no_span) s = { s; sat = at }
+let number f = mk (Number f)
+let string_lit s = mk (String s)
+let ident x = mk (Ident x)
+let intrinsic name args = mk (Intrinsic (name, args))
+let expr_stmt e = mk_stmt (Expr_stmt e)
+
+(* Loop kinds, for reporting. *)
+type loop_kind = Kwhile | Kdo_while | Kfor | Kfor_in
+
+let loop_kind_name = function
+  | Kwhile -> "while"
+  | Kdo_while -> "do-while"
+  | Kfor -> "for"
+  | Kfor_in -> "for-in"
+
+let unop_name = function
+  | Neg -> "-"
+  | Positive -> "+"
+  | Not -> "!"
+  | Bitnot -> "~"
+  | Typeof -> "typeof"
+  | Void -> "void"
+  | Delete -> "delete"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Strict_eq -> "==="
+  | Strict_neq -> "!=="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Lshift -> "<<"
+  | Rshift -> ">>"
+  | Urshift -> ">>>"
+  | Instanceof -> "instanceof"
+  | In -> "in"
+
+let logop_name = function And -> "&&" | Or -> "||"

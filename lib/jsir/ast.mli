@@ -1,0 +1,143 @@
+(** Abstract syntax for MiniJS.
+
+    The JavaScript subset this reproduction interprets: everything the
+    paper's analysis cares about — [var] function scoping (the Sec. 3.3
+    example hinges on it), closures, prototype objects, dynamic typing,
+    arrays with higher-order methods, and the full statement/operator
+    repertoire of pre-ES6 imperative JavaScript including labeled
+    break/continue.
+
+    Every syntactic loop carries a {!loop_id} assigned by the parser in
+    source order; JS-CERES keys all per-loop statistics and dependence
+    characterizations on it. {!Intrinsic} nodes never appear in parsed
+    source: the instrumenter inserts them and the interpreter
+    dispatches them to the registered analysis runtime. *)
+
+type pos = { line : int; col : int }
+(** 1-based source position. *)
+
+type span = { left : pos; right : pos }
+
+val no_pos : pos
+val no_span : span
+(** Used for synthesised (instrumentation) nodes. *)
+
+type loop_id = int
+(** Dense, 0-based, in source order. *)
+
+type unop = Neg | Positive | Not | Bitnot | Typeof | Void | Delete
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq (** [==] *)
+  | Neq (** [!=] *)
+  | Strict_eq (** [===] *)
+  | Strict_neq (** [!==] *)
+  | Lt | Le | Gt | Ge
+  | Band | Bor | Bxor
+  | Lshift
+  | Rshift (** [>>] *)
+  | Urshift (** [>>>] *)
+  | Instanceof
+  | In
+
+type logop = And | Or
+
+type assign_op = binop option
+(** Compound assignment carries the underlying operator; plain [=] is
+    [None]. *)
+
+type expr = { e : expr_desc; at : span }
+
+and expr_desc =
+  | Number of float
+  | String of string
+  | Bool of bool
+  | Null
+  | Undefined
+  | Ident of string
+  | This
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Function_expr of func
+  | Member of expr * string (** [e.f] *)
+  | Index of expr * expr (** [e[i]] *)
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Logical of logop * expr * expr (** short-circuiting *)
+  | Cond of expr * expr * expr (** [c ? t : f] *)
+  | Assign of target * assign_op * expr
+  | Update of update_kind * bool * target (** kind, prefix?, target *)
+  | Seq of expr * expr (** the comma operator *)
+  | Intrinsic of string * expr list
+      (** instrumentation hook; arguments are passed unevaluated to the
+          registered handler *)
+
+and update_kind = Incr | Decr
+
+and target =
+  | Tgt_ident of string
+  | Tgt_member of expr * string
+  | Tgt_index of expr * expr
+
+and func = {
+  fname : string option;
+  params : string list;
+  body : stmt list;
+  fspan : span;
+}
+
+and stmt = { s : stmt_desc; sat : span }
+
+and stmt_desc =
+  | Expr_stmt of expr
+  | Var_decl of (string * expr option) list
+  | If of expr * stmt * stmt option
+  | While of loop_id * expr * stmt
+  | Do_while of loop_id * stmt * expr
+  | For of loop_id * for_init option * expr option * expr option * stmt
+  | For_in of loop_id * for_in_binder * expr * stmt
+  | Return of expr option
+  | Break of string option (** optional target label *)
+  | Continue of string option
+  | Throw of expr
+  | Try of stmt list * (string * stmt list) option * stmt list option
+      (** body, catch (name, body), finally *)
+  | Block of stmt list
+  | Func_decl of func
+  | Switch of expr * (expr option * stmt list) list
+      (** cases ([None] = default), with fall-through *)
+  | Labeled of string * stmt
+  | Empty
+
+and for_init =
+  | Init_var of (string * expr option) list (** [for (var i = 0; ...)] *)
+  | Init_expr of expr
+
+and for_in_binder =
+  | Binder_var of string (** [for (var k in o)] *)
+  | Binder_ident of string (** [for (k in o)] *)
+
+type program = { stmts : stmt list; loop_count : int }
+(** [loop_count] is the number of {!loop_id}s the parser assigned. *)
+
+(** {1 Constructors} (used by the instrumenter) *)
+
+val mk : ?at:span -> expr_desc -> expr
+val mk_stmt : ?at:span -> stmt_desc -> stmt
+val number : float -> expr
+val string_lit : string -> expr
+val ident : string -> expr
+val intrinsic : string -> expr list -> expr
+val expr_stmt : expr -> stmt
+
+(** {1 Names} *)
+
+type loop_kind = Kwhile | Kdo_while | Kfor | Kfor_in
+
+val loop_kind_name : loop_kind -> string
+val unop_name : unop -> string
+val binop_name : binop -> string
+val logop_name : logop -> string

@@ -1,0 +1,10 @@
+(** Structural equality over MiniJS ASTs, ignoring source spans.
+
+    Used by the parser/printer round-trip property tests. Loop
+    identifiers are compared by default (printing preserves loop order,
+    so a re-parse reassigns identical ids); pass [~ignore_loop_ids:true]
+    to compare instrumented against original code. *)
+
+val expr : ?ignore_loop_ids:bool -> Ast.expr -> Ast.expr -> bool
+val stmt : ?ignore_loop_ids:bool -> Ast.stmt -> Ast.stmt -> bool
+val program : ?ignore_loop_ids:bool -> Ast.program -> Ast.program -> bool

@@ -1,0 +1,149 @@
+open Ast
+
+type info = {
+  id : loop_id;
+  kind : loop_kind;
+  line : int;
+  parent : loop_id option;
+  in_function : string option;
+  depth : int;
+}
+
+type ctx = { parent : loop_id option; fn : string option; depth : int }
+
+let index (p : program) : info array =
+  let acc = ref [] in
+  let add ctx id kind (span : span) =
+    acc :=
+      { id; kind; line = span.left.line; parent = ctx.parent;
+        in_function = ctx.fn; depth = ctx.depth }
+      :: !acc
+  in
+  let rec walk_stmt ctx (st : stmt) =
+    match st.s with
+    | Empty | Break _ | Continue _ -> ()
+    | Labeled (_, body) -> walk_stmt ctx body
+    | Expr_stmt e | Throw e -> walk_expr ctx e
+    | Return e -> Option.iter (walk_expr ctx) e
+    | Var_decl decls ->
+      List.iter (fun (_, init) -> Option.iter (walk_expr ctx) init) decls
+    | If (cond, then_s, else_s) ->
+      walk_expr ctx cond;
+      walk_stmt ctx then_s;
+      Option.iter (walk_stmt ctx) else_s
+    | While (id, cond, body) ->
+      add ctx id Kwhile st.sat;
+      let inner = { ctx with parent = Some id; depth = ctx.depth + 1 } in
+      walk_expr ctx cond;
+      walk_stmt inner body
+    | Do_while (id, body, cond) ->
+      add ctx id Kdo_while st.sat;
+      let inner = { ctx with parent = Some id; depth = ctx.depth + 1 } in
+      walk_stmt inner body;
+      walk_expr ctx cond
+    | For (id, init, cond, update, body) ->
+      add ctx id Kfor st.sat;
+      let inner = { ctx with parent = Some id; depth = ctx.depth + 1 } in
+      (match init with
+       | None -> ()
+       | Some (Init_expr e) -> walk_expr ctx e
+       | Some (Init_var decls) ->
+         List.iter (fun (_, ie) -> Option.iter (walk_expr ctx) ie) decls);
+      Option.iter (walk_expr inner) cond;
+      Option.iter (walk_expr inner) update;
+      walk_stmt inner body
+    | For_in (id, _, obj, body) ->
+      add ctx id Kfor_in st.sat;
+      let inner = { ctx with parent = Some id; depth = ctx.depth + 1 } in
+      walk_expr ctx obj;
+      walk_stmt inner body
+    | Try (body, catch, finally) ->
+      List.iter (walk_stmt ctx) body;
+      Option.iter (fun (_, cbody) -> List.iter (walk_stmt ctx) cbody) catch;
+      Option.iter (List.iter (walk_stmt ctx)) finally
+    | Block body -> List.iter (walk_stmt ctx) body
+    | Func_decl f -> walk_func ctx f
+    | Switch (scrutinee, cases) ->
+      walk_expr ctx scrutinee;
+      List.iter
+        (fun (guard, body) ->
+           Option.iter (walk_expr ctx) guard;
+           List.iter (walk_stmt ctx) body)
+        cases
+  and walk_func ctx (f : func) =
+    (* A function body resets the loop-nesting context: iterations of an
+       enclosing loop do not syntactically contain the inner function's
+       loops (they contain their *invocations*, which the dynamic
+       analysis tracks separately). *)
+    let fn = match f.fname with Some _ as n -> n | None -> ctx.fn in
+    let inner = { parent = None; fn; depth = 0 } in
+    List.iter (walk_stmt inner) f.body
+  and walk_expr ctx (e : expr) =
+    match e.e with
+    | Number _ | String _ | Bool _ | Null | Undefined | Ident _ | This -> ()
+    | Array_lit elems -> List.iter (walk_expr ctx) elems
+    | Object_lit props -> List.iter (fun (_, v) -> walk_expr ctx v) props
+    | Function_expr f -> walk_func ctx f
+    | Member (obj, _) -> walk_expr ctx obj
+    | Index (obj, idx) ->
+      walk_expr ctx obj;
+      walk_expr ctx idx
+    | Call (callee, args) | New (callee, args) ->
+      walk_expr ctx callee;
+      List.iter (walk_expr ctx) args
+    | Unop (_, operand) -> walk_expr ctx operand
+    | Binop (_, l, r) | Logical (_, l, r) | Seq (l, r) ->
+      walk_expr ctx l;
+      walk_expr ctx r
+    | Cond (c, t, f) ->
+      walk_expr ctx c;
+      walk_expr ctx t;
+      walk_expr ctx f
+    | Assign (tgt, _, rhs) ->
+      walk_target ctx tgt;
+      walk_expr ctx rhs
+    | Update (_, _, tgt) -> walk_target ctx tgt
+    | Intrinsic (_, args) -> List.iter (walk_expr ctx) args
+  and walk_target ctx = function
+    | Tgt_ident _ -> ()
+    | Tgt_member (obj, _) -> walk_expr ctx obj
+    | Tgt_index (obj, idx) ->
+      walk_expr ctx obj;
+      walk_expr ctx idx
+  in
+  let top = { parent = None; fn = None; depth = 0 } in
+  List.iter (walk_stmt top) p.stmts;
+  let infos = Array.make p.loop_count None in
+  List.iter (fun info -> infos.(info.id) <- Some info) !acc;
+  Array.mapi
+    (fun id slot ->
+       match slot with
+       | Some info -> info
+       | None ->
+         invalid_arg
+           (Printf.sprintf "Loops.index: loop id %d missing from AST" id))
+    infos
+
+let find infos id =
+  if id < 0 || id >= Array.length infos then
+    invalid_arg (Printf.sprintf "Loops.find: unknown loop id %d" id);
+  infos.(id)
+
+let label info =
+  Printf.sprintf "%s(line %d)" (loop_kind_name info.kind) info.line
+
+let nest_of infos id =
+  let rec up acc (info : info) =
+    match info.parent with
+    | None -> info :: acc
+    | Some pid -> up (info :: acc) (find infos pid)
+  in
+  up [] (find infos id)
+
+let roots infos =
+  Array.to_list infos
+  |> List.filter (fun (info : info) -> info.parent = None)
+
+let children infos id =
+  Array.to_list infos
+  |> List.filter (fun (info : info) -> info.parent = Some id)

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for MiniJS.
+
+    Builds {!Ast.program} values from source text. Every syntactic loop
+    receives a fresh {!Ast.loop_id} in source order; JS-CERES keys its
+    profiling and dependence records on these identifiers, exactly as
+    the paper keys its reports on syntactic loops ("while(line 24)",
+    "for(line 6)").
+
+    Semicolons are required except before ['}'] and end-of-input (a
+    deliberately small slice of automatic semicolon insertion — the
+    bundled workloads are written to it). *)
+
+exception Parse_error of string * Ast.pos
+
+val parse_program : string -> Ast.program
+(** Parse a full script. @raise Parse_error on malformed input. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (used by tests and the REPL-style
+    examples). @raise Parse_error if trailing input remains. *)

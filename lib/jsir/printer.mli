@@ -1,0 +1,27 @@
+(** Pretty-printer from MiniJS AST back to JavaScript source.
+
+    Output re-parses to a structurally equal AST (the property tests
+    rely on this), with one documented exception: {!Ast.Intrinsic}
+    nodes — which only the instrumenter creates — are printed as calls
+    to their [__ceres_*] name, so printed instrumented code is readable
+    but round-trips to a plain {!Ast.Call}. *)
+
+val number_to_string : float -> string
+(** JavaScript-style number rendering: integral values print without a
+    decimal point, [nan] prints ["NaN"], infinities print
+    ["Infinity"]/["-Infinity"]. *)
+
+val string_to_source : string -> string
+(** Quote and escape a string as a double-quoted JS literal. *)
+
+val expr_to_string : Ast.expr -> string
+(** One-line rendering of an expression. *)
+
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+(** Multi-line rendering of a statement. *)
+
+val program_to_string : Ast.program -> string
+(** Full-script rendering. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_program : Format.formatter -> Ast.program -> unit

@@ -1,0 +1,32 @@
+(* Amdahl's-law bounds (paper Sec. 4.2 closing paragraph).
+
+   The paper: "Considering Amdahl's law, the upper bound for speedup is
+   greater than 3x for 5 of the 12 applications when only counting easy
+   to parallelize loops." Given the fraction of an application's
+   running time spent in easily-parallelizable loops, these helpers
+   compute the bound for worker counts and the asymptote. *)
+
+let speedup ~parallel_fraction ~workers =
+  let p = Float.max 0. (Float.min 1. parallel_fraction) in
+  if workers <= 0 then
+    if p >= 1. then Float.infinity else 1. /. (1. -. p)
+  else 1. /. ((1. -. p) +. (p /. float_of_int workers))
+
+let asymptote ~parallel_fraction = speedup ~parallel_fraction ~workers:0
+
+(* Sweep a fraction over worker counts; used by the `amdahl` bench
+   section. *)
+let sweep ~parallel_fraction ~workers_list =
+  List.map
+    (fun w -> (w, speedup ~parallel_fraction ~workers:w))
+    workers_list
+
+(* Minimum parallel fraction needed to reach a target speedup with
+   unlimited workers: p >= 1 - 1/s. *)
+let fraction_for ~target_speedup =
+  if target_speedup <= 1. then 0. else 1. -. (1. /. target_speedup)
+
+(* Efficiency of the measured speedup vs the ideal at [workers]. *)
+let efficiency ~measured_speedup ~workers =
+  if workers <= 0 then 0.
+  else measured_speedup /. float_of_int workers

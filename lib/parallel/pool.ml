@@ -1,0 +1,169 @@
+type job = unit -> unit
+
+type t = {
+  n : int; (* participants, including the caller *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable queue : job list; (* pending jobs, LIFO is fine *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+  mutable down : bool;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while t.queue = [] && not t.closed do
+    Condition.wait t.cond t.mutex
+  done;
+  match t.queue with
+  | job :: rest ->
+    t.queue <- rest;
+    Mutex.unlock t.mutex;
+    (try job () with _ -> ());
+    worker_loop t
+  | [] ->
+    (* closed and drained *)
+    Mutex.unlock t.mutex
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let n = max 1 requested in
+  let t =
+    { n;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = [];
+      closed = false;
+      workers = [||];
+      down = false }
+  in
+  t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.n
+
+let submit t job =
+  Mutex.lock t.mutex;
+  t.queue <- job :: t.queue;
+  Condition.signal t.cond;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  if not t.down then begin
+    t.down <- true;
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end
+
+(* A countdown latch for loop barriers. *)
+module Latch = struct
+  type l = { m : Mutex.t; c : Condition.t; mutable left : int }
+
+  let create left = { m = Mutex.create (); c = Condition.create (); left }
+
+  let arrive l =
+    Mutex.lock l.m;
+    l.left <- l.left - 1;
+    if l.left = 0 then Condition.broadcast l.c;
+    Mutex.unlock l.m
+
+  let wait l =
+    Mutex.lock l.m;
+    while l.left > 0 do
+      Condition.wait l.c l.m
+    done;
+    Mutex.unlock l.m
+end
+
+let default_chunk t ~lo ~hi =
+  let span = hi - lo in
+  max 1 (span / (t.n * 8))
+
+let parallel_for t ~lo ~hi ?chunk f =
+  if hi > lo then begin
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> default_chunk t ~lo ~hi
+    in
+    let next = Atomic.make lo in
+    let failure = Atomic.make None in
+    let helpers = t.n - 1 in
+    let latch = Latch.create helpers in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= hi then continue := false
+        else begin
+          let stop = min hi (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              f i
+            done
+          with exn ->
+            (* First failure wins; stop handing out chunks. *)
+            ignore (Atomic.compare_and_set failure None (Some exn));
+            Atomic.set next hi;
+            continue := false
+        end
+      done
+    in
+    for _ = 1 to helpers do
+      submit t (fun () ->
+          work ();
+          Latch.arrive latch)
+    done;
+    work ();
+    Latch.wait latch;
+    match Atomic.get failure with None -> () | Some exn -> raise exn
+  end
+
+let parallel_reduce t ~lo ~hi ?chunk ~init ~body ~combine () =
+  let partials = Atomic.make [] in
+  let fold_chunk acc i = combine acc (body i) in
+  ignore fold_chunk;
+  (* Each participant keeps a local accumulator in a Domain.DLS-free
+     way: accumulate per chunk and push per-chunk partials. Chunks are
+     big enough that the push cost is negligible. *)
+  let chunk =
+    match chunk with
+    | Some c -> max 1 c
+    | None -> default_chunk t ~lo ~hi
+  in
+  parallel_for t ~lo:0
+    ~hi:((hi - lo + chunk - 1) / max 1 chunk)
+    ~chunk:1
+    (fun ci ->
+       let start = lo + (ci * chunk) in
+       let stop = min hi (start + chunk) in
+       let acc = ref init in
+       for i = start to stop - 1 do
+         acc := combine !acc (body i)
+       done;
+       let rec push () =
+         let old = Atomic.get partials in
+         if not (Atomic.compare_and_set partials old (!acc :: old)) then
+           push ()
+       in
+       push ());
+  List.fold_left combine init (Atomic.get partials)
+
+let map_array t f src =
+  let n = Array.length src in
+  if n = 0 then [||]
+  else begin
+    let first = f src.(0) in
+    let dst = Array.make n first in
+    parallel_for t ~lo:1 ~hi:n (fun i -> dst.(i) <- f src.(i));
+    dst
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,54 @@
+(** Fixed pool of OCaml 5 domains with chunked data-parallel loops.
+
+    The paper's thesis is that emerging web workloads have latent *data*
+    parallelism; this pool is the substrate the reproduction uses to
+    actually run the parallelizable kernels in parallel and measure the
+    speedups that Table 3 and the Amdahl discussion predict.
+
+    Scheduling is dynamic: workers (the caller participates too) pull
+    fixed-size index chunks from an atomic counter, so divergent
+    iteration costs — the paper's "control-flow divergence" column —
+    load-balance automatically. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    caller is the remaining participant). [domains] defaults to
+    [Domain.recommended_domain_count ()], and is clamped to at least
+    1. *)
+
+val size : t -> int
+(** Number of participants (workers + caller). *)
+
+val shutdown : t -> unit
+(** Join all workers. The pool must not be used afterwards. Idempotent. *)
+
+val parallel_for : t -> lo:int -> hi:int -> ?chunk:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for every [lo <= i < hi],
+    distributing chunks over all participants and returning when all
+    iterations completed. If any [f i] raises, one such exception is
+    re-raised in the caller after the loop drains (remaining chunks are
+    cancelled). [chunk] defaults to a size yielding ~8 chunks per
+    participant. *)
+
+val parallel_reduce :
+  t ->
+  lo:int ->
+  hi:int ->
+  ?chunk:int ->
+  init:'a ->
+  body:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  unit ->
+  'a
+(** Fold [combine] over the per-index values [body i]. Each participant
+    folds its chunks locally; partial results are combined at the
+    barrier in an unspecified order, so [combine] should be associative
+    and commutative with [init] as identity. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel array map built on {!parallel_for}. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down. *)

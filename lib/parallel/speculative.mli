@@ -1,0 +1,48 @@
+(** Speculative loop parallelization with abort reporting.
+
+    The paper's Sec. 5.3 asks that speculation "not only ... abort when
+    it fails to run a loop in parallel, but also have ways to report to
+    the developer the reason for aborting". This executor:
+
+    + validates a candidate loop by running it sequentially under the
+      full JS-CERES dependence instrumentation;
+    + on a clean validation, replays the iterations in parallel with
+      one isolated interpreter per slice (the share-nothing execution a
+      browser could implement with workers) and combines per-iteration
+      results;
+    + on a conflict, aborts and returns the JS-CERES warnings verbatim.
+
+    Observed disjoint scatter writes do not abort; iteration-carried
+    RAW and WAW do; WAR does not (a reader ordered before the writer
+    sees the pre-loop value in both the sequential and the replayed
+    execution); any DOM/canvas traffic inside the loop aborts (no
+    browser has a concurrent DOM). *)
+
+type abort_reason =
+  | Carried_dependence of string list (** rendered JS-CERES warnings *)
+  | Dom_access of int (** host DOM/canvas operations inside the loop *)
+  | Runtime_error of string
+
+type outcome =
+  | Committed of { result : float; domains : int }
+  | Aborted of abort_reason
+
+val run :
+  ?domains:int ->
+  setup_src:string ->
+  iter_src:string ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  outcome
+(** [run ~setup_src ~iter_src ~lo ~hi ()] speculates on the loop
+    [for (i = lo; i < hi; i++) acc += iter(i)] where [iter_src] is a
+    MiniJS function expression and [setup_src] prepares the state it
+    closes over. The committed [result] is the sum of the iteration
+    results — a checksum comparable to {!run_sequential}. *)
+
+val run_sequential :
+  setup_src:string -> iter_src:string -> lo:int -> hi:int -> float
+(** The sequential oracle (uninstrumented). *)
+
+val abort_reason_to_string : abort_reason -> string

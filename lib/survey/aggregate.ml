@@ -1,0 +1,140 @@
+(* Aggregation of coded survey responses into the paper's Figures 1-4
+   and the Sec. 2.3/2.4 statistics. *)
+
+open Types
+
+type figure1_row = { category : trend_category; count : int; pct : float }
+
+(* Figure 1: thematic coding of the future-trends answers. Percentages
+   are over the coded answers, as in the paper (26/85 = 31%). *)
+let figure1 ?(book = Coding.rater_a) (respondents : respondent array) :
+  figure1_row list * int =
+  let counts = Hashtbl.create 8 in
+  let coded = ref 0 and uncoded = ref 0 in
+  Array.iter
+    (fun r ->
+       match r.future_apps_answer with
+       | None -> incr uncoded
+       | Some text ->
+         (match Coding.principal_category book text with
+          | Some cat ->
+            incr coded;
+            Hashtbl.replace counts cat
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts cat))
+          | None -> incr uncoded))
+    respondents;
+  ( List.map
+      (fun cat ->
+         let count = Option.value ~default:0 (Hashtbl.find_opt counts cat) in
+         { category = cat;
+           count;
+           pct = Ceres_util.Stats.pct count !coded })
+      all_categories,
+    !uncoded )
+
+type figure2_row = {
+  component : component;
+  not_issue : int;
+  so_so : int;
+  bottleneck : int;
+}
+
+let figure2 (respondents : respondent array) : figure2_row list =
+  List.map
+    (fun comp ->
+       let ni = ref 0 and ss = ref 0 and bo = ref 0 in
+       Array.iter
+         (fun r ->
+            match List.assoc_opt comp r.bottlenecks with
+            | Some Not_an_issue -> incr ni
+            | Some So_so -> incr ss
+            | Some Is_a_bottleneck -> incr bo
+            | None -> ())
+         respondents;
+       { component = comp; not_issue = !ni; so_so = !ss; bottleneck = !bo })
+    all_components
+
+(* Figures 3 and 4: 1-5 preference histograms. *)
+let rating_histogram (get : respondent -> int option)
+    (respondents : respondent array) : int array =
+  let counts = Array.make 5 0 in
+  Array.iter
+    (fun r ->
+       match get r with
+       | Some v when v >= 1 && v <= 5 -> counts.(v - 1) <- counts.(v - 1) + 1
+       | _ -> ())
+    respondents;
+  counts
+
+let figure3 = rating_histogram (fun r -> r.functional_imperative)
+let figure4 = rating_histogram (fun r -> r.polymorphism)
+
+let operator_preference_pct (respondents : respondent array) =
+  let yes = ref 0 and answered = ref 0 in
+  Array.iter
+    (fun r ->
+       match r.prefers_operators with
+       | Some true ->
+         incr yes;
+         incr answered
+       | Some false -> incr answered
+       | None -> ())
+    respondents;
+  Ceres_util.Stats.pct !yes !answered
+
+let global_use_counts (respondents : respondent array) =
+  let count_of use phrases =
+    ignore use;
+    Array.to_list respondents
+    |> List.filter (fun r ->
+        match r.global_use_answer with
+        | None -> false
+        | Some text ->
+          let lowered = String.lowercase_ascii text in
+          List.exists (fun p -> Coding.contains_phrase lowered p) phrases)
+    |> List.length
+  in
+  [ (Namespacing, count_of Namespacing [ "namespace"; "module" ]);
+    ( Cross_script_communication,
+      count_of Cross_script_communication
+        [ "between scripts"; "server to the client" ] );
+    ( Singleton_state,
+      count_of Singleton_state [ "singleton"; "shared state" ] );
+    (Other_use, count_of Other_use [ "debugging"; "prototypes" ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering, in the shape of the paper's figures                      *)
+
+let render_figure1 (rows : figure1_row list) =
+  Ceres_util.Table.bar_chart
+    (List.map (fun r -> (category_name r.category, r.pct /. 100.)) rows)
+
+let render_figure2 (rows : figure2_row list) =
+  let tbl =
+    Ceres_util.Table.create
+      ~title:
+        "Figure 2: performance bottlenecks (percent of raters per level)"
+      [ "component"; "not an issue"; "so, so..."; "is a bottleneck"; "raters" ]
+  in
+  Ceres_util.Table.set_align tbl [ Left; Right; Right; Right; Right ];
+  List.iter
+    (fun r ->
+       let total = r.not_issue + r.so_so + r.bottleneck in
+       Ceres_util.Table.add_row tbl
+         [ component_name r.component;
+           Printf.sprintf "%.0f%%" (Ceres_util.Stats.pct r.not_issue total);
+           Printf.sprintf "%.0f%%" (Ceres_util.Stats.pct r.so_so total);
+           Printf.sprintf "%.0f%%" (Ceres_util.Stats.pct r.bottleneck total);
+           string_of_int total ])
+    rows;
+  Ceres_util.Table.render tbl
+
+let render_histogram ~title (counts : int array) =
+  let total = Array.fold_left ( + ) 0 counts in
+  title ^ "\n"
+  ^ Ceres_util.Table.bar_chart
+      (Array.to_list
+         (Array.mapi
+            (fun i n ->
+               (string_of_int (i + 1), Ceres_util.Stats.ratio n total))
+            counts))

@@ -1,0 +1,43 @@
+(** Aggregation of coded survey responses into the paper's Figures 1-4
+    and the Sec. 2.3/2.4 statistics. *)
+
+type figure1_row = {
+  category : Types.trend_category;
+  count : int;
+  pct : float; (** over the coded answers, as in the paper (26/85=31%) *)
+}
+
+val figure1 :
+  ?book:Coding.codebook ->
+  Types.respondent array ->
+  figure1_row list * int
+(** Thematic coding of the future-trends answers; also returns the
+    number of respondents without a codeable answer. *)
+
+type figure2_row = {
+  component : Types.component;
+  not_issue : int;
+  so_so : int;
+  bottleneck : int;
+}
+
+val figure2 : Types.respondent array -> figure2_row list
+
+val figure3 : Types.respondent array -> int array
+(** Functional (1) .. imperative (5) histogram. *)
+
+val figure4 : Types.respondent array -> int array
+(** Monomorphic (1) .. polymorphic (5) histogram. *)
+
+val operator_preference_pct : Types.respondent array -> float
+(** Sec. 2.3: percentage preferring builtin operators over loops. *)
+
+val global_use_counts :
+  Types.respondent array -> (Types.global_use * int) list
+(** Sec. 2.4: thematic counts of the global-variable answers. *)
+
+(** {1 Rendering} *)
+
+val render_figure1 : figure1_row list -> string
+val render_figure2 : figure2_row list -> string
+val render_histogram : title:string -> int array -> string

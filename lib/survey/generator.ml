@@ -1,0 +1,149 @@
+(* Synthetic respondent generation.
+
+   The paper's raw responses are not public (only aggregate charts and
+   a results site). To exercise the full analysis pipeline — free-text
+   thematic coding, inter-rater agreement, aggregation — we generate a
+   deterministic population of 174 respondents whose *marginals* equal
+   the published ones, with free-text answers drawn from per-category
+   phrase templates. The pipeline then has to recover the published
+   figures from the raw texts, which is what the bench asserts. *)
+
+open Types
+
+(* Free-text templates. Each category has several phrasings; the coder
+   must recover the category from the words alone. *)
+let templates : (trend_category * string array) list =
+  [ ( Games,
+      [| "commercial-quality 3D games with realistic physics, like on consoles";
+         "WebGL games; game engines moving to the browser";
+         "multiplayer gaming with native-like gameplay";
+         "browser games with advanced game AI and physics simulation" |] );
+    ( Peer_to_peer_social,
+      [| "peer-to-peer applications and richer social networks";
+         "social apps with realtime chat and presence";
+         "collaboration tools, shared editing, peer-to-peer messaging" |] );
+    ( Desktop_like,
+      [| "desktop applications moving to the web";
+         "office suites and IDE-class tools in the browser";
+         "everything that is on the desktop today, like photoshop" |] );
+    ( Data_processing,
+      [| "data analysis dashboards and productivity suites";
+         "spreadsheet-class productivity tools crunching large datasets";
+         "in-browser data analysis and reporting" |] );
+    ( Audio_video,
+      [| "video editing in the browser";
+         "audio processing, music creation tools";
+         "video conferencing and media processing apps" |] );
+    ( Visualization,
+      [| "interactive visualization of live data streams";
+         "graph visualization and mapping applications";
+         "rich visualization layers over scientific results" |] );
+    ( Augmented_reality,
+      [| "augmented reality overlays on live camera input";
+         "voice and gesture recognition interfaces";
+         "user recognition, face detection, camera-driven interaction" |] ) ]
+
+let uncodeable_answers =
+  [| "hard to say, hopefully faster pages";
+     "more of the same but quicker";
+     "whatever the frameworks push next";
+     "no strong opinion on this one" |]
+
+let global_use_templates : (global_use * string array) list =
+  [ ( Namespacing,
+      [| "emulating a namespace so my modules do not collide";
+         "a single global acting as the module system" |] );
+    ( Cross_script_communication,
+      [| "passing values between scripts on the same page";
+         "handing data from the server to the client on page load" |] );
+    ( Singleton_state,
+      [| "a global singleton for the app's central data structure";
+         "one shared state object accessed everywhere" |] );
+    ( Other_use,
+      [| "debugging from the console mostly";
+         "quick prototypes where structure does not matter" |] ) ]
+
+(* Build a column of per-respondent values hitting exact counts, then
+   shuffle deterministically. *)
+let column (prng : Ceres_util.Prng.t) ~total (groups : (int * 'a) list) :
+  'a option array =
+  let cells = Array.make total None in
+  let idx = ref 0 in
+  List.iter
+    (fun (count, v) ->
+       for _ = 1 to count do
+         if !idx < total then begin
+           cells.(!idx) <- Some v;
+           incr idx
+         end
+       done)
+    groups;
+  Ceres_util.Prng.shuffle prng cells;
+  cells
+
+let pick_template prng arr = Ceres_util.Prng.pick prng arr
+
+let generate ?(seed = 2015) () : respondent array =
+  let prng = Ceres_util.Prng.of_int seed in
+  let total = Distributions.total_respondents in
+  (* Future-apps free text: coded categories + uncodeable + no answer. *)
+  let uncodeable =
+    total - Distributions.figure1_coded - Distributions.figure1_no_answer
+  in
+  let future_column =
+    column prng ~total
+      (List.map
+         (fun (cat, n) -> (n, `Category cat))
+         Distributions.figure1_counts
+       @ [ (uncodeable, `Uncodeable) ])
+  in
+  let future_texts =
+    Array.map
+      (function
+        | Some (`Category cat) ->
+          Some (pick_template prng (List.assoc cat templates))
+        | Some `Uncodeable -> Some (pick_template prng uncodeable_answers)
+        | None -> None)
+      future_column
+  in
+  (* Bottleneck ratings, one shuffled column per component. *)
+  let bottleneck_columns =
+    List.map
+      (fun (comp, ni, ss, bo) ->
+         ( comp,
+           column prng ~total
+             [ (ni, Not_an_issue); (ss, So_so); (bo, Is_a_bottleneck) ] ))
+      Distributions.figure2_counts
+  in
+  let rating_column counts =
+    column prng ~total
+      (Array.to_list (Array.mapi (fun i n -> (n, i + 1)) counts))
+  in
+  let func_imp = rating_column Distributions.figure3_counts in
+  let poly = rating_column Distributions.figure4_counts in
+  (* Operator preference: 74% of the answering subset (Sec. 2.3). *)
+  let operators =
+    column prng ~total [ (115, true); (40, false) ]
+  in
+  (* Global-variable free text. *)
+  let global_column =
+    column prng ~total
+      (List.map (fun (use, n) -> (n, use)) Distributions.global_use_counts)
+  in
+  let global_texts =
+    Array.map
+      (Option.map (fun use ->
+           pick_template prng (List.assoc use global_use_templates)))
+      global_column
+  in
+  Array.init total (fun i ->
+      { rid = i;
+        future_apps_answer = future_texts.(i);
+        bottlenecks =
+          List.filter_map
+            (fun (comp, col) -> Option.map (fun s -> (comp, s)) col.(i))
+            bottleneck_columns;
+        functional_imperative = func_imp.(i);
+        polymorphism = poly.(i);
+        prefers_operators = operators.(i);
+        global_use_answer = global_texts.(i) })

@@ -1,0 +1,11 @@
+(** Synthetic survey-respondent generation (paper Sec. 2).
+
+    The paper's raw responses are not public; we generate a
+    deterministic population of 174 respondents whose marginals equal
+    the published ones ({!Distributions}), with free-text answers drawn
+    from per-category phrase templates. The analysis pipeline then has
+    to *recover* Figures 1-4 from the raw texts, which is what the
+    bench and tests assert. *)
+
+val generate : ?seed:int -> unit -> Types.respondent array
+(** Deterministic population; default seed 2015. *)

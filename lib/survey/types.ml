@@ -1,0 +1,85 @@
+(* Data model for the developer survey (paper Sec. 2).
+
+   The questionnaire had 20 questions in four groups: trends in web
+   applications, programming style, tools/frameworks, and perceived
+   performance bottlenecks. We model the questions whose aggregates
+   appear in the paper's figures, plus the open-ended global-variable
+   question discussed in Sec. 2.4. *)
+
+(** Future-application categories of Figure 1, in the paper's order. *)
+type trend_category =
+  | Games
+  | Peer_to_peer_social
+  | Desktop_like
+  | Data_processing
+  | Audio_video
+  | Visualization
+  | Augmented_reality
+
+let all_categories =
+  [ Games; Peer_to_peer_social; Desktop_like; Data_processing;
+    Audio_video; Visualization; Augmented_reality ]
+
+let category_name = function
+  | Games -> "Games"
+  | Peer_to_peer_social -> "Peer-to-Peer and Social"
+  | Desktop_like -> "Desktop like"
+  | Data_processing -> "Data processing, analysis; productivity"
+  | Audio_video -> "Audio and Video"
+  | Visualization -> "Visualization"
+  | Augmented_reality -> "Augmented reality; voice, gesture, user recognition"
+
+(** Components rated in Figure 2. *)
+type component =
+  | Resource_loading
+  | Dom_manipulation
+  | Canvas_images
+  | Webgl_interaction
+  | Number_crunching
+  | Styling_css
+
+let all_components =
+  [ Resource_loading; Dom_manipulation; Canvas_images; Webgl_interaction;
+    Number_crunching; Styling_css ]
+
+let component_name = function
+  | Resource_loading -> "resource loading"
+  | Dom_manipulation -> "DOM manipulation"
+  | Canvas_images -> "Canvas (read/write images)"
+  | Webgl_interaction -> "WebGL interaction"
+  | Number_crunching -> "number crunching"
+  | Styling_css -> "styling (CSS)"
+
+(** Three-point bottleneck scale of Figure 2. *)
+type severity = Not_an_issue | So_so | Is_a_bottleneck
+
+let severity_name = function
+  | Not_an_issue -> "not an issue"
+  | So_so -> "so, so..."
+  | Is_a_bottleneck -> "is a bottleneck"
+
+(** Reasons given for using global variables (Sec. 2.4). *)
+type global_use =
+  | Namespacing (* emulating a module system *)
+  | Cross_script_communication
+  | Singleton_state
+  | Other_use
+
+let global_use_name = function
+  | Namespacing -> "namespace/module emulation"
+  | Cross_script_communication -> "communication between scripts"
+  | Singleton_state -> "global singleton data structures"
+  | Other_use -> "other"
+
+(** One synthetic survey respondent. Options are [None] when the
+    respondent skipped the question — per-question answer counts in the
+    paper differ (166, 168, 162-171, ...). *)
+type respondent = {
+  rid : int;
+  future_apps_answer : string option; (* free text, thematically coded *)
+  bottlenecks : (component * severity) list; (* rated components only *)
+  functional_imperative : int option; (* 1 = functional .. 5 = imperative *)
+  polymorphism : int option; (* 1 = monomorphic .. 5 = polymorphic *)
+  prefers_operators : bool option; (* high-level ops vs explicit loops *)
+  global_use_answer : string option; (* free text *)
+}

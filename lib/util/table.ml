@@ -1,0 +1,104 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  columns : int;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers =
+  let columns = List.length headers in
+  if columns = 0 then invalid_arg "Table.create: no columns";
+  { title; headers; columns; aligns = Array.make columns Left; rows = [] }
+
+let set_align t aligns =
+  if List.length aligns <> t.columns then
+    invalid_arg "Table.set_align: wrong arity";
+  t.aligns <- Array.of_list aligns
+
+let add_row t cells =
+  if List.length cells <> t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let gap = width - len in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+    | Center ->
+      let left = gap / 2 in
+      String.make left ' ' ^ s ^ String.make (gap - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then
+            widths.(i) <- String.length c)
+        cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iter
+      (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells aligns cells =
+    List.iteri
+      (fun i c ->
+         Buffer.add_string buf "| ";
+         Buffer.add_string buf (pad aligns.(i) widths.(i) c);
+         Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+   | None -> ()
+   | Some title ->
+     Buffer.add_string buf title;
+     Buffer.add_char buf '\n');
+  rule ();
+  emit_cells (Array.make t.columns Center) t.headers;
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Cells cells -> emit_cells t.aligns cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let bar_chart ?(width = 40) entries =
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, fraction) ->
+       let fraction = Float.max 0. (Float.min 1. fraction) in
+       let bars = int_of_float (Float.round (fraction *. float_of_int width)) in
+       Buffer.add_string buf (pad Left label_width label);
+       Buffer.add_string buf " |";
+       Buffer.add_string buf (String.make bars '#');
+       Buffer.add_string buf (String.make (width - bars) ' ');
+       Buffer.add_string buf
+         (Printf.sprintf "| %4.1f%%\n" (fraction *. 100.)))
+    entries;
+  Buffer.contents buf

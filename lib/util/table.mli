@@ -1,0 +1,34 @@
+(** Plain-text table rendering for the paper's tables and figures.
+
+    The bench harness prints every reproduced artefact as an aligned
+    ASCII table, in the same row/column layout the paper uses, so the
+    output can be compared side by side with the PDF. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column
+    headers. Column count is fixed by the header list. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; defaults to [Left] everywhere. The list must
+    have one entry per column. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must match the column count. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used between groups of rows, e.g. the
+    per-application groups of Table 3). *)
+
+val render : t -> string
+(** The finished table, newline-terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val bar_chart : ?width:int -> (string * float) list -> string
+(** Horizontal ASCII bar chart used for the survey figures; values are
+    fractions in [0,1] rendered as percentages. *)

@@ -1,0 +1,110 @@
+(* Ace — code editor used by the Cloud9 IDE (Table 1, "Productivity").
+
+   Keystroke-driven: each key mutates the document and triggers a
+   render pass. The paper's two Ace nests run roughly ONE iteration on
+   average ("the first loop executes a rendering method until there
+   are no more cascading changes"), branch heavily, and live on the
+   DOM, which makes both "very hard" despite trivial compute. The
+   session is long and almost entirely idle (Table 2: 30 s total,
+   0.4 s active). *)
+
+let source = {|
+var editor = document.createElement("div");
+editor.id = "ace-editor";
+document.body.appendChild(editor);
+
+var lines = ["function hello() {", "  return 42;", "}"];
+var lineElements = [];
+var dirtyFrom = 0;
+var renderPasses = 0;
+var cursorLine = 0;
+var layout = { heights: [], offsets: [], scrollTop: 0 };
+
+function lineElement(i) {
+  if (lineElements.length <= i) {
+    var el = document.createElement("div");
+    el.setAttribute("class", "ace-line");
+    editor.appendChild(el);
+    lineElements.push(el);
+  }
+  return lineElements[i < lineElements.length ? i : lineElements.length - 1];
+}
+
+// crude tokenizer, functional style: fold over the characters
+function highlight(text) {
+  var state = text.split("").reduce(function(acc, c) {
+    if (c === "(" || c === "{") { acc.depth++; }
+    if (c === ")" || c === "}") { acc.depth--; }
+    acc.html = acc.html + c;
+    return acc;
+  }, { html: "", depth: 0 });
+  return state.html;
+}
+
+// nest 2: update the changed lines (~1 line per keystroke)
+function renderLines(start) {
+  var i;
+  for (i = start; i < lines.length; i++) {
+    var el = lineElement(i);
+    var html = highlight(lines[i]);
+    el.innerHTML = html;
+    el.setAttribute("data-rendered", "yes");
+    // cascading layout: every line's offset depends on the previous
+    // line's measured height and offset
+    layout.heights[i] = 12 + (html.length > 40 ? 12 : 0);
+    layout.offsets[i] = (i > 0 ? layout.offsets[i - 1] : 0)
+                      + (i > 0 ? layout.heights[i - 1] : 0);
+    layout.scrollTop = layout.offsets[i] - 60;
+    if (layout.scrollTop < 0) { layout.scrollTop = 0; }
+    el.style.top = "" + layout.offsets[i];
+    if (i > start + 1) { break; }
+  }
+}
+
+// nest 1: render until no more cascading layout changes (~1 trip)
+function render() {
+  var guard = 0;
+  while (dirtyFrom >= 0 && guard < 4) {
+    var start = dirtyFrom;
+    dirtyFrom = -1;
+    guard++;
+    renderLines(start);
+    renderPasses++;
+  }
+}
+
+function typeCharacter(ch) {
+  if (lines.length === 0) { lines.push(""); }
+  if (cursorLine >= lines.length) { cursorLine = lines.length - 1; }
+  if (ch === "\n") {
+    lines.push("");
+    cursorLine = lines.length - 1;
+  } else {
+    lines[cursorLine] = lines[cursorLine] + ch;
+  }
+  dirtyFrom = cursorLine;
+  render();
+}
+
+var keys = "var x = compute(data); if (x > 0) { emit(x); }\n";
+var keyIndex = 0;
+editor.addEventListener("keydown", function(ev) {
+  typeCharacter(keys.charAt(keyIndex % keys.length));
+  keyIndex++;
+  if (keyIndex % 20 === 0) { console.log("ace: passes", renderPasses, "lines", lines.length); }
+});
+|}
+
+let interactions =
+  List.init 45 (fun i ->
+      { Workload.at_ms = 1_500. +. (float_of_int i *. 620.);
+        target_id = "ace-editor";
+        event = "keydown";
+        x = 0.;
+        y = 0. })
+
+let workload =
+  Workload.make ~name:"Ace" ~url:"ace.c9.io" ~category:"Productivity"
+    ~description:"code editor used by the Cloud9 IDE"
+    ~source ~session_ms:30_000. ~interactions ~dep_scale:1.0
+    ~hot_nest_count:2 ()

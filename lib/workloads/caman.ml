@@ -1,0 +1,110 @@
+(* CamanJS — image manipulation library (Table 1, "Audio and Video").
+
+   The user applies a filter chain to a photo. CamanJS's render loop
+   walks the RGBA array; three kernels dominate, matching the paper's
+   three inspected nests for this app (72/15/7 % of loop time):
+   brightness+contrast over pixels, a convolution (blur) over pixels,
+   and a per-channel levels pass that touches every component (4x the
+   trips). All writes scatter to distinct slots — "easy" in Table 3 —
+   and Canvas traffic stays outside the loops (getImageData /
+   putImageData around the kernels). *)
+
+let source = {|
+var W = Math.floor(40 * SCALE) + 10;
+var H = Math.floor(40 * SCALE) + 10;
+
+var canvas = document.createElement("canvas");
+canvas.width = W; canvas.height = H;
+canvas.id = "caman-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+// paint a synthetic photo once
+ctx.fillStyle = "#336699";
+ctx.fillRect(0, 0, W, H);
+ctx.fillStyle = "#cc8833";
+ctx.fillRect(4, 4, Math.floor(W / 2), Math.floor(H / 2));
+
+var renders = 0;
+
+// nest 1 (hot): brightness + contrast. CamanJS-style: the render loop
+// hands each pixel to the filter callback.
+function processPixels(data, n, filter) {
+  var i;
+  for (i = 0; i < n; i++) {
+    var o = i * 4;
+    var px = filter(data[o], data[o + 1], data[o + 2]);
+    data[o] = px.r;
+    data[o + 1] = px.g;
+    data[o + 2] = px.b;
+  }
+}
+function brightnessContrast(data, n, brightness, contrast) {
+  var clamp = function(v) { return v < 0 ? 0 : (v > 255 ? 255 : v); };
+  processPixels(data, n, function(r, g, b) {
+    return {
+      r: clamp(r * contrast + brightness),
+      g: clamp(g * contrast + brightness),
+      b: clamp(b * contrast + brightness)
+    };
+  });
+}
+
+// nest 2: 3x3 box blur (reads the source copy, writes the target)
+function boxBlur(src, dst, w, h) {
+  var i;
+  for (i = 0; i < w * h; i++) {
+    var x = i % w;
+    var y = Math.floor(i / w);
+    if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+      var c;
+      for (c = 0; c < 3; c++) {
+        var o = i * 4 + c;
+        dst[o] = (src[o - 4] + src[o] + src[o + 4]
+                + src[o - w * 4] + src[o + w * 4]
+                + src[o - w * 4 - 4] + src[o - w * 4 + 4]
+                + src[o + w * 4 - 4] + src[o + w * 4 + 4]) / 9;
+      }
+    } else {
+      dst[i * 4] = src[i * 4];
+      dst[i * 4 + 1] = src[i * 4 + 1];
+      dst[i * 4 + 2] = src[i * 4 + 2];
+    }
+  }
+}
+
+// nest 3: per-component levels clamp (4x trips of the pixel loops)
+function levels(data, len, lo, hi) {
+  var i;
+  for (i = 0; i < len; i++) {
+    var v = data[i];
+    data[i] = v < lo ? lo : (v > hi ? hi : v);
+  }
+}
+
+function applyFilters() {
+  var img = ctx.getImageData(0, 0, W, H);
+  var data = img.data;
+  var n = W * H;
+  brightnessContrast(data, n, 12, 1.08);
+  var copy = data.slice(0, n * 4);
+  boxBlur(copy, data, W, H);
+  levels(data, n * 4, 8, 246);
+  ctx.putImageData(img, 0, 0);
+  renders++;
+  console.log("caman: render", renders);
+}
+
+var button = document.createElement("button");
+button.id = "apply-button";
+document.body.appendChild(button);
+button.addEventListener("click", function(ev) { applyFilters(); });
+|}
+
+let workload =
+  Workload.make ~name:"CamanJS" ~url:"camanjs.com"
+    ~category:"Audio and Video" ~description:"image manipulation library"
+    ~source ~session_ms:40_000.
+    ~interactions:(Workload.clicks ~target_id:"apply-button"
+                     ~times:[ 2_000.; 11_000.; 20_000.; 29_000. ])
+    ~dep_scale:0.4 ~hot_nest_count:3 ()

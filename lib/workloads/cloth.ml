@@ -1,0 +1,156 @@
+(* Tear-able Cloth — Verlet cloth physics (Table 1, "Games").
+
+   Per animation frame: Verlet integration over the point grid, then
+   several relaxation passes over the distance constraints (the hot
+   nest: constraint resolution writes both endpoint objects, the
+   paper's "medium" dependence-breaking difficulty), then a cheap
+   redraw. Constraints tear when over-stretched, so the constraint
+   list shrinks over the session. *)
+
+let source = {|
+var COLS = Math.floor(10 * SCALE) + 3;
+var ROWS = Math.floor(8 * SCALE) + 2;
+var SPACING = 8;
+var TEAR = 13;
+var GRAVITY = 0.24;
+
+var canvas = document.createElement("canvas");
+canvas.width = 240; canvas.height = 160;
+canvas.id = "cloth-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var points = [];
+var constraints = [];
+var mouse = { x: 0, y: 0, down: false, px: 0, py: 0 };
+var frame = 0;
+
+function Point(x, y, pinned) {
+  this.x = x; this.y = y;
+  this.px = x; this.py = y;
+  this.pinned = pinned;
+}
+
+function buildCloth() {
+  var r, c;
+  for (r = 0; r < ROWS; r++) {
+    for (c = 0; c < COLS; c++) {
+      points.push(new Point(20 + c * SPACING, 10 + r * SPACING, r === 0 && c % 3 === 0));
+    }
+  }
+  var i;
+  for (i = 0; i < points.length; i++) {
+    var col = i % COLS;
+    var row = Math.floor(i / COLS);
+    if (col < COLS - 1) { constraints.push({ p1: points[i], p2: points[i + 1], rest: SPACING }); }
+    if (row < ROWS - 1) { constraints.push({ p1: points[i], p2: points[i + COLS], rest: SPACING }); }
+  }
+}
+
+function integrate() {
+  var i;
+  for (i = 0; i < points.length; i++) {
+    var p = points[i];
+    if (!p.pinned) {
+      var vx = (p.x - p.px) * 0.99;
+      var vy = (p.y - p.py) * 0.99;
+      p.px = p.x; p.py = p.y;
+      p.x += vx;
+      p.y += vy + GRAVITY;
+      if (mouse.down) {
+        var dx = p.x - mouse.x;
+        var dy = p.y - mouse.y;
+        var d2 = dx * dx + dy * dy;
+        if (d2 < 400) { p.x += (mouse.x - mouse.px) * 0.4; p.y += (mouse.y - mouse.py) * 0.4; }
+      }
+    }
+  }
+}
+
+// the hot nest: one relaxation pass over every constraint
+function relaxConstraints() {
+  var i;
+  for (i = 0; i < constraints.length; i++) {
+    var con = constraints[i];
+    var dx = con.p2.x - con.p1.x;
+    var dy = con.p2.y - con.p1.y;
+    // fast path: alpha-max-beta-min approximation; every 8th
+    // constraint gets the exact sqrt to bound drift
+    var ax = dx < 0 ? -dx : dx;
+    var ay = dy < 0 ? -dy : dy;
+    var dist;
+    if ((i & 3) === 0) {
+      dist = Math.sqrt(dx * dx + dy * dy);
+    } else {
+      dist = ax > ay ? 0.96 * ax + 0.4 * ay : 0.96 * ay + 0.4 * ax;
+    }
+    if (dist > TEAR) {
+      con.dead = true;
+    } else if (dist > 0.0001) {
+      var diff = (con.rest - dist) / dist * 0.5;
+      var ox = dx * diff;
+      var oy = dy * diff;
+      if (!con.p1.pinned) { con.p1.x -= ox; con.p1.y -= oy; }
+      if (!con.p2.pinned) { con.p2.x += ox; con.p2.y += oy; }
+    }
+  }
+}
+
+// tearing cleanup, batched every few frames
+function sweepDead() {
+  constraints = constraints.filter(function(c) { return !c.dead; });
+}
+
+function draw() {
+  ctx.clearRect(0, 0, 240, 160);
+  ctx.beginPath();
+  var i;
+  for (i = 0; i < constraints.length; i += 12) {
+    var con = constraints[i];
+    ctx.moveTo(con.p1.x, con.p1.y);
+    ctx.lineTo(con.p2.x, con.p2.y);
+  }
+  ctx.stroke();
+}
+
+function tick() {
+  frame++;
+  integrate();
+  // relaxation passes, unrolled
+  relaxConstraints();
+  relaxConstraints();
+  relaxConstraints();
+  if (frame % 4 === 0) { sweepDead(); }
+  if (frame % 6 === 0) { draw(); }
+  if (frame < 32) { requestAnimationFrame(tick); }
+  else { console.log("cloth: frames", frame, "constraints left", constraints.length); }
+}
+
+canvas.addEventListener("mousedown", function(ev) {
+  mouse.down = true; mouse.x = ev.clientX; mouse.y = ev.clientY;
+  mouse.px = ev.clientX; mouse.py = ev.clientY;
+});
+canvas.addEventListener("mousemove", function(ev) {
+  mouse.px = mouse.x; mouse.py = mouse.y;
+  mouse.x = ev.clientX; mouse.y = ev.clientY;
+});
+canvas.addEventListener("mouseup", function(ev) { mouse.down = false; });
+
+buildCloth();
+requestAnimationFrame(tick);
+|}
+
+let interactions =
+  ({ Workload.at_ms = 1500.; target_id = "cloth-canvas"; event = "mousedown";
+     x = 60.; y = 50. }
+   :: Workload.mouse_path ~target_id:"cloth-canvas" ~event:"mousemove"
+        ~t0:1600. ~t1:5200. ~n:24)
+  @ [ { Workload.at_ms = 5300.; target_id = "cloth-canvas";
+        event = "mouseup"; x = 120.; y = 60. } ]
+
+let workload =
+  Workload.make ~name:"Tear-able Cloth" ~url:"lonely-pixel.com/lab/cloth"
+    ~category:"Games"
+    ~description:"cloth physics simulation (Verlet integration)"
+    ~source ~session_ms:14_000. ~interactions ~dep_scale:0.5
+    ~hot_nest_count:1 ()

@@ -1,0 +1,114 @@
+(* D3.js — interactive azimuthal-projection map (Table 1,
+   "Visualization").
+
+   Dragging re-projects every geometry point through an azimuthal
+   equidistant projection (trigonometry with a clipping branch — the
+   paper marks this nest's divergence "yes") and rebuilds the path
+   elements through the DOM, giving the "hard" rating: the projection
+   math itself is clean, but the nest is welded to DOM updates. One
+   nest, ~51 instances (drags), ~156 points per pass. *)
+
+let source = {|
+var POINTS = Math.floor(130 * SCALE) + 26;
+
+var svg = document.createElement("div");
+svg.id = "d3-map";
+document.body.appendChild(svg);
+
+var coords = [];
+var pathElements = [];
+var projections = 0;
+var last = { x: 0, y: 0, lon: 0, lat: 0, pending: "" };
+
+(function buildTopology() {
+  var i;
+  for (i = 0; i < POINTS; i++) {
+    // lon/lat rings of a synthetic landmass
+    coords.push({
+      lon: -3.1 + 6.2 * (i / POINTS),
+      lat: -1.2 + Math.sin(i * 0.23) * 1.1
+    });
+    var el = document.createElement("path");
+    el.setAttribute("class", "country");
+    svg.appendChild(el);
+    pathElements.push(el);
+  }
+})();
+
+// the hot nest: azimuthal equidistant projection + DOM path update
+function reproject(centerLon, centerLat) {
+  var cosC = Math.cos(centerLat);
+  var sinC = Math.sin(centerLat);
+  var i;
+  for (i = 0; i < coords.length; i++) {
+    var lon = coords[i].lon - centerLon;
+    var lat = coords[i].lat;
+    var cosLat = Math.cos(lat);
+    var sinLat = Math.sin(lat);
+    var cosDist = sinC * sinLat + cosC * cosLat * Math.cos(lon);
+    var x, y;
+    if (cosDist > 0.999999) {
+      x = 0; y = 0;
+    } else if (cosDist < -0.3) {
+      // clipped to the back hemisphere rim: divergent branch
+      var angle = Math.atan2(cosLat * Math.sin(lon),
+                             cosC * sinLat - sinC * cosLat * Math.cos(lon));
+      x = 140 * Math.cos(angle);
+      y = 140 * Math.sin(angle);
+    } else {
+      var c = Math.acos(cosDist);
+      var k = c / Math.sin(c);
+      x = 90 * k * cosLat * Math.sin(lon);
+      y = 90 * k * (cosC * sinLat - sinC * cosLat * Math.cos(lon));
+    }
+    // path continuity: interpolate from the previously projected
+    // vertex (reads state written by the preceding iteration)
+    var midX = (last.x + x) / 2;
+    var midY = (last.y + y) / 2;
+    var lonJump = Math.abs(last.lon - coords[i].lon);
+    var latJump = Math.abs(last.lat - lat);
+    var bend = lonJump + latJump > 0.8 ? 1 : 0;
+    var seg = "L" + Math.floor(midX + 150) + "," + Math.floor(midY + 150)
+            + (bend === 1 ? "Z" : "") + "L" + Math.floor(x + 150) + "," + Math.floor(y + 150);
+    last.pending = last.pending + seg;
+    last.x = x;
+    last.y = y;
+    last.lon = coords[i].lon;
+    last.lat = lat;
+    if ((i & 7) === 7) {
+      // flush the accumulated path data to the DOM in batches
+      pathElements[i].setAttribute("d", "M0,0" + last.pending);
+      last.pending = "";
+    }
+    projections++;
+  }
+}
+
+var dragging = false;
+svg.addEventListener("mousedown", function(ev) { dragging = true; });
+svg.addEventListener("mouseup", function(ev) {
+  dragging = false;
+  console.log("d3: projections", projections);
+});
+svg.addEventListener("mousemove", function(ev) {
+  if (dragging) {
+    reproject(ev.clientX * 0.01, ev.clientY * 0.008);
+  }
+});
+
+reproject(0, 0);
+|}
+
+let interactions =
+  ({ Workload.at_ms = 1_000.; target_id = "d3-map"; event = "mousedown";
+     x = 10.; y = 10. }
+   :: Workload.mouse_path ~target_id:"d3-map" ~event:"mousemove" ~t0:1_100.
+        ~t1:16_500. ~n:30)
+  @ [ { Workload.at_ms = 17_000.; target_id = "d3-map"; event = "mouseup";
+        x = 0.; y = 0. } ]
+
+let workload =
+  Workload.make ~name:"D3.js" ~url:"d3js.org" ~category:"Visualization"
+    ~description:"interactive azimuthal projection map"
+    ~source ~session_ms:18_000. ~interactions ~dep_scale:1.0
+    ~hot_nest_count:1 ()

@@ -1,0 +1,165 @@
+(* fluidSim — incompressible Navier-Stokes (Table 1, "Games").
+
+   Jos Stam's stable-fluids solver, the algorithm behind the original
+   nerget.com demo: per animation frame, velocity diffusion, advection
+   and a pressure projection, each built from many instances of small
+   grid sweeps — which is why the paper measures ~40k loop instances
+   with middling trip counts for this app. The sweeps are Jacobi-style
+   (read previous buffer, write next), so iterations scatter into
+   distinct cells: "easy" in Table 3, with no DOM traffic inside
+   loops (the density blit happens after the solve). *)
+
+let source = {|
+var N = Math.floor(7 * SCALE) + 3;
+var SIZE = (N + 2) * (N + 2);
+
+var canvas = document.createElement("canvas");
+canvas.width = N + 2; canvas.height = N + 2;
+canvas.id = "fluid-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var u = new Array(SIZE);
+var v = new Array(SIZE);
+var u0 = new Array(SIZE);
+var v0 = new Array(SIZE);
+var dens = new Array(SIZE);
+var dens0 = new Array(SIZE);
+var frame = 0;
+
+function clearArrays() {
+  var i;
+  for (i = 0; i < SIZE; i++) { u[i] = 0; v[i] = 0; u0[i] = 0; v0[i] = 0; dens[i] = 0; dens0[i] = 0; }
+}
+
+function IX(x, y) { return x + (N + 2) * y; }
+
+function setBoundary(b, x) {
+  var i;
+  for (i = 1; i <= N; i++) {
+    x[IX(0, i)] = b === 1 ? -x[IX(1, i)] : x[IX(1, i)];
+    x[IX(N + 1, i)] = b === 1 ? -x[IX(N, i)] : x[IX(N, i)];
+    x[IX(i, 0)] = b === 2 ? -x[IX(i, 1)] : x[IX(i, 1)];
+    x[IX(i, N + 1)] = b === 2 ? -x[IX(i, N)] : x[IX(i, N)];
+  }
+}
+
+// Jacobi relaxation sweep: reads [x0]/[prev], writes [x]
+function linSolve(b, x, x0, a, c) {
+  var k;
+  for (k = 0; k < 2; k++) {
+    var j;
+    for (j = 1; j <= N; j++) {
+      var i;
+      for (i = 1; i <= N; i++) {
+        x[IX(i, j)] = (x0[IX(i, j)] + a * (x[IX(i - 1, j)] + x[IX(i + 1, j)] + x[IX(i, j - 1)] + x[IX(i, j + 1)])) / c;
+      }
+    }
+    setBoundary(b, x);
+  }
+}
+
+function diffuse(b, x, x0, diff) {
+  var a = 0.1 * diff * N * N;
+  linSolve(b, x, x0, a, 1 + 4 * a);
+}
+
+function advect(b, d, d0, uu, vv) {
+  var dt0 = 0.1 * N;
+  var j;
+  for (j = 1; j <= N; j++) {
+    var i;
+    for (i = 1; i <= N; i++) {
+      var x = i - dt0 * uu[IX(i, j)];
+      var y = j - dt0 * vv[IX(i, j)];
+      if (x < 0.5) { x = 0.5; }
+      if (x > N + 0.5) { x = N + 0.5; }
+      if (y < 0.5) { y = 0.5; }
+      if (y > N + 0.5) { y = N + 0.5; }
+      var i0 = Math.floor(x);
+      var j0 = Math.floor(y);
+      var s1 = x - i0;
+      var t1 = y - j0;
+      d[IX(i, j)] = (1 - s1) * ((1 - t1) * d0[IX(i0, j0)] + t1 * d0[IX(i0, j0 + 1)])
+                  + s1 * ((1 - t1) * d0[IX(i0 + 1, j0)] + t1 * d0[IX(i0 + 1, j0 + 1)]);
+    }
+  }
+  setBoundary(b, d);
+}
+
+function project() {
+  var j;
+  for (j = 1; j <= N; j++) {
+    var i;
+    for (i = 1; i <= N; i++) {
+      u0[IX(i, j)] = -0.5 * (u[IX(i + 1, j)] - u[IX(i - 1, j)] + v[IX(i, j + 1)] - v[IX(i, j - 1)]) / N;
+      v0[IX(i, j)] = 0;
+    }
+  }
+  setBoundary(0, u0);
+  setBoundary(0, v0);
+  linSolve(0, v0, u0, 1, 4);
+  for (j = 1; j <= N; j++) {
+    var i2;
+    for (i2 = 1; i2 <= N; i2++) {
+      u[IX(i2, j)] -= 0.5 * N * (v0[IX(i2 + 1, j)] - v0[IX(i2 - 1, j)]);
+      v[IX(i2, j)] -= 0.5 * N * (v0[IX(i2, j + 1)] - v0[IX(i2, j - 1)]);
+    }
+  }
+  setBoundary(1, u);
+  setBoundary(2, v);
+}
+
+function addSource(x, y, amount) {
+  dens[IX(x, y)] += amount;
+  u[IX(x, y)] += 1.5;
+  v[IX(x, y)] -= 0.8;
+}
+
+function step() {
+  // zero-viscosity variant: velocity self-advects (no velocity
+  // diffusion solves), as in the original demo's fast path
+  var tmp;
+  advect(1, u0, u, u, v);
+  advect(2, v0, v, u, v);
+  tmp = u; u = u0; u0 = tmp;
+  tmp = v; v = v0; v0 = tmp;
+  project();
+  diffuse(0, dens0, dens, 0.0001);
+  advect(0, dens, dens0, u, v);
+}
+
+function blit() {
+  var img = ctx.createImageData(N + 2, N + 2);
+  var data = img.data;
+  dens.forEach(function(d, i) {
+    // tone-map and dither the density field
+    var c = 255 * (1 - Math.exp(-d * 2.2));
+    var n = ((i * 2654435761) % 7) - 3;
+    c = c + n * 0.5;
+    data[i * 4] = c > 255 ? 255 : (c < 0 ? 0 : c);
+    data[i * 4 + 1] = c * 0.45;
+    data[i * 4 + 2] = 255 - c * 0.3;
+    data[i * 4 + 3] = 255;
+  });
+  ctx.putImageData(img, 0, 0);
+}
+
+function tick() {
+  frame++;
+  addSource(2 + (frame % (N - 3)), 2 + (frame * 3 % (N - 3)), 2.5);
+  step();
+  if (frame % 2 === 0) { blit(); }
+  if (frame < 28) { requestAnimationFrame(tick); }
+  else { console.log("fluid: frames", frame, "density@center", dens[IX(Math.floor(N / 2), Math.floor(N / 2))]); }
+}
+
+clearArrays();
+requestAnimationFrame(tick);
+|}
+
+let workload =
+  Workload.make ~name:"fluidSim" ~url:"nerget.com/fluidSim"
+    ~category:"Games"
+    ~description:"fluid dynamics simulation (Navier-Stokes)"
+    ~source ~session_ms:22_000. ~dep_scale:0.5 ~hot_nest_count:1 ()

@@ -1,0 +1,190 @@
+(* HAAR.js — Viola-Jones face detection (Table 1, "User recognition").
+
+   Structure mirrors the real library's hot paths:
+   - grayscale + integral image computed in *functional* style
+     (map/forEach) — heavy work that is NOT inside syntactic loops,
+     which is why the paper's lightweight numbers show HAAR active for
+     2 s but only 0.44 s in loops;
+   - nest A: the multi-scale sliding-window scan (little divergence,
+     ~tens of trips per loop, easy to parallelize);
+   - nest B: per-candidate cascade evaluation that walks a weak
+     classifier tree of data-dependent depth (the paper: "a recursive
+     search through a tree which makes the iterations uneven"). *)
+
+let source = {|
+var W = Math.floor(30 * SCALE) + 6;
+var H = Math.floor(30 * SCALE) + 6;
+var detections = 0;
+var candidatesTried = 0;
+
+var canvas = document.createElement("canvas");
+canvas.width = W; canvas.height = H;
+canvas.id = "haar-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+// synthetic "photo": deterministic texture, built functionally
+function makePixels() {
+  return new Array(W * H).map(function(ignored, i) {
+    var x = i % W;
+    var y = Math.floor(i / W);
+    return { r: (x * 7 + y * 13) % 256, g: (x * 3 + y * 29) % 256, b: (x * 11 + y * 5) % 256 };
+  });
+}
+
+// functional-style preprocessing: no syntactic loops here
+function grayscale(px) {
+  return px.map(function(p) { return (p.r * 0.299 + p.g * 0.587 + p.b * 0.114); });
+}
+function smooth(gray) {
+  return gray.map(function(g, i) {
+    var left = i > 0 ? gray[i - 1] : g;
+    var right = i + 1 < gray.length ? gray[i + 1] : g;
+    return (left + 2 * g + right) / 4;
+  });
+}
+function integralImage(gray) {
+  var ii = new Array(W * H);
+  gray.forEach(function(g, i) {
+    var x = i % W;
+    var y = Math.floor(i / W);
+    var left = x > 0 ? ii[i - 1] : 0;
+    var up = y > 0 ? ii[i - W] : 0;
+    var diag = (x > 0 && y > 0) ? ii[i - W - 1] : 0;
+    ii[i] = g + left + up - diag;
+  });
+  return ii;
+}
+// squared integral image, for the variance normalisation pass
+function squaredIntegral(gray) {
+  var ii2 = new Array(W * H);
+  gray.forEach(function(g, i) {
+    var x = i % W;
+    var y = Math.floor(i / W);
+    var left = x > 0 ? ii2[i - 1] : 0;
+    var up = y > 0 ? ii2[i - W] : 0;
+    var diag = (x > 0 && y > 0) ? ii2[i - W - 1] : 0;
+    ii2[i] = g * g + left + up - diag;
+  });
+  return ii2;
+}
+function rectSum(ii, x, y, w, h) {
+  var a = (y > 0 && x > 0) ? ii[(y - 1) * W + (x - 1)] : 0;
+  var b = (y > 0) ? ii[(y - 1) * W + (x + w - 1)] : 0;
+  var c = (x > 0) ? ii[(y + h - 1) * W + (x - 1)] : 0;
+  var d = ii[(y + h - 1) * W + (x + w - 1)];
+  return d - b - c + a;
+}
+
+// a tiny cascade: stages of weak classifiers arranged as binary trees
+function makeCascade() {
+  var stages = [];
+  var s;
+  for (s = 0; s < 3; s++) {
+    var nodes = [];
+    var n;
+    for (n = 0; n < 15; n++) {
+      nodes.push({
+        fx: (n * 3 + s) % 6, fy: (n * 5 + s) % 6, fw: 3 + (n % 4), fh: 3 + ((n + s) % 4),
+        threshold: 860 + 41 * n + 23 * s,
+        // chain classifier: success advances, failure exits, so the
+        // walk length is data dependent (1..15 nodes)
+        left: n + 1 < 15 ? n + 1 : -1,
+        right: -1
+      });
+    }
+    stages.push({ nodes: nodes, passThreshold: 2 + s });
+  }
+  return stages;
+}
+
+var cascade = makeCascade();
+var candidates = [];
+
+// nest A: multi-scale sliding-window scan with variance
+// normalisation (Viola-Jones prefilter: flat windows cannot contain a
+// face)
+function scanWindows(ii, ii2) {
+  candidates = [];
+  var scale = 11;
+  while (scale < Math.min(W, H)) {
+    var step = Math.max(2, Math.floor(scale / 4));
+    var y;
+    for (y = 0; y + scale < H; y += step) {
+      var x;
+      for (x = 0; x + scale < W; x += step) {
+        var area = scale * scale;
+        var mean = rectSum(ii, x, y, scale, scale) / area;
+        var sqMean = rectSum(ii2, x, y, scale, scale) / area;
+        var variance = sqMean - mean * mean;
+        var sd = variance > 0 ? Math.sqrt(variance) : 0;
+        if (mean > 60 && mean < 200 && sd % 16 > 12) {
+          candidates.push({ x: x, y: y, size: scale, norm: sd });
+        }
+      }
+    }
+    scale = Math.floor(scale * 1.3) + 1;
+  }
+}
+
+// nest B: cascade evaluation; tree walk of data-dependent depth
+function evaluateCandidates(ii) {
+  var c;
+  for (c = 0; c < candidates.length; c++) {
+    var cand = candidates[c];
+    var unit = cand.size / 12;
+    var passed = 0;
+    var s = 0;
+    var alive = true;
+    while (alive && s < cascade.length) {
+      var stage = cascade[s];
+      var node = 0;
+      var votes = 0;
+      // descend the weak-classifier tree; depth depends on the data
+      while (node >= 0) {
+        var wk = stage.nodes[node];
+        var fx = cand.x + Math.floor(wk.fx * unit);
+        var fy = cand.y + Math.floor(wk.fy * unit);
+        var fw = Math.max(1, Math.floor(wk.fw * unit));
+        var fh = Math.max(1, Math.floor(wk.fh * unit));
+        var v = rectSum(ii, fx, fy, fw, fh) / (fw * fh);
+        if (v > wk.threshold / 8) {
+          votes++;
+          node = wk.left;
+        } else {
+          node = wk.right;
+        }
+      }
+      if (votes >= stage.passThreshold) { passed++; } else { alive = false; }
+      s++;
+    }
+    candidatesTried++;
+    if (passed === cascade.length) { detections++; }
+  }
+}
+
+var photo = makePixels();
+
+function detect() {
+  var gray = smooth(smooth(grayscale(photo)));
+  var ii = integralImage(gray);
+  var ii2 = squaredIntegral(gray);
+  scanWindows(ii, ii2);
+  evaluateCandidates(ii);
+  console.log("haar: candidates", candidatesTried, "detections", detections);
+}
+
+var button = document.createElement("button");
+button.id = "detect-button";
+document.body.appendChild(button);
+button.addEventListener("click", function(ev) { detect(); });
+|}
+
+let workload =
+  Workload.make ~name:"HAAR.js" ~url:"github.com/foo123/HAAR.js"
+    ~category:"User recognition"
+    ~description:"face recognition (Viola-Jones)"
+    ~source ~session_ms:8_000.
+    ~interactions:(Workload.clicks ~target_id:"detect-button"
+                     ~times:[ 900.; 3200.; 5600. ])
+    ~dep_scale:0.6 ~hot_nest_count:2 ()

@@ -1,0 +1,94 @@
+(* Harmony — procedural sketching app (Table 1, "Audio and Video" /
+   drawing application).
+
+   Mr.doob's Harmony draws with "smart brushes": every mousemove adds a
+   point and strokes a link to each previous point within a radius.
+   The three hot nests all issue Canvas calls from inside the loop —
+   which is exactly why the paper rates Harmony's nests easy on
+   dependences but "very hard" to parallelize on current browsers. The
+   session is mostly idle mouse-wandering, matching the 41 s total /
+   sub-second active row of Table 2. *)
+
+let source = {|
+var canvas = document.createElement("canvas");
+canvas.width = 320; canvas.height = 200;
+canvas.id = "harmony-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var pointsX = [];
+var pointsY = [];
+var strokes = 0;
+var RADIUS2 = 1600;
+
+// nest 1: stroke links to neighbouring points (canvas inside loop)
+function drawLinks(x, y) {
+  ctx.beginPath();
+  var i;
+  for (i = 0; i < pointsX.length; i++) {
+    var dx = pointsX[i] - x;
+    var dy = pointsY[i] - y;
+    var d2 = dx * dx + dy * dy;
+    if (d2 < RADIUS2 && d2 > 0) {
+      ctx.moveTo(x, y);
+      ctx.lineTo(pointsX[i] + dx * 0.2, pointsY[i] + dy * 0.2);
+      strokes++;
+    }
+  }
+  ctx.stroke();
+}
+
+// nest 2: ribbon smoothing over the tail of the trace (canvas inside)
+function smoothTail(x, y) {
+  var n = pointsX.length;
+  var from = n > 50 ? n - 50 : 0;
+  ctx.beginPath();
+  var i;
+  for (i = from; i < n - 1; i++) {
+    var mx = (pointsX[i] + pointsX[i + 1]) / 2;
+    var my = (pointsY[i] + pointsY[i + 1]) / 2;
+    ctx.moveTo(pointsX[i], pointsY[i]);
+    ctx.lineTo(mx, my);
+  }
+  ctx.stroke();
+}
+
+// nest 3: fade pass over recent points (canvas inside)
+function fadeRecent() {
+  var n = pointsX.length;
+  var from = n > 28 ? n - 28 : 0;
+  var i;
+  for (i = from; i < n; i++) {
+    var age = (n - i) / 28;
+    var alpha = 0.08 * (1 - age) * (1 - age);
+    ctx.fillStyle = "rgba(250,250,250," + alpha + ")";
+    ctx.fillRect(pointsX[i] - 2, pointsY[i] - 2, 4, 4);
+  }
+}
+
+canvas.addEventListener("mousemove", function(ev) {
+  var x = ev.clientX;
+  var y = ev.clientY;
+  pointsX.push(x);
+  pointsY.push(y);
+  drawLinks(x, y);
+  smoothTail(x, y);
+  fadeRecent();
+});
+
+canvas.addEventListener("mouseup", function(ev) {
+  console.log("harmony: points", pointsX.length, "strokes", strokes);
+});
+|}
+
+let interactions =
+  Workload.mouse_path ~target_id:"harmony-canvas" ~event:"mousemove"
+    ~t0:2_000. ~t1:38_000. ~n:60
+  @ [ { Workload.at_ms = 39_000.; target_id = "harmony-canvas";
+        event = "mouseup"; x = 0.; y = 0. } ]
+
+let workload =
+  Workload.make ~name:"Harmony" ~url:"mrdoob.com/projects/harmony"
+    ~category:"Audio and Video" ~description:"drawing application"
+    ~source ~session_ms:41_000. ~interactions ~dep_scale:1.0
+    ~hot_nest_count:3 ()

@@ -1,0 +1,78 @@
+(** Execution harness for the case study (paper Sec. 3).
+
+    Runs a workload under one of the staged instrumentation modes,
+    scripting its user interactions on the event loop, and collects the
+    measurements behind Tables 2 and 3. *)
+
+type run_context = {
+  st : Interp.Value.state;
+  doc : Dom.Document.t;
+  program : Jsir.Ast.program;
+  infos : Jsir.Loops.info array;
+}
+
+val ticks_per_ms : int
+(** Virtual-clock rate of the abstract machine (300 cost units per
+    virtual millisecond), chosen so the 12 sessions land in the paper's
+    8-62 s range. *)
+
+val prepare : ?seed:int -> ?scale:float -> Workload.t -> run_context
+(** Fresh interpreter + DOM with the workload parsed; [scale] is the
+    JS-visible [SCALE] sizing global (default 1.0). *)
+
+val drive : run_context -> Workload.t -> unit
+(** Schedule the scripted interactions and run the event loop to the
+    end of the session. *)
+
+type timing = {
+  total_ms : float; (** scripted session length (Table 2 "Total") *)
+  active_ms : float; (** Gecko-model sampler estimate ("Active") *)
+  busy_ms : float; (** true interpreter busy time *)
+  in_loops_ms : float; (** lightweight loop timer ("In Loops") *)
+  dom_accesses : int;
+  canvas_accesses : int;
+  console : string list;
+}
+
+val run_plain : ?scale:float -> Workload.t -> run_context
+(** Uninstrumented baseline. *)
+
+val run_lightweight : ?scale:float -> Workload.t -> timing
+(** Sec. 3.1 stage with the sampling profiler attached: a Table 2 row. *)
+
+val run_loop_profile :
+  ?scale:float -> Workload.t -> run_context * Ceres.Loop_profile.t
+(** Sec. 3.2 stage. *)
+
+val run_dependence :
+  ?focus:Jsir.Ast.loop_id list -> Workload.t -> run_context * Ceres.Runtime.t
+(** Sec. 3.3 stage, at the workload's [dep_scale]. *)
+
+(** One Table 3 row. *)
+type nest_row = {
+  workload : string;
+  root : Jsir.Ast.loop_id;
+  label : string;
+  pct_loop_time : float;
+  instances : int;
+  trips_mean : float;
+  trips_sd : float;
+  divergence : Ceres.Classify.divergence;
+  dom_access : bool;
+  dep_difficulty : Ceres.Classify.difficulty;
+  par_difficulty : Ceres.Classify.difficulty;
+  warning_count : int;
+  advice : Ceres.Advice.recommendation list;
+}
+
+val inspect :
+  ?fraction:float -> ?max_nests:int -> Workload.t -> nest_row list
+(** The full Table 3 pipeline for one workload: loop-profile pass to
+    find the hot nests, dependence pass to characterize them, then
+    classification. Returns the application's paper row count by
+    default; [max_nests] widens it (the Amdahl bench classifies every
+    nest). *)
+
+val export_report : ?dir:string -> Workload.t -> string
+(** Run all stages and write the markdown report (paper Fig. 5 steps
+    5-7); returns the path written. *)

@@ -1,0 +1,275 @@
+(* Native OCaml kernels for the five workloads whose hot nests JS-CERES
+   classifies as easily parallelizable — HAAR's window scan, CamanJS's
+   pixel filters, fluidSim's advection, the raytracer and the normal
+   mapper. The speedup bench runs each sequentially and under the
+   domain pool, validating the paper's Amdahl claim (>= 3x reachable
+   for 5 of the 12 applications) with real parallel execution rather
+   than a projection.
+
+   Every kernel returns a checksum so the tests can assert parallel ==
+   sequential. Inputs are derived deterministically from the same
+   formulas as the MiniJS sources. *)
+
+type kernel = {
+  kname : string;
+  workload : string; (* the Table 1 application it models *)
+  run : ?pool:Js_parallel.Pool.t -> int -> float;
+      (* [run ?pool size]: sequential when [pool] is [None] *)
+  default_size : int;
+}
+
+let for_range ?pool ~lo ~hi f =
+  match pool with
+  | None ->
+    for i = lo to hi - 1 do
+      f i
+    done
+  | Some p -> Js_parallel.Pool.parallel_for p ~lo ~hi f
+
+(* --- CamanJS: brightness/contrast + 3x3 blur over an RGBA image ---- *)
+
+let caman_image w h =
+  Array.init (w * h * 4) (fun i ->
+      let px = i / 4 and c = i mod 4 in
+      let x = px mod w and y = px / w in
+      if c = 3 then 255.
+      else float_of_int (((x * (7 + c)) + (y * (13 + c))) mod 256))
+
+let caman_run ?pool size =
+  let w = size and h = size in
+  let data = caman_image w h in
+  let out = Array.make (Array.length data) 0. in
+  let clamp v = if v < 0. then 0. else if v > 255. then 255. else v in
+  (* pass 1: brightness/contrast *)
+  for_range ?pool ~lo:0 ~hi:(w * h) (fun px ->
+      let o = px * 4 in
+      for c = 0 to 2 do
+        out.(o + c) <- clamp ((data.(o + c) *. 1.08) +. 12.)
+      done;
+      out.(o + 3) <- 255.);
+  (* pass 2: blur out -> data *)
+  for_range ?pool ~lo:0 ~hi:(w * h) (fun px ->
+      let x = px mod w and y = px / w in
+      let o = px * 4 in
+      if x > 0 && x < w - 1 && y > 0 && y < h - 1 then
+        for c = 0 to 2 do
+          let at dx dy = out.(((y + dy) * w + (x + dx)) * 4 + c) in
+          data.(o + c) <-
+            (at (-1) (-1) +. at 0 (-1) +. at 1 (-1) +. at (-1) 0 +. at 0 0
+             +. at 1 0 +. at (-1) 1 +. at 0 1 +. at 1 1)
+            /. 9.
+        done
+      else
+        for c = 0 to 2 do
+          data.(o + c) <- out.(o + c)
+        done);
+  Array.fold_left ( +. ) 0. data
+
+(* --- fluidSim: semi-Lagrangian advection sweep --------------------- *)
+
+let fluid_run ?pool size =
+  let n = size in
+  let stride = n + 2 in
+  let ix x y = x + (stride * y) in
+  let cells = stride * stride in
+  let u = Array.init cells (fun i -> sin (float_of_int i *. 0.13) *. 0.8) in
+  let v = Array.init cells (fun i -> cos (float_of_int i *. 0.07) *. 0.8) in
+  let d0 = Array.init cells (fun i -> Float.abs (sin (float_of_int i *. 0.31))) in
+  let d = Array.make cells 0. in
+  let dt0 = 0.1 *. float_of_int n in
+  (* several advection sweeps, each parallel over rows *)
+  for _sweep = 1 to 8 do
+    for_range ?pool ~lo:1 ~hi:(n + 1) (fun j ->
+        for i = 1 to n do
+          let x = float_of_int i -. (dt0 *. u.(ix i j)) in
+          let y = float_of_int j -. (dt0 *. v.(ix i j)) in
+          let x = Float.max 0.5 (Float.min (float_of_int n +. 0.5) x) in
+          let y = Float.max 0.5 (Float.min (float_of_int n +. 0.5) y) in
+          let i0 = int_of_float x and j0 = int_of_float y in
+          let s1 = x -. float_of_int i0 and t1 = y -. float_of_int j0 in
+          d.(ix i j) <-
+            ((1. -. s1)
+             *. (((1. -. t1) *. d0.(ix i0 j0)) +. (t1 *. d0.(ix i0 (j0 + 1)))))
+            +. (s1
+                *. (((1. -. t1) *. d0.(ix (i0 + 1) j0))
+                    +. (t1 *. d0.(ix (i0 + 1) (j0 + 1)))))
+        done);
+    Array.blit d 0 d0 0 cells
+  done;
+  Array.fold_left ( +. ) 0. d
+
+(* --- Raytracing: per-row ray casting ------------------------------- *)
+
+type sphere = { sx : float; sy : float; sz : float; sr : float;
+                scr : float; scg : float; scb : float; srefl : float }
+
+let rt_spheres =
+  [| { sx = 0.0; sy = -0.6; sz = 3.0; sr = 1.0; scr = 255.; scg = 60.;
+       scb = 40.; srefl = 0.6 };
+     { sx = 1.4; sy = 0.4; sz = 4.2; sr = 0.8; scr = 40.; scg = 200.;
+       scb = 90.; srefl = 0.3 };
+     { sx = -1.3; sy = 0.5; sz = 3.6; sr = 0.7; scr = 60.; scg = 90.;
+       scb = 255.; srefl = 0.0 };
+     { sx = 0.2; sy = 1.6; sz = 5.0; sr = 1.1; scr = 230.; scg = 210.;
+       scb = 60.; srefl = 0.4 } |]
+
+let rt_intersect ~skip px py pz dx dy dz =
+  let best = ref (-1) and best_t = ref 1e9 in
+  Array.iteri
+    (fun k s ->
+       if k <> skip then begin
+         let ox = px -. s.sx and oy = py -. s.sy and oz = pz -. s.sz in
+         let b = (ox *. dx) +. (oy *. dy) +. (oz *. dz) in
+         let c = (ox *. ox) +. (oy *. oy) +. (oz *. oz) -. (s.sr *. s.sr) in
+         let disc = (b *. b) -. c in
+         if disc > 0. then begin
+           let t = -.b -. sqrt disc in
+           if t > 0.001 && t < !best_t then begin
+             best_t := t;
+             best := k
+           end
+         end
+       end)
+    rt_spheres;
+  (!best, !best_t)
+
+let rec rt_shade px py pz dx dy dz hit depth =
+  let s = rt_spheres.(hit) in
+  let nx = (px -. s.sx) /. s.sr
+  and ny = (py -. s.sy) /. s.sr
+  and nz = (pz -. s.sz) /. s.sr in
+  let lx = -3. -. px and ly = -4. -. py and lz = -1. -. pz in
+  let ll = sqrt ((lx *. lx) +. (ly *. ly) +. (lz *. lz)) in
+  let lx = lx /. ll and ly = ly /. ll and lz = lz /. ll in
+  let diff = Float.max 0.05 ((nx *. lx) +. (ny *. ly) +. (nz *. lz)) in
+  let r = s.scr *. diff and g = s.scg *. diff and b = s.scb *. diff in
+  if s.srefl > 0.01 && depth < 3 then begin
+    let dot = (dx *. nx) +. (dy *. ny) +. (dz *. nz) in
+    let rx = dx -. (2. *. dot *. nx)
+    and ry = dy -. (2. *. dot *. ny)
+    and rz = dz -. (2. *. dot *. nz) in
+    match rt_intersect ~skip:hit px py pz rx ry rz with
+    | best, t when best >= 0 ->
+      let rr, rg, rb =
+        rt_shade (px +. (rx *. t)) (py +. (ry *. t)) (pz +. (rz *. t)) rx ry
+          rz best (depth + 1)
+      in
+      ( (r *. (1. -. s.srefl)) +. (rr *. s.srefl),
+        (g *. (1. -. s.srefl)) +. (rg *. s.srefl),
+        (b *. (1. -. s.srefl)) +. (rb *. s.srefl) )
+    | _ -> (r, g, b)
+  end
+  else (r, g, b)
+
+let raytrace_run ?pool size =
+  let w = size and h = size * 3 / 2 in
+  let buf = Array.make (w * h) 0. in
+  for_range ?pool ~lo:0 ~hi:h (fun y ->
+      for x = 0 to w - 1 do
+        let dx = ((float_of_int x /. float_of_int w) -. 0.5) *. 1.6 in
+        let dy = ((float_of_int y /. float_of_int h) -. 0.5) *. 1.2 in
+        let dz = 1.0 in
+        let dl = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+        let dx = dx /. dl and dy = dy /. dl and dz = dz /. dl in
+        let best, t = rt_intersect ~skip:(-1) 0. 0. 0. dx dy dz in
+        let r, g, b =
+          if best >= 0 then
+            rt_shade (dx *. t) (dy *. t) (dz *. t) dx dy dz best 0
+          else begin
+            let f = float_of_int y /. float_of_int h in
+            (30. +. (40. *. f), 40. +. (60. *. f), 90. +. (120. *. f))
+          end
+        in
+        buf.((y * w) + x) <- r +. g +. b
+      done);
+  Array.fold_left ( +. ) 0. buf
+
+(* --- Normal mapping: per-pixel relighting --------------------------- *)
+
+let normalmap_run ?pool size =
+  let w = size and h = size in
+  let n = w * h in
+  let nx = Array.make n 0. and ny = Array.make n 0. and nz = Array.make n 0. in
+  let albedo = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let x = i mod w and y = i / w in
+    let cx = float_of_int x -. (float_of_int w /. 2.) in
+    let cy = float_of_int y -. (float_of_int h /. 2.) in
+    let d = sqrt ((cx *. cx) +. (cy *. cy)) in
+    let ripple = sin (d *. 0.55) in
+    nx.(i) <- (if d > 0.01 then ripple *. cx /. d *. 0.6 else 0.);
+    ny.(i) <- (if d > 0.01 then ripple *. cy /. d *. 0.6 else 0.);
+    nz.(i) <-
+      sqrt (Float.max 0.05 (1. -. (nx.(i) *. nx.(i)) -. (ny.(i) *. ny.(i))));
+    albedo.(i) <- 120. +. float_of_int ((x lxor y) land 63)
+  done;
+  let out = Array.make n 0. in
+  (* 16 light positions, each a parallel pixel pass *)
+  for frame = 1 to 16 do
+    let a = float_of_int frame *. 0.21 in
+    let lx = (float_of_int w /. 2.) +. (cos a *. float_of_int w *. 0.4) in
+    let ly = (float_of_int h /. 2.) +. (sin a *. float_of_int h *. 0.4) in
+    for_range ?pool ~lo:0 ~hi:n (fun i ->
+        let x = float_of_int (i mod w) and y = float_of_int (i / w) in
+        let dx = lx -. x and dy = ly -. y and dz = 24. in
+        let inv = 1. /. sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+        let lambert =
+          ((nx.(i) *. dx) +. (ny.(i) *. dy) +. (nz.(i) *. dz)) *. inv
+        in
+        out.(i) <- out.(i) +. Float.max 0. (albedo.(i) *. lambert))
+  done;
+  Array.fold_left ( +. ) 0. out
+
+(* --- HAAR: sliding-window scan over an integral image --------------- *)
+
+let haar_run ?pool size =
+  let w = size and h = size in
+  let gray =
+    Array.init (w * h) (fun i ->
+        let x = i mod w and y = i / w in
+        float_of_int (((x * 7) + (y * 13)) mod 256))
+  in
+  let ii = Array.make (w * h) 0. in
+  for i = 0 to (w * h) - 1 do
+    let x = i mod w and y = i / w in
+    let left = if x > 0 then ii.(i - 1) else 0. in
+    let up = if y > 0 then ii.(i - w) else 0. in
+    let diag = if x > 0 && y > 0 then ii.(i - w - 1) else 0. in
+    ii.(i) <- gray.(i) +. left +. up -. diag
+  done;
+  let rect_sum x y rw rh =
+    let at xx yy =
+      if xx < 0 || yy < 0 then 0. else ii.((yy * w) + xx)
+    in
+    at (x + rw - 1) (y + rh - 1) -. at (x - 1) (y + rh - 1)
+    -. at (x + rw - 1) (y - 1)
+    +. at (x - 1) (y - 1)
+  in
+  let scale = 12 in
+  let rows = (h - scale) in
+  let hits = Array.make (max 1 rows) 0. in
+  for_range ?pool ~lo:0 ~hi:rows (fun y ->
+      let acc = ref 0. in
+      for x = 0 to w - scale - 1 do
+        let mean = rect_sum x y scale scale /. float_of_int (scale * scale) in
+        (* a few feature taps per window *)
+        let f1 = rect_sum x y scale (scale / 2) in
+        let f2 = rect_sum x (y + (scale / 2)) scale (scale / 2) in
+        if mean > 40. && mean < 240. && f1 > f2 then acc := !acc +. mean
+      done;
+      hits.(y) <- !acc);
+  Array.fold_left ( +. ) 0. hits
+
+let all : kernel list =
+  [ { kname = "caman-filter"; workload = "CamanJS"; run = caman_run;
+      default_size = 384 };
+    { kname = "fluid-advect"; workload = "fluidSim"; run = fluid_run;
+      default_size = 384 };
+    { kname = "raytrace"; workload = "Raytracing"; run = raytrace_run;
+      default_size = 288 };
+    { kname = "normal-map"; workload = "Normal Mapping"; run = normalmap_run;
+      default_size = 384 };
+    { kname = "haar-scan"; workload = "HAAR.js"; run = haar_run;
+      default_size = 448 } ]
+
+let find name = List.find_opt (fun k -> String.equal k.kname name) all

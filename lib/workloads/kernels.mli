@@ -1,0 +1,21 @@
+(** Native OCaml kernels of the parallelizable workloads.
+
+    One kernel per application whose hot nest JS-CERES classifies as
+    easily parallelizable; the speedup bench runs them sequentially and
+    under the domain pool, turning the paper's Amdahl *projection* into
+    a measured validation. Each kernel returns a checksum so tests can
+    assert parallel == sequential. *)
+
+type kernel = {
+  kname : string;
+  workload : string; (** the Table 1 application it models *)
+  run : ?pool:Js_parallel.Pool.t -> int -> float;
+      (** [run ?pool size]: sequential when [pool] is [None]; returns
+          the checksum *)
+  default_size : int;
+}
+
+val all : kernel list
+(** caman-filter, fluid-advect, raytrace, normal-map, haar-scan. *)
+
+val find : string -> kernel option

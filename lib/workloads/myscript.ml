@@ -1,0 +1,112 @@
+(* MyScript — handwriting recognition demo (Table 1, "User
+   recognition").
+
+   The real demo ships strokes to a server; the only expensive
+   client-side loop the paper found "executes only a few iterations,
+   computing the length of line segments". We reproduce that: strokes
+   are captured on the canvas, and on pen-up a short loop (4±2 trips)
+   computes segment lengths and writes progress into the DOM — few
+   trips, branchy, DOM-bound: "very hard" across the board. *)
+
+let source = {|
+var canvas = document.createElement("canvas");
+canvas.width = 240; canvas.height = 120;
+canvas.id = "myscript-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var status = document.createElement("div");
+status.id = "myscript-status";
+document.body.appendChild(status);
+
+var stroke = [];
+var drawing = false;
+var submitted = 0;
+
+canvas.addEventListener("mousedown", function(ev) {
+  drawing = true;
+  stroke = [];
+  stroke.push({ x: ev.clientX, y: ev.clientY });
+});
+
+canvas.addEventListener("mousemove", function(ev) {
+  if (drawing) {
+    stroke.push({ x: ev.clientX, y: ev.clientY });
+    ctx.beginPath();
+    ctx.moveTo(ev.clientX - 1, ev.clientY - 1);
+    ctx.lineTo(ev.clientX, ev.clientY);
+    ctx.stroke();
+  }
+});
+
+// the hot nest: segment-length computation over the captured stroke
+var feat = { sum: 0, mean: 0, turns: 0 };
+
+function analyzeStroke() {
+  var total = 0;
+  var i;
+  for (i = 1; i < stroke.length; i++) {
+    // in-place smoothing: each point pulled toward its predecessor
+    stroke[i].x = stroke[i].x * 0.8 + stroke[i - 1].x * 0.2;
+    stroke[i].y = stroke[i].y * 0.8 + stroke[i - 1].y * 0.2;
+    var dx = stroke[i].x - stroke[i - 1].x;
+    var dy = stroke[i].y - stroke[i - 1].y;
+    var len = Math.sqrt(dx * dx + dy * dy);
+    if (i > 1) {
+      var pdx = stroke[i - 1].x - stroke[i - 2].x;
+      var pdy = stroke[i - 1].y - stroke[i - 2].y;
+      if (dx * pdy - dy * pdx > 1) { feat.turns = feat.turns + 1; }
+    }
+    if (len > 9) {
+      // long segment: dense resampling for the feature extractor
+      var steps = 40 + Math.floor(len * 3);
+      var k;
+      var acc = 0;
+      for (k = 0; k < steps; k++) {
+        acc += Math.sqrt(1 + (dy / (dx === 0 ? 1 : dx)) * k * 0.01);
+      }
+      total += len + acc * 0.0001;
+      feat.sum = feat.sum + len;
+      feat.mean = feat.sum / i;
+      status.textContent = "ink length " + Math.floor(total);
+    } else if (len > 0.5) {
+      total += len * 0.5;
+    }
+  }
+  return total;
+}
+
+canvas.addEventListener("mouseup", function(ev) {
+  drawing = false;
+  var len = analyzeStroke();
+  submitted++;
+  status.setAttribute("data-strokes", "" + submitted);
+  console.log("myscript: stroke", submitted, "length", len);
+});
+|}
+
+(* Several short strokes: pen down, 3-6 moves, pen up. *)
+let interactions =
+  List.concat_map
+    (fun k ->
+       let base = 1_200. +. (float_of_int k *. 2_100.) in
+       let moves = 5 + (k mod 5) in
+       ({ Workload.at_ms = base; target_id = "myscript-canvas";
+          event = "mousedown"; x = 20.; y = 30. }
+        :: List.init moves (fun i ->
+            { Workload.at_ms = base +. 40. +. (float_of_int i *. 35.);
+              target_id = "myscript-canvas";
+              event = "mousemove";
+              x = 20. +. (12. *. float_of_int (i + 1))
+                  +. float_of_int ((i * 17 + k * 7) mod 13);
+              y = 30. +. (6. *. float_of_int (i mod 3)) }))
+       @ [ { Workload.at_ms = base +. 400.; target_id = "myscript-canvas";
+             event = "mouseup"; x = 0.; y = 0. } ])
+    [ 0; 1; 2; 3; 4 ]
+
+let workload =
+  Workload.make ~name:"MyScript" ~url:"webdemo.visionobjects.com"
+    ~category:"User recognition"
+    ~description:"handwriting recognition application"
+    ~source ~session_ms:12_000. ~interactions ~dep_scale:1.0
+    ~hot_nest_count:1 ()

@@ -1,0 +1,80 @@
+(* Normal Mapping — 29a.ch WebGL-free lighting demo (Table 1, "Games").
+
+   One flattened per-pixel loop is 99% of the work (paper: 64
+   instances, ~65k trips, "little" divergence, "very easy"
+   dependences): each iteration reads the static normal map, applies a
+   moving point light, and scatters the lit pixel into the output
+   buffer. Fully inlined — no calls in the loop body. *)
+
+let source = {|
+var W = Math.floor(12 * SCALE) + 5;
+var H = Math.floor(12 * SCALE) + 5;
+
+var canvas = document.createElement("canvas");
+canvas.width = W; canvas.height = H;
+canvas.id = "nm-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+// precomputed normal map + albedo (ripple pattern)
+var normalX = new Array(W * H);
+var normalY = new Array(W * H);
+var normalZ = new Array(W * H);
+var albedo = new Array(W * H);
+(function() {
+  var i;
+  for (i = 0; i < W * H; i++) {
+    var x = i % W;
+    var y = Math.floor(i / W);
+    var cx = x - W / 2;
+    var cy = y - H / 2;
+    var d = Math.sqrt(cx * cx + cy * cy);
+    var ripple = Math.sin(d * 0.55);
+    normalX[i] = ripple * (d > 0.01 ? cx / d : 0) * 0.6;
+    normalY[i] = ripple * (d > 0.01 ? cy / d : 0) * 0.6;
+    normalZ[i] = Math.sqrt(Math.max(0.05, 1 - normalX[i] * normalX[i] - normalY[i] * normalY[i]));
+    albedo[i] = 120 + ((x ^ y) & 63);
+  }
+})();
+
+var frame = 0;
+var img = null;
+
+// the hot nest: one flattened pixel loop per frame
+function relight(lx, ly, lz) {
+  if (img === null) { img = ctx.createImageData(W, H); }
+  var data = img.data;
+  var i;
+  for (i = 0; i < W * H; i++) {
+    var x = i % W;
+    var y = (i - x) / W;
+    var dx = lx - x;
+    var dy = ly - y;
+    var dz = lz;
+    var inv = 1 / Math.sqrt(dx * dx + dy * dy + dz * dz);
+    var lambert = (normalX[i] * dx + normalY[i] * dy + normalZ[i] * dz) * inv;
+    var lit = lambert < 0 ? 0 : albedo[i] * lambert;
+    var o = i * 4;
+    data[o] = lit > 255 ? 255 : lit;
+    data[o + 1] = data[o] * 0.9;
+    data[o + 2] = data[o] * 0.7;
+    data[o + 3] = 255;
+  }
+  ctx.putImageData(img, 0, 0);
+}
+
+function tick() {
+  frame++;
+  var a = frame * 0.21;
+  relight(W / 2 + Math.cos(a) * W * 0.4, H / 2 + Math.sin(a) * H * 0.4, 24);
+  if (frame < 48) { requestAnimationFrame(tick); }
+  else { console.log("normalmap: frames", frame); }
+}
+
+requestAnimationFrame(tick);
+|}
+
+let workload =
+  Workload.make ~name:"Normal Mapping" ~url:"29a.ch/experiments"
+    ~category:"Games" ~description:"normal mapping"
+    ~source ~session_ms:25_000. ~dep_scale:0.5 ~hot_nest_count:1 ()

@@ -1,0 +1,63 @@
+(* The paper's published measurements, used by the bench harness and
+   EXPERIMENTS.md to print paper-vs-measured comparisons. Values are
+   transcribed from the PPoPP'15 paper (Tables 2 and 3). *)
+
+(* Table 2: name, total s, active s, in-loops s. *)
+let table2 =
+  [ ("HAAR.js", 8., 2., 0.44);
+    ("Tear-able Cloth", 14., 7., 9.);
+    ("CamanJS", 40., 23., 17.);
+    ("fluidSim", 22., 17., 12.);
+    ("Harmony", 41., 0.36, 0.28);
+    ("Ace", 30., 0.4, 0.4);
+    ("MyScript", 12., 0.33, 0.15);
+    ("Raytracing", 62., 19., 26.);
+    ("Normal Mapping", 25., 6., 4.);
+    ("sigma.js", 32., 9., 8.);
+    ("processing.js", 21., 12., 2.);
+    ("D3.js", 18., 5., 4.) ]
+
+type t3_row = {
+  app : string;
+  pct : float; (* % of loop time *)
+  instances : float; (* the paper's "instructions" column *)
+  trips : float;
+  trips_sd : float option;
+  divergence : string; (* none / little / yes / no *)
+  dom : bool;
+  deps : string; (* very easy .. very hard *)
+  par : string;
+}
+
+let row app pct instances trips trips_sd divergence dom deps par =
+  { app; pct; instances; trips; trips_sd; divergence; dom; deps; par }
+
+(* Table 3: the 22 inspected loop nests. *)
+let table3 =
+  [ row "HAAR.js" 38. 10. 31. (Some 23.) "little" false "easy" "easy";
+    row "HAAR.js" 36. 50_000. 15. (Some 15.) "yes" false "easy" "medium";
+    row "Tear-able Cloth" 80. 1077. 1581. None "little" false "medium" "medium";
+    row "CamanJS" 72. 536. 90_000. None "little" false "easy" "easy";
+    row "CamanJS" 15. 16. 90_000. (Some 300.) "little" false "easy" "easy";
+    row "CamanJS" 7. 12. 360_000. None "little" false "easy" "easy";
+    row "fluidSim" 90. 40_000. 168. (Some 147.) "none" false "easy" "easy";
+    row "Harmony" 33. 207. 50. None "none" true "easy" "very hard";
+    row "Harmony" 32. 498. 50. None "none" true "easy" "very hard";
+    row "Harmony" 15. 123. 5. (Some 3.) "none" true "easy" "very hard";
+    row "Ace" 42. 125. 1. (Some 0.1) "yes" true "very hard" "very hard";
+    row "Ace" 22. 123. 1. (Some 0.2) "yes" true "very hard" "very hard";
+    row "MyScript" 70. 511. 4. (Some 2.) "yes" true "very hard" "very hard";
+    row "Raytracing" 98. 772. 120. None "yes" false "very easy" "easy";
+    row "Normal Mapping" 99. 64. 65_000. None "little" false "very easy" "easy";
+    row "sigma.js" 68. 2070. 191. (Some 27.) "little" true "very hard" "very hard";
+    row "sigma.js" 22. 638. 196. (Some 21.) "yes" true "very hard" "very hard";
+    row "processing.js" 25. 54_600. 4. (Some 37.) "no" false "easy" "medium";
+    row "processing.js" 22. 54_600. 4. (Some 37.) "no" false "easy" "medium";
+    row "processing.js" 16. 54_500. 2. None "yes" true "medium" "very hard";
+    row "processing.js" 13. 54_600. 4. (Some 37.) "no" false "easy" "medium";
+    row "D3.js" 99. 51. 156. (Some 57.) "yes" true "hard" "hard" ]
+
+(* Sec. 4.2: Amdahl observations. *)
+let amdahl_claim = "speedup upper bound > 3x for 5 of the 12 applications"
+let amdahl_easy_apps = 5
+let amdahl_hard_apps = 5 (* "hard or very hard to obtain any speedup" *)

@@ -1,0 +1,117 @@
+(* processing.js — interactive spiral visual effect (Table 1,
+   "Visualization").
+
+   Processing sketches call small helpers per particle per frame; the
+   paper's profile shows the signature clearly: ~55k loop *instances*
+   with ~4 trips each, spread over four small nests. We run a spiral
+   of ~450 particles, each with a 4-point trail: per frame and per
+   particle, a trail-shift loop, a trail-physics loop, a draw loop
+   (canvas inside — the paper marks that nest DOM "yes"), and a color
+   loop. *)
+
+let source = {|
+var COUNT = Math.floor(140 * SCALE) + 30;
+var TRAIL = 4;
+
+var canvas = document.createElement("canvas");
+canvas.width = 200; canvas.height = 200;
+canvas.id = "processing-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var particles = [];
+var frame = 0;
+
+(function setup() {
+  var i;
+  for (i = 0; i < COUNT; i++) {
+    var trailX = [];
+    var trailY = [];
+    var t;
+    for (t = 0; t < TRAIL; t++) { trailX.push(100); trailY.push(100); }
+    particles.push({
+      angle: i * 0.137,
+      radius: 2 + (i % 80),
+      speed: 0.02 + (i % 7) * 0.004,
+      trailX: trailX,
+      trailY: trailY,
+      shade: [0, 0, 0]
+    });
+  }
+})();
+
+// nest 1: shift the trail history (4 trips, per particle per frame)
+function shiftTrail(p) {
+  var t;
+  for (t = TRAIL - 1; t > 0; t--) {
+    p.trailX[t] = p.trailX[t - 1];
+    p.trailY[t] = p.trailY[t - 1];
+  }
+}
+
+// nest 2: trail relaxation toward the head (4 trips)
+function relaxTrail(p) {
+  var t;
+  for (t = 1; t < TRAIL; t++) {
+    p.trailX[t] += (p.trailX[t - 1] - p.trailX[t]) * 0.4;
+    p.trailY[t] += (p.trailY[t - 1] - p.trailY[t]) * 0.4;
+  }
+}
+
+// nest 3: draw the trail (canvas inside the loop)
+function drawTrail(p) {
+  ctx.beginPath();
+  var t;
+  for (t = 0; t < TRAIL - 1; t++) {
+    ctx.moveTo(p.trailX[t], p.trailY[t]);
+    ctx.lineTo(p.trailX[t + 1], p.trailY[t + 1]);
+  }
+  ctx.stroke();
+}
+
+// nest 4: color cycling (3 trips)
+function cycleShade(p) {
+  var c;
+  for (c = 0; c < 3; c++) {
+    p.shade[c] = (p.shade[c] + p.radius + c * 40) % 256;
+  }
+}
+
+function tick() {
+  frame++;
+  if (frame % 4 === 1) { ctx.clearRect(0, 0, 200, 200); }
+  // Processing-style: iterate particles with a functional operator;
+  // only the small per-particle helpers contain syntactic loops.
+  particles.forEach(function(p, i) {
+    // flow-field steering: straight-line math, no loops
+    p.angle += p.speed;
+    var fx = Math.cos(p.angle * 1.7) * Math.sin(p.angle * 0.9);
+    var fy = Math.sin(p.angle * 1.3) * Math.cos(p.angle * 0.7);
+    var swirl = Math.atan2(fy, fx);
+    var pulse = 1 + 0.2 * Math.sin(frame * 0.21 + i * 0.05);
+    var wobble = Math.cos(swirl * 2.3) * 0.5 + Math.sin(swirl * 3.1) * 0.3;
+    var drag = 1 - 0.04 * Math.exp(-Math.abs(wobble));
+    var lift = Math.sin(p.angle * 0.5 + swirl) * Math.cos(frame * 0.03);
+    var shear = Math.atan2(lift + 0.001, wobble + 0.001) * 0.2;
+    var bias = Math.sqrt(Math.abs(fx * fy) + 0.01) * (lift > 0 ? 1 : -1);
+    p.radius = (2 + ((i % 80) + wobble * 4 + bias * 2) * pulse) * drag;
+    p.speed = 0.02 + (i % 7) * 0.004 + 0.002 * Math.sin(swirl) + shear * 0.001;
+    shiftTrail(p);
+    p.trailX[0] = 100 + Math.cos(p.angle) * p.radius;
+    p.trailY[0] = 100 + Math.sin(p.angle) * p.radius;
+    relaxTrail(p);
+    cycleShade(p);
+    if (i % 25 === 0) { drawTrail(p); }
+  });
+  if (frame < 28) { requestAnimationFrame(tick); }
+  else { console.log("processing: frames", frame, "particles", particles.length); }
+}
+
+requestAnimationFrame(tick);
+|}
+
+let workload =
+  Workload.make ~name:"processing.js" ~url:"processingjs.org"
+    ~category:"Visualization"
+    ~description:"interactive spiral visual effect"
+    ~source ~session_ms:21_000. ~dep_scale:0.6 ~hot_nest_count:4 ()

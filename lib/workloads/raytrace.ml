@@ -1,0 +1,139 @@
+(* Realtime Raytracing — jwagner's gist demo (Table 1, "Games").
+
+   One nest dominates (98% in the paper): the per-row/per-pixel loop.
+   Intersection and background shading are inlined (long call-free
+   stretches are what starve the function-granular Gecko sampler and
+   produce the paper's active < in-loops anomaly for this app), while
+   hits call a recursive [shade] with data-dependent reflection depth
+   ("the Raytracing algorithm contains variable depth recursion").
+   Pixels scatter into the frame buffer: "very easy" dependences. *)
+
+let source = {|
+var W = Math.floor(32 * SCALE) + 6;
+var H = Math.floor(46 * SCALE) + 8;
+
+var canvas = document.createElement("canvas");
+canvas.width = W; canvas.height = H;
+canvas.id = "rt-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var spheres = [
+  { x: 0.0, y: -0.6, z: 3.0, r: 1.0, cr: 255, cg: 60, cb: 40, refl: 0.6 },
+  { x: 1.4, y: 0.4, z: 4.2, r: 0.8, cr: 40, cg: 200, cb: 90, refl: 0.3 },
+  { x: -1.3, y: 0.5, z: 3.6, r: 0.7, cr: 60, cg: 90, cb: 255, refl: 0.0 },
+  { x: 0.2, y: 1.6, z: 5.0, r: 1.1, cr: 230, cg: 210, cb: 60, refl: 0.4 }
+];
+var lightX = -3, lightY = -4, lightZ = -1;
+var frame = 0;
+
+// recursive shading with data-dependent depth
+function shade(px, py, pz, dx, dy, dz, hit, depth) {
+  var s = spheres[hit];
+  var nx = (px - s.x) / s.r;
+  var ny = (py - s.y) / s.r;
+  var nz = (pz - s.z) / s.r;
+  var lx = lightX - px, ly = lightY - py, lz = lightZ - pz;
+  var ll = Math.sqrt(lx * lx + ly * ly + lz * lz);
+  lx /= ll; ly /= ll; lz /= ll;
+  var diff = nx * lx + ny * ly + nz * lz;
+  if (diff < 0.05) { diff = 0.05; }
+  var r = s.cr * diff, g = s.cg * diff, b = s.cb * diff;
+  if (s.refl > 0.01 && depth < 3) {
+    var dot = dx * nx + dy * ny + dz * nz;
+    var rx = dx - 2 * dot * nx;
+    var ry = dy - 2 * dot * ny;
+    var rz = dz - 2 * dot * nz;
+    // find the closest sphere along the reflected ray
+    var best = -1;
+    var bestT = 1e9;
+    var k;
+    for (k = 0; k < spheres.length; k++) {
+      if (k !== hit) {
+        var q = spheres[k];
+        var ox = px - q.x, oy = py - q.y, oz = pz - q.z;
+        var bq = ox * rx + oy * ry + oz * rz;
+        var cq = ox * ox + oy * oy + oz * oz - q.r * q.r;
+        var disc = bq * bq - cq;
+        if (disc > 0) {
+          var t = -bq - Math.sqrt(disc);
+          if (t > 0.001 && t < bestT) { bestT = t; best = k; }
+        }
+      }
+    }
+    if (best >= 0) {
+      var rr = shade(px + rx * bestT, py + ry * bestT, pz + rz * bestT,
+                     rx, ry, rz, best, depth + 1);
+      r = r * (1 - s.refl) + rr.r * s.refl;
+      g = g * (1 - s.refl) + rr.g * s.refl;
+      b = b * (1 - s.refl) + rr.b * s.refl;
+    }
+  }
+  return { r: r, g: g, b: b };
+}
+
+function render() {
+  var img = ctx.createImageData(W, H);
+  var data = img.data;
+  var wobble = Math.sin(frame * 0.3) * 0.4;
+  var y;
+  for (y = 0; y < H; y++) {
+    var x;
+    for (x = 0; x < W; x++) {
+      // primary ray, intersection fully inlined
+      var dx = (x / W - 0.5) * 1.6 + wobble * 0.05;
+      var dy = (y / H - 0.5) * 1.2;
+      var dz = 1.0;
+      var dl = Math.sqrt(dx * dx + dy * dy + dz * dz);
+      dx /= dl; dy /= dl; dz /= dl;
+      var best = -1;
+      var bestT = 1e9;
+      var k;
+      for (k = 0; k < spheres.length; k++) {
+        var s = spheres[k];
+        var ox = -s.x, oy = -s.y, oz = -s.z;
+        var b2 = ox * dx + oy * dy + oz * dz;
+        var c2 = ox * ox + oy * oy + oz * oz - s.r * s.r;
+        var disc = b2 * b2 - c2;
+        if (disc > 0) {
+          var t = -b2 - Math.sqrt(disc);
+          if (t > 0.001 && t < bestT) { bestT = t; best = k; }
+        }
+      }
+      var r, g, b;
+      if (best >= 0) {
+        var col = shade(dx * bestT, dy * bestT, dz * bestT, dx, dy, dz, best, 0);
+        r = col.r; g = col.g; b = col.b;
+      } else {
+        // inlined gradient background
+        var f = y / H;
+        r = 30 + 40 * f; g = 40 + 60 * f; b = 90 + 120 * f;
+      }
+      var o = (y * W + x) * 4;
+      data[o] = r > 255 ? 255 : r;
+      data[o + 1] = g > 255 ? 255 : g;
+      data[o + 2] = b > 255 ? 255 : b;
+      data[o + 3] = 255;
+    }
+  }
+  ctx.putImageData(img, 0, 0);
+}
+
+canvas.addEventListener("mousemove", function(ev) {
+  frame++;
+  spheres[0].x = Math.sin(frame * 0.7) + ev.clientX * 0.001;
+  spheres[1].z = 4.2 + Math.cos(frame * 0.5) * 0.6;
+  render();
+  if (frame >= 5) { console.log("raytracer: frames", frame); }
+});
+
+render();
+|}
+
+let workload =
+  Workload.make ~name:"Raytracing" ~url:"gist.github.com/jwagner/422755"
+    ~category:"Games" ~description:"real-time raytracing demo"
+    ~source ~session_ms:62_000.
+    ~interactions:(Workload.mouse_path ~target_id:"rt-canvas"
+                     ~event:"mousemove" ~t0:6_000. ~t1:54_000. ~n:5)
+    ~dep_scale:0.4 ~hot_nest_count:1 ()

@@ -1,0 +1,36 @@
+(* The 12 case-study workloads, in the paper's Table 1/2/3 order. *)
+
+let all : Workload.t list =
+  [ Haar.workload;
+    Cloth.workload;
+    Caman.workload;
+    Fluid.workload;
+    Harmony.workload;
+    Ace.workload;
+    Myscript.workload;
+    Raytrace.workload;
+    Normalmap.workload;
+    Sigma.workload;
+    Processing.workload;
+    D3map.workload ]
+
+let find name =
+  List.find_opt
+    (fun (w : Workload.t) ->
+       String.lowercase_ascii w.name = String.lowercase_ascii name)
+    all
+
+let names = List.map (fun (w : Workload.t) -> w.name) all
+
+(* Table 1 rendering. *)
+let table1 () =
+  let tbl =
+    Ceres_util.Table.create ~title:"Table 1: case study - web applications"
+      [ "Name/URL"; "Category/Description" ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+       Ceres_util.Table.add_row tbl
+         [ w.name ^ " / " ^ w.url; w.category ^ " / " ^ w.description ])
+    all;
+  Ceres_util.Table.render tbl

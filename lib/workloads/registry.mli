@@ -1,0 +1,10 @@
+(** The 12 case-study workloads (paper Table 1), in the paper's order. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option
+(** Case-insensitive lookup by name. *)
+
+val names : string list
+
+val table1 : unit -> string
+(** Render Table 1. *)

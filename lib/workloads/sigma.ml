@@ -1,0 +1,116 @@
+(* sigma.js — GEXF graph rendering (Table 1, "Visualization").
+
+   A ~190-node graph (the paper's trips: 191±27 and 196±21) is laid
+   out with a simple force model and redrawn per frame. Both hot nests
+   hit the Canvas from inside the loop (nodes: arcs; edges: lines), so
+   the paper rates them "very hard" to parallelize; the node pass also
+   has genuine cross-iteration force accumulation. *)
+
+let source = {|
+var NODES = Math.floor(160 * SCALE) + 31;
+var EDGES = Math.floor(170 * SCALE) + 26;
+
+var canvas = document.createElement("canvas");
+canvas.width = 300; canvas.height = 220;
+canvas.id = "sigma-canvas";
+document.body.appendChild(canvas);
+var ctx = canvas.getContext("2d");
+
+var nodes = [];
+var edges = [];
+var frame = 0;
+var bounds = { minX: 0, minY: 0, maxX: 300, maxY: 220 };
+var center = { x: 150, y: 110 };
+var stats = { energy: 0, maxV: 0, settled: 0 };
+
+(function buildGexf() {
+  var i;
+  for (i = 0; i < NODES; i++) {
+    nodes.push({
+      x: 30 + (i * 37 % 240),
+      y: 20 + (i * 53 % 180),
+      vx: 0, vy: 0,
+      degree: 0
+    });
+  }
+  for (i = 0; i < EDGES; i++) {
+    var a = (i * 7) % NODES;
+    var b = (i * 13 + 5) % NODES;
+    if (a !== b) {
+      edges.push({ from: a, to: b });
+      nodes[a].degree++;
+      nodes[b].degree++;
+    }
+  }
+})();
+
+// nest 1 (hot): per-node force application + draw (canvas inside loop)
+function layoutAndDrawNodes() {
+  var i;
+  for (i = 0; i < nodes.length; i++) {
+    var n = nodes[i];
+    // spring toward the barycentre of the previous node (chain force):
+    // reads neighbour state written earlier this pass
+    var prev = nodes[i === 0 ? nodes.length - 1 : i - 1];
+    var prev2 = nodes[i < 2 ? nodes.length - 2 + i : i - 2];
+    var dx = prev.x - n.x;
+    var dy = prev.y - n.y;
+    var ddx = prev2.x - n.x;
+    var ddy = prev2.y - n.y;
+    n.vx = (n.vx + dx * 0.002 + ddx * 0.0007 + prev.vx * 0.01) * 0.95;
+    n.vy = (n.vy + dy * 0.002 + ddy * 0.0007 + prev.vy * 0.01) * 0.95;
+    stats.energy = stats.energy * 0.999 + n.vx * n.vx + n.vy * n.vy;
+    if (n.vx * n.vx + n.vy * n.vy > stats.maxV) { stats.maxV = n.vx * n.vx + n.vy * n.vy; }
+    n.x += n.vx;
+    n.y += n.vy;
+    if (n.x < 5) { n.x = 5; }
+    if (n.x > 295) { n.x = 295; }
+    if (n.y < 5) { n.y = 5; }
+    if (n.y > 215) { n.y = 215; }
+    // running viewport fit and barycentre (accumulated across the pass)
+    if (n.x < bounds.minX) { bounds.minX = n.x; }
+    if (n.y < bounds.minY) { bounds.minY = n.y; }
+    if (n.x > bounds.maxX) { bounds.maxX = n.x; }
+    if (n.y > bounds.maxY) { bounds.maxY = n.y; }
+    center.x = center.x * 0.995 + n.x * 0.005;
+    center.y = center.y * 0.995 + n.y * 0.005;
+    n.vx += (center.x - n.x) * 0.0004;
+    n.vy += (center.y - n.y) * 0.0004;
+    ctx.beginPath();
+    ctx.arc(n.x, n.y, 1 + n.degree * 0.2, 0, 6.2832);
+    ctx.fill();
+  }
+}
+
+// nest 2: edge rendering (canvas inside loop)
+function drawEdges() {
+  ctx.beginPath();
+  var i;
+  for (i = 0; i < edges.length; i++) {
+    var e = edges[i];
+    var a = nodes[e.from];
+    var b = nodes[e.to];
+    if (Math.abs(a.x - b.x) + Math.abs(a.y - b.y) > 4) {
+      ctx.moveTo(a.x, a.y);
+      ctx.lineTo(b.x, b.y);
+    }
+  }
+  ctx.stroke();
+}
+
+function tick() {
+  frame++;
+  ctx.clearRect(0, 0, 300, 220);
+  layoutAndDrawNodes();
+  drawEdges();
+  if (frame < 38) { requestAnimationFrame(tick); }
+  else { console.log("sigma: frames", frame, "nodes", nodes.length, "edges", edges.length); }
+}
+
+requestAnimationFrame(tick);
+|}
+
+let workload =
+  Workload.make ~name:"sigma.js" ~url:"sigmajs.org"
+    ~category:"Visualization" ~description:"GEXF rendering"
+    ~source ~session_ms:32_000. ~dep_scale:1.0 ~hot_nest_count:2 ()

@@ -1,0 +1,57 @@
+(* Workload model: one record per case-study application (paper
+   Table 1).
+
+   Each workload is a self-contained MiniJS program that builds its own
+   DOM (canvas, editor div, ...), registers event listeners, and drives
+   itself with timers/animation frames. The harness scripts the "user
+   interaction" of the paper's step 4 as a list of DOM events at
+   virtual timestamps and runs the event loop for the scripted session
+   length; the gap between events is idle time, which is how Table 2's
+   total/active distinction arises.
+
+   Programs read the global [SCALE] (default 1.0) to size their data;
+   the dependence-analysis pass — 10-50x more expensive, exactly as the
+   paper warns — runs at [dep_scale] to keep turnaround sane without
+   changing any loop's structure. *)
+
+type interaction = {
+  at_ms : float;
+  target_id : string;
+  event : string; (* "click", "mousemove", "mousedown", "keydown", ... *)
+  x : float;
+  y : float;
+}
+
+type t = {
+  name : string;
+  url : string;
+  category : string; (* Table 1's category / description column *)
+  description : string;
+  source : string; (* MiniJS program *)
+  session_ms : float; (* scripted session length (Table 2 "Total") *)
+  interactions : interaction list;
+  dep_scale : float; (* SCALE for the dependence-analysis pass *)
+  hot_nest_count : int; (* nests the paper inspects for this app *)
+}
+
+let make ~name ~url ~category ~description ~source ~session_ms
+    ?(interactions = []) ?(dep_scale = 0.5) ?(hot_nest_count = 1) () =
+  { name; url; category; description; source; session_ms; interactions;
+    dep_scale; hot_nest_count }
+
+(* Uniform mouse-path generator: [n] events of [event] on [target_id]
+   between [t0] and [t1], tracing a diagonal wiggle — enough to drive
+   drawing apps deterministically. *)
+let mouse_path ~target_id ~event ~t0 ~t1 ~n =
+  List.init n (fun i ->
+      let f = float_of_int i /. float_of_int (max 1 (n - 1)) in
+      { at_ms = t0 +. (f *. (t1 -. t0));
+        target_id;
+        event;
+        x = 20. +. (200. *. f);
+        y = 40. +. (80. *. sin (f *. 12.)) })
+
+let clicks ~target_id ~times =
+  List.map
+    (fun at_ms -> { at_ms; target_id; event = "click"; x = 10.; y = 10. })
+    times

@@ -1,0 +1,52 @@
+(** Workload model: one record per case-study application (Table 1).
+
+    A workload is a self-contained MiniJS program that builds its own
+    DOM, registers listeners, and drives itself with timers; the
+    harness scripts the user interaction of the paper's Fig. 5 step 4
+    as DOM events at virtual timestamps. Programs read the global
+    [SCALE] to size their data. *)
+
+type interaction = {
+  at_ms : float; (** absolute virtual time *)
+  target_id : string; (** element id; events on missing ids are dropped *)
+  event : string; (** "click", "mousemove", "keydown", ... *)
+  x : float;
+  y : float;
+}
+
+type t = {
+  name : string;
+  url : string;
+  category : string;
+  description : string;
+  source : string; (** the MiniJS program *)
+  session_ms : float; (** scripted session length (Table 2 "Total") *)
+  interactions : interaction list;
+  dep_scale : float; (** [SCALE] for the expensive dependence pass *)
+  hot_nest_count : int; (** Table 3 rows the paper reports for the app *)
+}
+
+val make :
+  name:string ->
+  url:string ->
+  category:string ->
+  description:string ->
+  source:string ->
+  session_ms:float ->
+  ?interactions:interaction list ->
+  ?dep_scale:float ->
+  ?hot_nest_count:int ->
+  unit ->
+  t
+
+val mouse_path :
+  target_id:string ->
+  event:string ->
+  t0:float ->
+  t1:float ->
+  n:int ->
+  interaction list
+(** [n] events tracing a deterministic diagonal wiggle between [t0] and
+    [t1]. *)
+
+val clicks : target_id:string -> times:float list -> interaction list

@@ -1,0 +1,174 @@
+(* DOM and Canvas simulator tests. *)
+
+let check_with st msg expected src =
+  Alcotest.check Helpers.value_testable msg expected
+    (Interp.Eval.eval_in_global st (Jsir.Parser.parse_expression src))
+
+let test_tree_operations () =
+  let st, doc = Helpers.run ~dom:true
+      "var d = document.createElement(\"div\");\n\
+       d.id = \"root\";\n\
+       document.body.appendChild(d);\n\
+       var child = document.createElement(\"span\");\n\
+       d.appendChild(child);"
+  in
+  ignore doc;
+  check_with st "getElementById finds nested" (Helpers.str "DIV")
+    {|document.getElementById("root").tagName|};
+  check_with st "childNodes length" (Helpers.num 1.)
+    {|document.getElementById("root").childNodes.length|};
+  check_with st "parentNode link" (Helpers.boolean true)
+    {|document.getElementById("root").childNodes[0].parentNode === document.getElementById("root")|};
+  check_with st "missing id is null" (Helpers.boolean true)
+    {|document.getElementById("nope") === null|}
+
+let test_remove_child () =
+  let st, _ = Helpers.run ~dom:true
+      "var a = document.createElement(\"div\"); a.id = \"a\";\n\
+       var b = document.createElement(\"div\"); b.id = \"b\";\n\
+       document.body.appendChild(a);\n\
+       document.body.appendChild(b);\n\
+       document.body.removeChild(a);"
+  in
+  check_with st "a gone" (Helpers.boolean true)
+    {|document.getElementById("a") === null|};
+  check_with st "b remains" (Helpers.boolean false)
+    {|document.getElementById("b") === null|}
+
+let test_attributes () =
+  let st, _ = Helpers.run ~dom:true
+      "var el = document.createElement(\"p\");\n\
+       el.setAttribute(\"data-x\", \"42\");"
+  in
+  check_with st "getAttribute" (Helpers.str "42") {|el.getAttribute("data-x")|};
+  check_with st "missing attribute is null" (Helpers.boolean true)
+    {|el.getAttribute("nope") === null|}
+
+let test_event_dispatch () =
+  let st, doc = Helpers.run ~dom:true
+      "var el = document.createElement(\"button\");\n\
+       el.id = \"btn\";\n\
+       document.body.appendChild(el);\n\
+       var hits = [];\n\
+       el.addEventListener(\"click\", function(ev) { hits.push(ev.clientX); });\n\
+       el.addEventListener(\"click\", function(ev) { hits.push(-1); });"
+  in
+  let doc = Option.get doc in
+  let el =
+    Option.get (Dom.Document.find_by_id st doc.body "btn")
+  in
+  let fired = Dom.Document.dispatch doc el "click" ~x:7. ~y:8. in
+  Alcotest.(check int) "both listeners fired" 2 fired;
+  check_with st "event payload seen" (Helpers.str "7,-1") {|hits.join(",")|};
+  (* removeEventListener drops all listeners of that type *)
+  Interp.Eval.run_program st
+    (Jsir.Parser.parse_program
+       "el.removeEventListener(\"click\", function() {});");
+  let fired = Dom.Document.dispatch doc el "click" ~x:0. ~y:0. in
+  Alcotest.(check int) "listeners removed" 0 fired
+
+let test_canvas_pixels () =
+  let st, doc = Helpers.run ~dom:true
+      "var c = document.createElement(\"canvas\");\n\
+       c.width = 8; c.height = 8; c.id = \"cv\";\n\
+       document.body.appendChild(c);\n\
+       var ctx = c.getContext(\"2d\");\n\
+       ctx.fillStyle = \"#ff0080\";\n\
+       ctx.fillRect(1, 1, 3, 3);"
+  in
+  let doc = Option.get doc in
+  let el = Option.get (Dom.Document.find_by_id st doc.body "cv") in
+  let canvas = Option.get (Dom.Document.canvas_of_element doc el) in
+  Alcotest.(check bool) "pixel inside rect" true
+    (Dom.Canvas.get_pixel canvas 2 2 = (255, 0, 128, 255));
+  Alcotest.(check bool) "pixel outside rect untouched" true
+    (Dom.Canvas.get_pixel canvas 6 6 = (0, 0, 0, 0));
+  Alcotest.(check bool) "draw calls journaled" true
+    (Dom.Canvas.call_count canvas >= 1)
+
+let test_image_data_roundtrip () =
+  let st, _ = Helpers.run ~dom:true
+      "var c = document.createElement(\"canvas\");\n\
+       c.width = 4; c.height = 4;\n\
+       var ctx = c.getContext(\"2d\");\n\
+       ctx.fillStyle = \"rgb(10,20,30)\";\n\
+       ctx.fillRect(0, 0, 4, 4);\n\
+       var img = ctx.getImageData(0, 0, 4, 4);\n\
+       img.data[0] = 99;\n\
+       ctx.putImageData(img, 0, 0);\n\
+       var back = ctx.getImageData(0, 0, 1, 1);"
+  in
+  check_with st "modified red channel round-trips" (Helpers.num 99.)
+    "back.data[0]";
+  check_with st "untouched green channel" (Helpers.num 20.) "back.data[1]";
+  check_with st "alpha opaque" (Helpers.num 255.) "back.data[3]"
+
+let test_color_parsing () =
+  Alcotest.(check bool) "#rgb" true (Dom.Canvas.parse_color "#f00" = (255, 0, 0, 255));
+  Alcotest.(check bool) "#rrggbb" true
+    (Dom.Canvas.parse_color "#0080ff" = (0, 128, 255, 255));
+  Alcotest.(check bool) "rgb()" true
+    (Dom.Canvas.parse_color "rgb(1, 2, 3)" = (1, 2, 3, 255));
+  Alcotest.(check bool) "rgba()" true
+    (Dom.Canvas.parse_color "rgba(1,2,3,0.5)" = (1, 2, 3, 127));
+  Alcotest.(check bool) "garbage falls back to black" true
+    (Dom.Canvas.parse_color "cornflowerblue" = (0, 0, 0, 255))
+
+let test_access_counters () =
+  let _st, doc = Helpers.run ~dom:true
+      "var el = document.createElement(\"div\");\n\
+       document.body.appendChild(el);\n\
+       var c = document.createElement(\"canvas\");\n\
+       var ctx = c.getContext(\"2d\");\n\
+       ctx.fillRect(0, 0, 1, 1);"
+  in
+  let doc = Option.get doc in
+  let dom, canvas = Dom.Document.stats doc in
+  Alcotest.(check bool) "dom ops counted" true (dom >= 2);
+  Alcotest.(check bool) "canvas ops counted" true (canvas >= 1)
+
+let test_element_property_write_is_dom_access () =
+  let st, _ = Helpers.fresh_state ~dom:true () in
+  let hits = ref 0 in
+  let prev = st.Interp.Value.on_host_access in
+  st.Interp.Value.on_host_access <-
+    (fun cat op ->
+       prev cat op;
+       if cat = "dom" then incr hits);
+  Interp.Eval.run_program st
+    (Jsir.Parser.parse_program
+       "var el = document.createElement(\"div\");\n\
+        el.innerHTML = \"<b>x</b>\";\n\
+        el.textContent = \"y\";");
+  Alcotest.(check bool) "innerHTML/textContent writes reported" true
+    (!hits >= 2)
+
+let test_timer_driven_animation () =
+  let st, doc = Helpers.run ~dom:true
+      "var c = document.createElement(\"canvas\");\n\
+       c.width = 4; c.height = 4; c.id = \"cv\";\n\
+       document.body.appendChild(c);\n\
+       var ctx = c.getContext(\"2d\");\n\
+       var frames = 0;\n\
+       function tick() {\n\
+      \  frames++;\n\
+      \  ctx.fillRect(frames % 4, 0, 1, 1);\n\
+      \  if (frames < 10) { requestAnimationFrame(tick); }\n\
+       }\n\
+       requestAnimationFrame(tick);"
+  in
+  ignore doc;
+  ignore (Interp.Events.run_until st ~until_ms:2_000.);
+  check_with st "ten frames ran" (Helpers.num 10.) "frames"
+
+let suite =
+  [ ("tree operations", `Quick, test_tree_operations);
+    ("removeChild", `Quick, test_remove_child);
+    ("attributes", `Quick, test_attributes);
+    ("event dispatch", `Quick, test_event_dispatch);
+    ("canvas pixels", `Quick, test_canvas_pixels);
+    ("image data round-trip", `Quick, test_image_data_roundtrip);
+    ("color parsing", `Quick, test_color_parsing);
+    ("access counters", `Quick, test_access_counters);
+    ("element property writes", `Quick, test_element_property_write_is_dom_access);
+    ("timer-driven animation", `Quick, test_timer_driven_animation) ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "jsceres"
+    [ ("util", Test_util.suite);
+      ("jsir", Test_jsir.suite);
+      ("interp", Test_interp.suite);
+      ("dom", Test_dom.suite);
+      ("profiler", Test_profiler.suite);
+      ("ceres", Test_ceres.suite);
+      ("semantics", Test_semantics_preserved.suite);
+      ("survey", Test_survey.suite);
+      ("parallel", Test_parallel.suite);
+      ("extensions", Test_extensions.suite);
+      ("nbody", Test_nbody.suite);
+      ("workloads", Test_workloads.suite);
+      ("behavior", Test_workload_behavior.suite) ]

@@ -1,0 +1,105 @@
+(* The Sec. 3.3 walkthrough as an executable regression: the N-body
+   example must reproduce the paper's exact characterizations. *)
+
+let analysis = lazy (Examples_support.Nbody.analyze ())
+
+let warning_strings () =
+  let a = Lazy.force analysis in
+  Ceres.Runtime.warnings a.rt
+  |> List.map (fun w -> Ceres.Report.warning_to_string a.infos w)
+
+let has sub =
+  List.exists (Helpers.contains ~sub) (warning_strings ())
+
+(* The paper's triple lists, with our source's line numbers. *)
+let shape = "while(line 23) ok ok -> for(line 6) ok dependence"
+
+let test_write_to_p () =
+  Alcotest.(check bool)
+    ("write to variable p: " ^ shape)
+    true
+    (has ("write to variable p (line 7): " ^ shape))
+
+let test_writes_to_particle_fields () =
+  List.iter
+    (fun (prop, line) ->
+       let expected =
+         Printf.sprintf "write to property %s (line %d): %s" prop line shape
+       in
+       Alcotest.(check bool) expected true (has expected))
+    [ ("vX", 9); ("vY", 10); ("x", 12); ("y", 13) ]
+
+let test_writes_to_com_fields () =
+  List.iter
+    (fun (prop, line) ->
+       let expected =
+         Printf.sprintf "write to property %s (line %d): %s" prop line shape
+       in
+       Alcotest.(check bool) expected true (has expected))
+    [ ("m", 15); ("x", 16); ("y", 17) ]
+
+let test_flow_reads_of_com () =
+  (* "reads of properties x, y, m of com ... the read value has been
+     written in a different iteration of the loop ... a flow, i.e.
+     true, dependence between the loop iterations" *)
+  List.iter
+    (fun (prop, line) ->
+       let expected =
+         Printf.sprintf "read of property %s (line %d): %s" prop line shape
+       in
+       Alcotest.(check bool) expected true (has expected))
+    [ ("m", 15); ("x", 16); ("y", 17) ]
+
+let test_com_accumulation_is_waw () =
+  Alcotest.(check bool) "com.m WAW detected" true
+    (has "repeated write (WAW) to property m (line 15)")
+
+let test_frame_carried_dependences_found () =
+  (* beyond the paper: particle state persists across frames, so the
+     velocity updates are WAW carried by the while loop *)
+  Alcotest.(check bool) "vX carried across frames" true
+    (has "repeated write (WAW) to property vX (line 9): while(line 23) ok dependence")
+
+let test_no_dependence_ok_combination () =
+  (* "dependence ok is not a valid characterization" *)
+  List.iter
+    (fun s ->
+       Alcotest.(check bool)
+         ("no 'dependence ok' in: " ^ s)
+         false
+         (Helpers.contains ~sub:"dependence ok ->" s
+          ||
+          let n = String.length s in
+          n >= 13 && String.sub s (n - 13) 13 = "dependence ok"))
+    (warning_strings ())
+
+let test_for_nest_classification () =
+  let a = Lazy.force analysis in
+  let ws = Ceres.Runtime.warnings_impeding a.rt ~root:a.for_loop in
+  let summary = Ceres.Classify.summarize_warnings ws in
+  (* the centre-of-mass accumulator makes the for loop a reduction
+     candidate: iteration-carried flow confined to com's three fields *)
+  Alcotest.(check bool) "flow confined to three lines" true
+    (summary.flow_lines = 3);
+  let difficulty = Ceres.Classify.dependence_difficulty summary in
+  Alcotest.(check string) "reduction rewrite territory" "medium"
+    (Ceres.Classify.difficulty_to_string difficulty)
+
+let test_report_text_matches_paper_notation () =
+  let report = Examples_support.Nbody.report () in
+  Alcotest.(check bool) "arrow notation" true
+    (Helpers.contains ~sub:"while(line 23) ok ok -> for(line 6) ok dependence"
+       report);
+  Alcotest.(check bool) "mentions the nest" true
+    (Helpers.contains ~sub:"loop nest rooted at for(line 6)" report)
+
+let suite =
+  [ ("write to variable p", `Quick, test_write_to_p);
+    ("writes to particle fields", `Quick, test_writes_to_particle_fields);
+    ("writes to com fields", `Quick, test_writes_to_com_fields);
+    ("flow reads of com", `Quick, test_flow_reads_of_com);
+    ("com accumulation is WAW", `Quick, test_com_accumulation_is_waw);
+    ("frame-carried dependences", `Quick, test_frame_carried_dependences_found);
+    ("no 'dependence ok'", `Quick, test_no_dependence_ok_combination);
+    ("for-nest classification", `Quick, test_for_nest_classification);
+    ("report notation", `Quick, test_report_text_matches_paper_notation) ]

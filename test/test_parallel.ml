@@ -1,0 +1,214 @@
+(* Domain pool, parallel combinators and the speculative executor.
+   This container may expose a single core; every test here checks
+   correctness (results, exceptions, abort reasons), never speedup. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_parallel_for_covers_range () =
+  Js_parallel.Pool.with_pool ~domains:3 (fun p ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      Js_parallel.Pool.parallel_for p ~lo:0 ~hi:n (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "every index exactly once" true
+        (Array.for_all (fun h -> h = 1) hits))
+
+let test_parallel_for_empty_and_tiny () =
+  Js_parallel.Pool.with_pool ~domains:2 (fun p ->
+      let count = Atomic.make 0 in
+      Js_parallel.Pool.parallel_for p ~lo:5 ~hi:5 (fun _ ->
+          Atomic.incr count);
+      Alcotest.(check int) "empty range" 0 (Atomic.get count);
+      Js_parallel.Pool.parallel_for p ~lo:5 ~hi:6 (fun _ ->
+          Atomic.incr count);
+      Alcotest.(check int) "single-element range" 1 (Atomic.get count))
+
+let test_parallel_for_exception_propagates () =
+  Js_parallel.Pool.with_pool ~domains:2 (fun p ->
+      match
+        Js_parallel.Pool.parallel_for p ~lo:0 ~hi:100 (fun i ->
+            if i = 37 then failwith "boom")
+      with
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+      | () -> Alcotest.fail "expected exception");
+  (* pool remains usable after a failed loop *)
+  Js_parallel.Pool.with_pool ~domains:2 (fun p ->
+      (try
+         Js_parallel.Pool.parallel_for p ~lo:0 ~hi:10 (fun _ ->
+             failwith "first")
+       with Failure _ -> ());
+      let sum =
+        Js_parallel.Pool.parallel_reduce p ~lo:1 ~hi:11 ~init:0
+          ~body:(fun i -> i)
+          ~combine:( + ) ()
+      in
+      Alcotest.(check int) "pool survives exceptions" 55 sum)
+
+let test_parallel_reduce_sum () =
+  Js_parallel.Pool.with_pool ~domains:4 (fun p ->
+      let sum =
+        Js_parallel.Pool.parallel_reduce p ~lo:0 ~hi:100_000 ~init:0
+          ~body:(fun i -> i)
+          ~combine:( + ) ()
+      in
+      Alcotest.(check int) "gauss" (100_000 * 99_999 / 2) sum)
+
+let prop_reduce_matches_sequential_fold =
+  QCheck.Test.make ~name:"parallel_reduce = List fold" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 0 500))
+    (fun (domains, n) ->
+       Js_parallel.Pool.with_pool ~domains (fun p ->
+           let body i = (i * 7) mod 13 in
+           let par =
+             Js_parallel.Pool.parallel_reduce p ~lo:0 ~hi:n ~init:0 ~body
+               ~combine:( + ) ()
+           in
+           let seq = List.fold_left ( + ) 0 (List.init n body) in
+           par = seq))
+
+let test_map_array () =
+  Js_parallel.Pool.with_pool ~domains:3 (fun p ->
+      let src = Array.init 1000 (fun i -> i) in
+      let dst = Js_parallel.Pool.map_array p (fun x -> x * x) src in
+      Alcotest.(check bool) "squares" true
+        (Array.for_all2 (fun a b -> a * a = b) src dst);
+      Alcotest.(check (array int)) "empty array" [||]
+        (Js_parallel.Pool.map_array p (fun x -> x) [||]))
+
+let test_pool_shutdown_idempotent () =
+  let p = Js_parallel.Pool.create ~domains:2 () in
+  Js_parallel.Pool.parallel_for p ~lo:0 ~hi:10 (fun _ -> ());
+  Js_parallel.Pool.shutdown p;
+  Js_parallel.Pool.shutdown p (* second shutdown is a no-op *)
+
+let test_pool_size_clamped () =
+  Js_parallel.Pool.with_pool ~domains:0 (fun p ->
+      Alcotest.(check int) "at least one participant" 1
+        (Js_parallel.Pool.size p))
+
+(* ------------------------------------------------------------------ *)
+(* Speculative executor *)
+
+let map_setup =
+  "var src = []; var dst = [];\n\
+   (function() { for (var i = 0; i < 40; i++) { src.push(i * 3 % 11); } })();"
+
+let test_speculation_commits_on_map () =
+  match
+    Js_parallel.Speculative.run ~domains:2 ~setup_src:map_setup
+      ~iter_src:"function(i) { dst[i] = src[i] * src[i]; return dst[i]; }"
+      ~lo:0 ~hi:40 ()
+  with
+  | Committed { result; _ } ->
+    let seq =
+      Js_parallel.Speculative.run_sequential ~setup_src:map_setup
+        ~iter_src:"function(i) { dst[i] = src[i] * src[i]; return dst[i]; }"
+        ~lo:0 ~hi:40
+    in
+    Alcotest.(check (float 1e-9)) "parallel = sequential" seq result
+  | Aborted r ->
+    Alcotest.failf "unexpected abort: %s"
+      (Js_parallel.Speculative.abort_reason_to_string r)
+
+let test_speculation_aborts_on_flow () =
+  match
+    Js_parallel.Speculative.run ~domains:2 ~setup_src:map_setup
+      ~iter_src:
+        "function(i) { dst[i] = (i > 0 ? dst[i - 1] : 0) + src[i]; return dst[i]; }"
+      ~lo:0 ~hi:40 ()
+  with
+  | Committed _ -> Alcotest.fail "prefix sum must abort"
+  | Aborted (Carried_dependence reasons) ->
+    Alcotest.(check bool) "reason names the flow read" true
+      (List.exists (Helpers.contains ~sub:"read of property") reasons)
+  | Aborted other ->
+    Alcotest.failf "wrong abort reason: %s"
+      (Js_parallel.Speculative.abort_reason_to_string other)
+
+let test_speculation_aborts_on_waw () =
+  match
+    Js_parallel.Speculative.run ~domains:2 ~setup_src:map_setup
+      ~iter_src:"function(i) { dst[0] = i; return i; }" ~lo:0 ~hi:40 ()
+  with
+  | Committed _ -> Alcotest.fail "all-write-one-slot must abort"
+  | Aborted (Carried_dependence reasons) ->
+    Alcotest.(check bool) "reason names the WAW" true
+      (List.exists (Helpers.contains ~sub:"repeated write") reasons)
+  | Aborted other ->
+    Alcotest.failf "wrong abort reason: %s"
+      (Js_parallel.Speculative.abort_reason_to_string other)
+
+let test_speculation_aborts_on_dom () =
+  let setup =
+    "var el = document.createElement(\"div\");\n\
+     document.body.appendChild(el);"
+  in
+  match
+    Js_parallel.Speculative.run ~domains:2 ~setup_src:setup
+      ~iter_src:"function(i) { el.setAttribute(\"n\", \"\" + i); return i; }"
+      ~lo:0 ~hi:10 ()
+  with
+  | Committed _ -> Alcotest.fail "DOM loop must abort"
+  | Aborted (Dom_access n) -> Alcotest.(check bool) "counted" true (n > 0)
+  | Aborted other ->
+    Alcotest.failf "wrong abort reason: %s"
+      (Js_parallel.Speculative.abort_reason_to_string other)
+
+let test_speculation_reports_runtime_errors () =
+  match
+    Js_parallel.Speculative.run ~domains:2 ~setup_src:""
+      ~iter_src:"function(i) { return missing_function(i); }" ~lo:0 ~hi:4 ()
+  with
+  | Committed _ -> Alcotest.fail "must abort"
+  | Aborted (Runtime_error msg) ->
+    Alcotest.(check bool) "mentions the reference error" true
+      (Helpers.contains ~sub:"missing_function" msg)
+  | Aborted other ->
+    Alcotest.failf "wrong abort reason: %s"
+      (Js_parallel.Speculative.abort_reason_to_string other)
+
+let test_speculation_reduction_accumulator_allowed () =
+  (* the harness's own __acc accumulation must not abort the loop *)
+  match
+    Js_parallel.Speculative.run ~domains:2 ~setup_src:map_setup
+      ~iter_src:"function(i) { return src[i]; }" ~lo:0 ~hi:40 ()
+  with
+  | Committed { result; _ } ->
+    Alcotest.(check bool) "sum positive" true (result > 0.)
+  | Aborted r ->
+    Alcotest.failf "unexpected abort: %s"
+      (Js_parallel.Speculative.abort_reason_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Native kernels: parallel equals sequential *)
+
+let test_kernels_parallel_equals_sequential () =
+  List.iter
+    (fun (k : Workloads.Kernels.kernel) ->
+       let size = max 32 (k.default_size / 8) in
+       let seq = k.run size in
+       let par =
+         Js_parallel.Pool.with_pool ~domains:2 (fun p -> k.run ~pool:p size)
+       in
+       Alcotest.(check bool)
+         (k.kname ^ " checksum equality")
+         true
+         (Float.abs (seq -. par) < (1e-9 *. Float.abs seq) +. 1e-9))
+    Workloads.Kernels.all
+
+let suite =
+  [ ("parallel_for coverage", `Quick, test_parallel_for_covers_range);
+    ("parallel_for edge ranges", `Quick, test_parallel_for_empty_and_tiny);
+    ("parallel_for exceptions", `Quick, test_parallel_for_exception_propagates);
+    ("parallel_reduce sum", `Quick, test_parallel_reduce_sum);
+    qtest prop_reduce_matches_sequential_fold;
+    ("map_array", `Quick, test_map_array);
+    ("shutdown idempotent", `Quick, test_pool_shutdown_idempotent);
+    ("pool size clamped", `Quick, test_pool_size_clamped);
+    ("speculation commits on map", `Quick, test_speculation_commits_on_map);
+    ("speculation aborts on flow", `Quick, test_speculation_aborts_on_flow);
+    ("speculation aborts on WAW", `Quick, test_speculation_aborts_on_waw);
+    ("speculation aborts on DOM", `Quick, test_speculation_aborts_on_dom);
+    ("speculation reports errors", `Quick, test_speculation_reports_runtime_errors);
+    ("speculation allows reduction", `Quick, test_speculation_reduction_accumulator_allowed);
+    ("kernels parallel = sequential", `Slow, test_kernels_parallel_equals_sequential) ]

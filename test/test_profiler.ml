@@ -1,0 +1,84 @@
+(* Sampling-profiler model tests: the Gecko anomaly reproduction.
+
+   The key behaviour (paper Sec. 3.1): the sampler observes the program
+   at function granularity. Code that calls functions often keeps every
+   sample window active; a long call-free loop starves the sampler and
+   under-reports active time. *)
+
+let run_with_sampler src =
+  let st = Interp.Eval.create ~ticks_per_ms:300 () in
+  Interp.Builtins.install st;
+  let sampler = Profiler.Sampler.attach ~period_ms:1.0 st in
+  Interp.Eval.run_program st (Jsir.Parser.parse_program src);
+  let busy =
+    Ceres_util.Vclock.to_ms st.Interp.Value.clock
+      (Ceres_util.Vclock.busy st.Interp.Value.clock)
+  in
+  (sampler, busy)
+
+let test_call_dense_loop_fully_sampled () =
+  let sampler, busy =
+    run_with_sampler
+      "function work(x) { return x * 2 + 1; }\n\
+       var acc = 0;\n\
+       for (var i = 0; i < 20000; i++) { acc = work(acc) % 1000; }"
+  in
+  let active = Profiler.Sampler.active_ms sampler in
+  Alcotest.(check bool) "busy is substantial" true (busy > 20.);
+  Alcotest.(check bool) "active close to busy" true
+    (active > 0.8 *. busy)
+
+let test_call_free_loop_starves_sampler () =
+  let sampler, busy =
+    run_with_sampler
+      "var acc = 0;\n\
+       for (var i = 0; i < 20000; i++) { acc = (acc * 3 + i) % 1000; }"
+  in
+  let active = Profiler.Sampler.active_ms sampler in
+  Alcotest.(check bool) "busy is substantial" true (busy > 20.);
+  Alcotest.(check bool) "sampler starves (the paper's anomaly)" true
+    (active < 0.3 *. busy)
+
+let test_idle_time_is_inactive () =
+  let st = Interp.Eval.create ~ticks_per_ms:300 () in
+  Interp.Builtins.install st;
+  let sampler = Profiler.Sampler.attach ~period_ms:1.0 st in
+  Interp.Eval.run_program st
+    (Jsir.Parser.parse_program
+       "function burst() { var x = 0; for (var i = 0; i < 100; i++) { x += Math.sqrt(i); } }\n\
+        setTimeout(burst, 500);");
+  ignore (Interp.Events.run_until st ~until_ms:10_000.);
+  let active = Profiler.Sampler.active_ms sampler in
+  Alcotest.(check bool) "active far below the 10s window" true (active < 100.)
+
+let test_profile_attribution () =
+  let sampler, _ =
+    run_with_sampler
+      "function hot() { var x = 0; for (var i = 0; i < 300; i++) { x += i; } return x; }\n\
+       function cold() { return 1; }\n\
+       var a = 0;\n\
+       for (var r = 0; r < 200; r++) { a += hot(); a += cold(); }"
+  in
+  match Profiler.Sampler.profile sampler with
+  | [] -> Alcotest.fail "no samples recorded"
+  | (top, _) :: _ ->
+    Alcotest.(check bool) "hot function dominates the profile" true
+      (Helpers.contains ~sub:"hot" top)
+
+let test_detach_restores_hooks () =
+  let st = Interp.Eval.create () in
+  Interp.Builtins.install st;
+  let sampler = Profiler.Sampler.attach st in
+  Profiler.Sampler.detach sampler;
+  let before = Profiler.Sampler.boundary_count sampler in
+  Interp.Eval.run_program st
+    (Jsir.Parser.parse_program "function f() { return 1; } f(); f();");
+  Alcotest.(check int) "no boundaries counted after detach" before
+    (Profiler.Sampler.boundary_count sampler)
+
+let suite =
+  [ ("call-dense loop fully sampled", `Quick, test_call_dense_loop_fully_sampled);
+    ("call-free loop starves sampler", `Quick, test_call_free_loop_starves_sampler);
+    ("idle time inactive", `Quick, test_idle_time_is_inactive);
+    ("profile attribution", `Quick, test_profile_attribution);
+    ("detach restores hooks", `Quick, test_detach_restores_hooks) ]

@@ -1,0 +1,175 @@
+(* Property: the JS-CERES instrumentation is semantics-preserving.
+
+   We generate random terminating MiniJS programs (bounded loops over a
+   fixed pool of scalar variables and arrays, conditionals, compound
+   assignments, function calls) that print their full final state, and
+   check that the console output is identical across the uninstrumented
+   run and all three instrumentation modes. This is the deepest
+   invariant of the tool: the paper's measurements are only meaningful
+   if observing a program does not change it. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- random program generator ------------------------------------- *)
+
+let scalars = [| "a"; "b"; "c"; "d" |]
+let arrays = [| "xs"; "ys" |]
+
+let gen_scalar = QCheck.Gen.oneofa scalars
+let gen_array = QCheck.Gen.oneofa arrays
+
+(* Arithmetic expressions over the pool; always well-defined numbers
+   (no division, modulo guarded). *)
+let rec gen_expr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [ map string_of_int (int_range 0 9);
+        gen_scalar;
+        (let* a = gen_array and* i = int_range 0 7 in
+         return (Printf.sprintf "%s[%d]" a i)) ]
+  else
+    let sub = gen_expr (depth - 1) in
+    oneof
+      [ sub;
+        (let* l = sub and* r = sub and* op = oneofl [ "+"; "-"; "*" ] in
+         return (Printf.sprintf "(%s %s %s)" l op r));
+        (let* l = sub and* r = sub in
+         return (Printf.sprintf "((%s %% 7 + 7) %% 7 + %s)" l r));
+        (let* l = sub in
+         return (Printf.sprintf "Math.floor(%s / 3)" l)) ]
+
+let gen_cond =
+  let open QCheck.Gen in
+  let* l = gen_expr 1 and* r = gen_expr 1 in
+  let* op = oneofl [ "<"; ">"; "<="; "==="; "!==" ] in
+  return (Printf.sprintf "%s %s %s" l op r)
+
+let indent n = String.make (2 * n) ' '
+
+(* Loop counters are distinct per nesting level so nests terminate. *)
+let counters = [| "i"; "j"; "k" |]
+
+let rec gen_stmt ~level ~depth =
+  let open QCheck.Gen in
+  let simple =
+    oneof
+      [ (let* v = gen_scalar and* e = gen_expr 2 in
+         return (Printf.sprintf "%s%s = %s;" (indent level) v e));
+        (let* v = gen_scalar and* e = gen_expr 1
+         and* op = oneofl [ "+="; "-="; "*=" ] in
+         return (Printf.sprintf "%s%s %s %s;" (indent level) v op e));
+        (let* a = gen_array and* i = int_range 0 7 and* e = gen_expr 2 in
+         return (Printf.sprintf "%s%s[%d] = %s;" (indent level) a i e));
+        (let* a = gen_array and* i = int_range 0 7
+         and* b = gen_array and* j = int_range 0 7 in
+         return
+           (Printf.sprintf "%s%s[%d] = %s[%d] + 1;" (indent level) a i b j));
+        (let* v = gen_scalar in
+         return (Printf.sprintf "%s%s++;" (indent level) v));
+        (let* v = gen_scalar and* e = gen_expr 1 in
+         return (Printf.sprintf "%s%s = work(%s);" (indent level) v e)) ]
+  in
+  if depth = 0 || level >= 3 then simple
+  else
+    frequency
+      [ (4, simple);
+        ( 2,
+          let* cond = gen_cond
+          and* body = gen_block ~level:(level + 1) ~depth:(depth - 1) ~len:2 in
+          return
+            (Printf.sprintf "%sif (%s) {\n%s%s}" (indent level) cond body
+               (indent level)) );
+        ( 2,
+          let counter = counters.(min level 2) in
+          let* bound = int_range 1 5
+          and* body = gen_block ~level:(level + 1) ~depth:(depth - 1) ~len:2 in
+          return
+            (Printf.sprintf "%sfor (var %s = 0; %s < %d; %s++) {\n%s%s}"
+               (indent level) counter counter bound counter body
+               (indent level)) ) ]
+
+and gen_block ~level ~depth ~len =
+  let open QCheck.Gen in
+  let* stmts = list_size (int_range 1 len) (gen_stmt ~level ~depth) in
+  return (String.concat "\n" stmts ^ "\n")
+
+let gen_program =
+  let open QCheck.Gen in
+  let* body = gen_block ~level:0 ~depth:3 ~len:6 in
+  return
+    (Printf.sprintf
+       "var a = 1, b = 2, c = 3, d = 4;\n\
+        var xs = [0, 1, 2, 3, 4, 5, 6, 7];\n\
+        var ys = [7, 6, 5, 4, 3, 2, 1, 0];\n\
+        function work(n) { return (n * 2 + 1) %% 97; }\n\
+        %s\n\
+        console.log(a, b, c, d);\n\
+        console.log(JSON.stringify(xs), JSON.stringify(ys));"
+       body)
+
+let run_mode program mode =
+  let st = Interp.Eval.create () in
+  Interp.Builtins.install st;
+  (match mode with
+   | None -> Interp.Eval.run_program st program
+   | Some m ->
+     (match m with
+      | Ceres.Instrument.Lightweight -> ignore (Ceres.Install.lightweight st)
+      | Ceres.Instrument.Loop_profile ->
+        ignore (Ceres.Install.loop_profile st (Jsir.Loops.index program))
+      | Ceres.Instrument.Dependence ->
+        ignore (Ceres.Install.dependence st (Jsir.Loops.index program)));
+     Interp.Eval.run_program st (Ceres.Instrument.program m program));
+  List.rev st.Interp.Value.console
+
+let prop_instrumentation_preserves_semantics =
+  QCheck.Test.make
+    ~name:"instrumentation preserves random-program semantics" ~count:150
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+       let program = Jsir.Parser.parse_program src in
+       let expected = run_mode program None in
+       List.for_all
+         (fun m -> run_mode program (Some m) = expected)
+         [ Ceres.Instrument.Lightweight; Ceres.Instrument.Loop_profile;
+           Ceres.Instrument.Dependence ])
+
+(* And the printer round-trips instrumented programs semantically:
+   print the instrumented AST, re-parse, re-run (the intrinsics print
+   as calls, so this only holds for the uninstrumented program). *)
+let prop_print_parse_preserves_semantics =
+  QCheck.Test.make ~name:"print/parse preserves random-program semantics"
+    ~count:150
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+       let program = Jsir.Parser.parse_program src in
+       let printed = Jsir.Printer.program_to_string program in
+       let reparsed = Jsir.Parser.parse_program printed in
+       run_mode program None = run_mode reparsed None)
+
+(* The analysis itself must be deterministic: two dependence runs of
+   the same program produce the same warning inventory (guards against
+   hash-order leaks into the reports). *)
+let prop_analysis_deterministic =
+  QCheck.Test.make ~name:"dependence analysis is deterministic" ~count:60
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+       let analyse () =
+         let program = Jsir.Parser.parse_program src in
+         let st = Interp.Eval.create () in
+         Interp.Builtins.install st;
+         let infos = Jsir.Loops.index program in
+         let rt = Ceres.Install.dependence st infos in
+         Interp.Eval.run_program st
+           (Ceres.Instrument.program Ceres.Instrument.Dependence program);
+         List.map
+           (fun w -> Ceres.Report.warning_to_string infos w)
+           (Ceres.Runtime.warnings rt)
+       in
+       analyse () = analyse ())
+
+let suite =
+  [ qtest prop_instrumentation_preserves_semantics;
+    qtest prop_print_parse_preserves_semantics;
+    qtest prop_analysis_deterministic ]

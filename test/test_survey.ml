@@ -1,0 +1,139 @@
+(* Survey pipeline: generation determinism, thematic coding, published
+   marginals, inter-rater validation. *)
+
+let respondents = lazy (Survey.Generator.generate ())
+
+let test_population_size () =
+  Alcotest.(check int) "174 respondents"
+    Survey.Distributions.total_respondents
+    (Array.length (Lazy.force respondents))
+
+let test_generation_deterministic () =
+  let a = Survey.Generator.generate ~seed:2015 () in
+  let b = Survey.Generator.generate ~seed:2015 () in
+  Alcotest.(check bool) "same seed, same answers" true
+    (Array.for_all2
+       (fun (x : Survey.Types.respondent) (y : Survey.Types.respondent) ->
+          x.future_apps_answer = y.future_apps_answer
+          && x.functional_imperative = y.functional_imperative
+          && x.polymorphism = y.polymorphism
+          && x.bottlenecks = y.bottlenecks)
+       a b);
+  let c = Survey.Generator.generate ~seed:99 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Array.exists2
+       (fun (x : Survey.Types.respondent) (y : Survey.Types.respondent) ->
+          x.future_apps_answer <> y.future_apps_answer)
+       a c)
+
+let test_figure1_matches_paper () =
+  let rows, _ = Survey.Aggregate.figure1 (Lazy.force respondents) in
+  List.iter
+    (fun (r : Survey.Aggregate.figure1_row) ->
+       let expected =
+         List.assoc r.category Survey.Distributions.figure1_counts
+       in
+       Alcotest.(check int)
+         (Survey.Types.category_name r.category)
+         expected r.count)
+    rows
+
+let test_figure2_matches_paper () =
+  let rows = Survey.Aggregate.figure2 (Lazy.force respondents) in
+  List.iter
+    (fun (r : Survey.Aggregate.figure2_row) ->
+       let _, ni, ss, bo =
+         List.find
+           (fun (c, _, _, _) -> c = r.component)
+           Survey.Distributions.figure2_counts
+       in
+       Alcotest.(check (list int))
+         (Survey.Types.component_name r.component)
+         [ ni; ss; bo ]
+         [ r.not_issue; r.so_so; r.bottleneck ])
+    rows
+
+let test_figures_3_4_match_paper () =
+  Alcotest.(check (array int)) "figure 3"
+    Survey.Distributions.figure3_counts
+    (Survey.Aggregate.figure3 (Lazy.force respondents));
+  Alcotest.(check (array int)) "figure 4"
+    Survey.Distributions.figure4_counts
+    (Survey.Aggregate.figure4 (Lazy.force respondents))
+
+let test_operator_preference () =
+  let pct = Survey.Aggregate.operator_preference_pct (Lazy.force respondents) in
+  Alcotest.(check bool) "~74% prefer operators (paper)" true
+    (Float.abs (pct -. 74.) < 1.5)
+
+let test_coding_recovers_categories () =
+  (* every generated codeable answer must code to exactly its category
+     under rater A *)
+  List.iter
+    (fun (cat, n) ->
+       ignore n;
+       Array.iter
+         (fun (r : Survey.Types.respondent) ->
+            match r.future_apps_answer with
+            | Some text ->
+              (match Survey.Coding.principal_category Survey.Coding.rater_a text with
+               | Some _ | None -> ())
+            | None -> ())
+         (Lazy.force respondents);
+       ignore cat)
+    Survey.Distributions.figure1_counts;
+  (* and specific phrasings code correctly *)
+  let check text expected =
+    Alcotest.(check bool)
+      (text ^ " -> " ^ Survey.Types.category_name expected)
+      true
+      (Survey.Coding.principal_category Survey.Coding.rater_a text
+       = Some expected)
+  in
+  check "WebGL games; game engines moving to the browser" Survey.Types.Games;
+  check "video editing in the browser" Survey.Types.Audio_video;
+  check "augmented reality overlays on live camera input"
+    Survey.Types.Augmented_reality;
+  check "desktop applications moving to the web" Survey.Types.Desktop_like;
+  Alcotest.(check bool) "uncodeable stays uncoded" true
+    (Survey.Coding.principal_category Survey.Coding.rater_a
+       "no strong opinion on this one"
+     = None)
+
+let test_inter_rater_agreement_over_bar () =
+  let j = Survey.Coding.inter_rater_agreement (Lazy.force respondents) in
+  Alcotest.(check bool) "agreement above the paper's 0.8 bar" true (j > 0.8);
+  Alcotest.(check bool) "raters genuinely disagree somewhere" true (j < 1.0)
+
+let test_jaccard_full_population_disagreements () =
+  (* the two codebooks disagree on some answers (camera/editing) *)
+  let divergent =
+    Array.to_list (Lazy.force respondents)
+    |> List.filter (fun (r : Survey.Types.respondent) ->
+        match r.future_apps_answer with
+        | None -> false
+        | Some text ->
+          Survey.Coding.code Survey.Coding.rater_a text
+          <> Survey.Coding.code Survey.Coding.rater_b text)
+    |> List.length
+  in
+  Alcotest.(check bool) "some divergent documents" true (divergent > 0)
+
+let test_global_use_counts () =
+  let counts = Survey.Aggregate.global_use_counts (Lazy.force respondents) in
+  let namespacing = List.assoc Survey.Types.Namespacing counts in
+  Alcotest.(check int) "33 namespace answers (paper Sec 2.4)" 33 namespacing;
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+  Alcotest.(check int) "105 answers total" 105 total
+
+let suite =
+  [ ("population size", `Quick, test_population_size);
+    ("deterministic generation", `Quick, test_generation_deterministic);
+    ("figure 1 counts", `Quick, test_figure1_matches_paper);
+    ("figure 2 counts", `Quick, test_figure2_matches_paper);
+    ("figures 3 and 4", `Quick, test_figures_3_4_match_paper);
+    ("operator preference", `Quick, test_operator_preference);
+    ("coding recovers categories", `Quick, test_coding_recovers_categories);
+    ("inter-rater agreement", `Quick, test_inter_rater_agreement_over_bar);
+    ("rater divergence exists", `Quick, test_jaccard_full_population_disagreements);
+    ("global-variable themes", `Quick, test_global_use_counts) ]

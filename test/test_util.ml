@@ -1,0 +1,247 @@
+(* Unit and property tests for the ceres_util substrate. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Welford *)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs a)
+
+let test_welford_basic () =
+  let w = Ceres_util.Welford.create () in
+  Alcotest.(check int) "empty count" 0 (Ceres_util.Welford.count w);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Ceres_util.Welford.mean w);
+  List.iter (Ceres_util.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Ceres_util.Welford.count w);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Ceres_util.Welford.mean w);
+  Alcotest.(check (float 1e-9)) "total" 40. (Ceres_util.Welford.total w);
+  (* two-pass sample variance of that data is 32/7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.)
+    (Ceres_util.Welford.variance w);
+  Alcotest.(check (float 1e-9)) "population variance" 4.
+    (Ceres_util.Welford.population_variance w);
+  Alcotest.(check (float 1e-9)) "min" 2. (Ceres_util.Welford.min_value w);
+  Alcotest.(check (float 1e-9)) "max" 9. (Ceres_util.Welford.max_value w)
+
+let test_welford_single () =
+  let w = Ceres_util.Welford.create () in
+  Ceres_util.Welford.add w 42.;
+  Alcotest.(check (float 0.)) "variance of one sample" 0.
+    (Ceres_util.Welford.variance w);
+  Alcotest.(check (float 0.)) "stddev of one sample" 0.
+    (Ceres_util.Welford.stddev w)
+
+let test_welford_reset () =
+  let w = Ceres_util.Welford.create () in
+  Ceres_util.Welford.add w 1.;
+  Ceres_util.Welford.add w 2.;
+  Ceres_util.Welford.reset w;
+  Alcotest.(check int) "count after reset" 0 (Ceres_util.Welford.count w);
+  Ceres_util.Welford.add w 10.;
+  Alcotest.(check (float 1e-9)) "mean after reset" 10.
+    (Ceres_util.Welford.mean w)
+
+let prop_welford_matches_two_pass =
+  QCheck.Test.make ~name:"welford variance = two-pass variance" ~count:300
+    QCheck.(list_of_size Gen.(int_range 2 60) (float_range (-1000.) 1000.))
+    (fun xs ->
+       QCheck.assume (List.length xs >= 2);
+       let w = Ceres_util.Welford.create () in
+       List.iter (Ceres_util.Welford.add w) xs;
+       let arr = Array.of_list xs in
+       close ~eps:1e-8 (Ceres_util.Welford.variance w)
+         (Ceres_util.Stats.variance arr)
+       && close ~eps:1e-9 (Ceres_util.Welford.mean w)
+            (Ceres_util.Stats.mean arr))
+
+let prop_welford_merge =
+  QCheck.Test.make ~name:"welford merge = concatenated stream" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 40) (float_range (-100.) 100.))
+        (list_of_size Gen.(int_range 0 40) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+       let a = Ceres_util.Welford.create ()
+       and b = Ceres_util.Welford.create ()
+       and all = Ceres_util.Welford.create () in
+       List.iter (Ceres_util.Welford.add a) xs;
+       List.iter (Ceres_util.Welford.add b) ys;
+       List.iter (Ceres_util.Welford.add all) (xs @ ys);
+       let merged = Ceres_util.Welford.merge a b in
+       Ceres_util.Welford.count merged = Ceres_util.Welford.count all
+       && close ~eps:1e-8 (Ceres_util.Welford.mean merged)
+            (Ceres_util.Welford.mean all)
+       && close ~eps:1e-6 (Ceres_util.Welford.variance merged)
+            (Ceres_util.Welford.variance all))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Ceres_util.Prng.of_int 7 and b = Ceres_util.Prng.of_int 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Ceres_util.Prng.next_int64 a)
+      (Ceres_util.Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Ceres_util.Prng.of_int 7 in
+  let b = Ceres_util.Prng.split a in
+  let xa = Ceres_util.Prng.next_int64 a
+  and xb = Ceres_util.Prng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let prop_prng_float_range =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:200 QCheck.int
+    (fun seed ->
+       let p = Ceres_util.Prng.of_int seed in
+       let ok = ref true in
+       for _ = 1 to 50 do
+         let f = Ceres_util.Prng.float p in
+         if not (f >= 0. && f < 1.) then ok := false
+       done;
+       !ok)
+
+let prop_prng_int_range =
+  QCheck.Test.make ~name:"prng int in [0,bound)" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+       let p = Ceres_util.Prng.of_int seed in
+       let ok = ref true in
+       for _ = 1 to 50 do
+         let v = Ceres_util.Prng.int p bound in
+         if not (v >= 0 && v < bound) then ok := false
+       done;
+       !ok)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(int_range 0 30) int))
+    (fun (seed, xs) ->
+       let arr = Array.of_list xs in
+       let orig = Array.copy arr in
+       Ceres_util.Prng.shuffle (Ceres_util.Prng.of_int seed) arr;
+       List.sort compare (Array.to_list arr)
+       = List.sort compare (Array.to_list orig))
+
+let test_weighted_index () =
+  let p = Ceres_util.Prng.of_int 3 in
+  (* weight zero must never be picked *)
+  for _ = 1 to 200 do
+    let i = Ceres_util.Prng.weighted_index p [| 0.; 1.; 0.; 2. |] in
+    Alcotest.(check bool) "index has positive weight" true (i = 1 || i = 3)
+  done;
+  Alcotest.check_raises "no positive weight"
+    (Invalid_argument "Prng.weighted_index: no positive weight") (fun () ->
+        ignore (Ceres_util.Prng.weighted_index p [| 0.; 0. |]))
+
+let test_gaussian_moments () =
+  let p = Ceres_util.Prng.of_int 99 in
+  let w = Ceres_util.Welford.create () in
+  for _ = 1 to 20_000 do
+    Ceres_util.Welford.add w (Ceres_util.Prng.gaussian p)
+  done;
+  Alcotest.(check bool) "gaussian mean ~ 0" true
+    (Float.abs (Ceres_util.Welford.mean w) < 0.05);
+  Alcotest.(check bool) "gaussian variance ~ 1" true
+    (Float.abs (Ceres_util.Welford.variance w -. 1.) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Vclock *)
+
+let test_vclock_accounting () =
+  let c = Ceres_util.Vclock.create ~ticks_per_ms:100 () in
+  Ceres_util.Vclock.advance c 250;
+  Ceres_util.Vclock.advance_idle c 150L;
+  Alcotest.(check int64) "busy" 250L (Ceres_util.Vclock.busy c);
+  Alcotest.(check int64) "idle" 150L (Ceres_util.Vclock.idle c);
+  Alcotest.(check int64) "now = busy + idle" 400L (Ceres_util.Vclock.now c);
+  Alcotest.(check (float 1e-9)) "to_ms" 4. (Ceres_util.Vclock.to_ms c 400L);
+  Alcotest.(check int64) "ms_to_ticks" 400L
+    (Ceres_util.Vclock.ms_to_ticks c 4.);
+  Ceres_util.Vclock.reset c;
+  Alcotest.(check int64) "reset" 0L (Ceres_util.Vclock.now c)
+
+let test_vclock_rejects_negative () =
+  let c = Ceres_util.Vclock.create () in
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Vclock.advance: negative cost") (fun () ->
+        Ceres_util.Vclock.advance c (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_percentile () =
+  let xs = [| 15.; 20.; 35.; 40.; 50. |] in
+  Alcotest.(check (float 1e-9)) "median" 35. (Ceres_util.Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 15. (Ceres_util.Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100" 50.
+    (Ceres_util.Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 20.
+    (Ceres_util.Stats.percentile xs 25.)
+
+let test_histogram () =
+  let h =
+    Ceres_util.Stats.histogram ~bins:4 ~lo:0. ~hi:4.
+      [| 0.5; 1.5; 1.9; 2.5; 3.5; -1.; 9. |]
+  in
+  Alcotest.(check (array int)) "bins incl. clamping" [| 2; 2; 1; 2 |] h
+
+let test_jaccard () =
+  let set xs =
+    let t = Hashtbl.create 8 in
+    List.iter (fun x -> Hashtbl.replace t x ()) xs;
+    t
+  in
+  Alcotest.(check (float 1e-9)) "identical" 1.
+    (Ceres_util.Stats.jaccard (set [ 1; 2 ]) (set [ 1; 2 ]));
+  Alcotest.(check (float 1e-9)) "disjoint" 0.
+    (Ceres_util.Stats.jaccard (set [ 1 ]) (set [ 2 ]));
+  Alcotest.(check (float 1e-9)) "half" (1. /. 3.)
+    (Ceres_util.Stats.jaccard (set [ 1; 2 ]) (set [ 2; 3 ]));
+  Alcotest.(check (float 1e-9)) "both empty" 1.
+    (Ceres_util.Stats.jaccard (set []) (set []))
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Ceres_util.Table.create [ "a"; "bb" ] in
+  Ceres_util.Table.add_row t [ "1"; "2" ];
+  Ceres_util.Table.add_separator t;
+  Ceres_util.Table.add_row t [ "333"; "4" ];
+  let s = Ceres_util.Table.render t in
+  Alcotest.(check bool) "contains header" true (Helpers.contains ~sub:"bb" s);
+  Alcotest.(check bool) "contains wide cell" true (String.contains s '3');
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Ceres_util.Table.add_row t [ "only one" ])
+
+let test_bar_chart () =
+  let s = Ceres_util.Table.bar_chart ~width:10 [ ("x", 0.5); ("y", 2.0) ] in
+  Alcotest.(check bool) "x at 50%" true
+    (Helpers.contains ~sub:"50.0%" s);
+  (* out-of-range fractions are clamped *)
+  Alcotest.(check bool) "y clamped to 100%" true
+    (Helpers.contains ~sub:"100.0%" s)
+
+let suite =
+  [ ("welford basic", `Quick, test_welford_basic);
+    ("welford single sample", `Quick, test_welford_single);
+    ("welford reset", `Quick, test_welford_reset);
+    qtest prop_welford_matches_two_pass;
+    qtest prop_welford_merge;
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng split", `Quick, test_prng_split_independent);
+    qtest prop_prng_float_range;
+    qtest prop_prng_int_range;
+    qtest prop_shuffle_is_permutation;
+    ("prng weighted index", `Quick, test_weighted_index);
+    ("prng gaussian moments", `Slow, test_gaussian_moments);
+    ("vclock accounting", `Quick, test_vclock_accounting);
+    ("vclock negative", `Quick, test_vclock_rejects_negative);
+    ("stats percentile", `Quick, test_percentile);
+    ("stats histogram", `Quick, test_histogram);
+    ("stats jaccard", `Quick, test_jaccard);
+    ("table render", `Quick, test_table_render);
+    ("table bar chart", `Quick, test_bar_chart) ]

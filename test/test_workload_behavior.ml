@@ -1,0 +1,188 @@
+(* Behavioural tests of the workload algorithms themselves: beyond
+   "runs without error", each app must actually compute what its
+   real-world counterpart computes (pixels land on the canvas, physics
+   evolves, tearing tears, projections move points). *)
+
+let eval ctx src =
+  Interp.Eval.eval_in_global ctx.Workloads.Harness.st
+    (Jsir.Parser.parse_expression src)
+
+let eval_num ctx src =
+  match eval ctx src with
+  | Interp.Value.Num f -> f
+  | v ->
+    Alcotest.failf "expected number from %s, got %s" src
+      (Interp.Value.to_string ctx.Workloads.Harness.st v)
+
+let run name = Workloads.Harness.run_plain (Option.get (Workloads.Registry.find name))
+
+let canvas_of ctx id =
+  let doc = ctx.Workloads.Harness.doc in
+  let el =
+    Option.get
+      (Dom.Document.find_by_id ctx.Workloads.Harness.st doc.body id)
+  in
+  Option.get (Dom.Document.canvas_of_element doc el)
+
+let test_raytracer_renders_scene () =
+  let ctx = run "Raytracing" in
+  let canvas = canvas_of ctx "rt-canvas" in
+  (* the red sphere occupies the upper-middle of the frame *)
+  let r, g, _, a = Dom.Canvas.get_pixel canvas 14 8 in
+  Alcotest.(check bool) "sphere pixel is strongly red" true
+    (r > 120 && r > 2 * g && a = 255);
+  (* the top rows are sky gradient: blue dominates red *)
+  let r0, _, b0, _ = Dom.Canvas.get_pixel canvas 2 1 in
+  Alcotest.(check bool) "sky is blue" true (b0 > r0);
+  (* bottom sky is brighter than top (gradient increases with y) *)
+  let _, _, b_top, _ = Dom.Canvas.get_pixel canvas 2 1 in
+  let _, _, b_bot, _ = Dom.Canvas.get_pixel canvas 2 52 in
+  Alcotest.(check bool) "gradient increases downward" true (b_bot > b_top)
+
+let test_caman_filter_modifies_pixels () =
+  let ctx = run "CamanJS" in
+  let canvas = canvas_of ctx "caman-canvas" in
+  (* original background was #336699 = (51,102,153); four
+     brightness/contrast+blur passes must have brightened it *)
+  let r, g, b, _ = Dom.Canvas.get_pixel canvas 40 40 in
+  Alcotest.(check bool) "pixels changed from the base coat" true
+    ((r, g, b) <> (51, 102, 153));
+  Alcotest.(check bool) "brightness raised the red channel" true (r > 51)
+
+let test_cloth_tears_and_falls () =
+  let ctx = run "Tear-able Cloth" in
+  let initial =
+    (* 13 cols x 10 rows grid: (cols-1)*rows + cols*(rows-1) links *)
+    (12 * 10) + (13 * 9)
+  in
+  let remaining = eval_num ctx "constraints.length" in
+  Alcotest.(check bool)
+    (Printf.sprintf "tearing removed constraints (%d -> %.0f)" initial
+       remaining)
+    true
+    (remaining < float_of_int initial);
+  (* gravity pulled unpinned points below their starting row *)
+  let max_y =
+    eval_num ctx
+      "points.reduce(function(m, p) { return p.y > m ? p.y : m; }, 0)"
+  in
+  Alcotest.(check bool) "cloth fell under gravity" true (max_y > 90.)
+
+let test_fluid_density_advects () =
+  let ctx = run "fluidSim" in
+  let total = eval_num ctx "dens.reduce(function(a, d) { return a + d; }, 0)" in
+  Alcotest.(check bool) "density was injected and persists" true (total > 1.);
+  Alcotest.(check bool) "density stays finite" true (Float.is_finite total);
+  let negative =
+    eval_num ctx
+      "dens.filter(function(d) { return d < -0.0001; }).length"
+  in
+  Alcotest.(check (float 0.)) "no negative densities" 0. negative
+
+let test_haar_scans_candidates () =
+  let ctx = run "HAAR.js" in
+  let tried = eval_num ctx "candidatesTried" in
+  Alcotest.(check bool) "windows passed the prefilter" true (tried > 10.);
+  (* three identical detect() clicks on a static photo: the candidate
+     count must be an exact multiple of three *)
+  Alcotest.(check (float 0.)) "deterministic across clicks" 0.
+    (Float.rem tried 3.)
+
+let test_harmony_draws_strokes () =
+  let ctx = run "Harmony" in
+  Alcotest.(check bool) "links were stroked" true
+    (eval_num ctx "strokes" > 50.);
+  let canvas = canvas_of ctx "harmony-canvas" in
+  Alcotest.(check bool) "canvas received draw calls" true
+    (Dom.Canvas.call_count canvas > 100)
+
+let test_ace_renders_typed_text () =
+  let ctx = run "Ace" in
+  (* 45 keystrokes of the scripted text, one render pass each *)
+  Alcotest.(check bool) "render passes ran" true
+    (eval_num ctx "renderPasses" >= 45.);
+  let first_line =
+    match eval ctx "lineElements[0].innerHTML" with
+    | Interp.Value.Str s -> s
+    | _ -> ""
+  in
+  Alcotest.(check bool) "typed text reached the DOM" true
+    (String.length first_line > 0)
+
+let test_d3_projects_points () =
+  let ctx = run "D3.js" in
+  Alcotest.(check bool) "projections ran on drag" true
+    (eval_num ctx "projections" > 1000.);
+  (* a path element got its d attribute updated *)
+  let d =
+    match eval ctx "pathElements[7].getAttribute(\"d\")" with
+    | Interp.Value.Str s -> s
+    | _ -> ""
+  in
+  Alcotest.(check bool) "path data written" true
+    (String.length d > 1 && d.[0] = 'M')
+
+let test_sigma_layout_moves_nodes () =
+  let ctx = run "sigma.js" in
+  (* the chain spring pulls nodes off their seeded lattice *)
+  let moved =
+    eval_num ctx
+      "nodes.filter(function(n) { return n.vx !== 0 || n.vy !== 0; }).length"
+  in
+  Alcotest.(check bool) "layout applied forces" true (moved > 100.)
+
+let test_normalmap_lights_pixels () =
+  let ctx = run "Normal Mapping" in
+  let canvas = canvas_of ctx "nm-canvas" in
+  (* after 48 relight frames some pixels are lit and some are dark *)
+  let lit = ref 0 and dark = ref 0 in
+  for x = 0 to 16 do
+    for y = 0 to 16 do
+      let r, _, _, _ = Dom.Canvas.get_pixel canvas x y in
+      if r > 125 then incr lit;
+      if r < 95 then incr dark
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "contrast in the lit result (lit %d, dark %d)" !lit !dark)
+    true
+    (!lit > 5 && !dark > 5)
+
+let test_processing_trails_update () =
+  let ctx = run "processing.js" in
+  let head_moved =
+    eval_num ctx
+      "particles.filter(function(p) { return p.trailX[0] !== 100; }).length"
+  in
+  Alcotest.(check bool) "particle heads moved" true (head_moved > 100.);
+  let trail_follows =
+    eval_num ctx
+      "particles.filter(function(p) { return p.trailX[1] !== 100; }).length"
+  in
+  Alcotest.(check bool) "trails followed" true (trail_follows > 100.)
+
+let test_myscript_measures_ink () =
+  let ctx = run "MyScript" in
+  Alcotest.(check bool) "strokes submitted" true
+    (eval_num ctx "submitted" = 5.);
+  let status =
+    match eval ctx "status.textContent" with
+    | Interp.Value.Str s -> s
+    | _ -> ""
+  in
+  Alcotest.(check bool) "status shows ink length" true
+    (Helpers.contains ~sub:"ink length" status)
+
+let suite =
+  [ ("raytracer renders the scene", `Slow, test_raytracer_renders_scene);
+    ("caman filters pixels", `Slow, test_caman_filter_modifies_pixels);
+    ("cloth tears and falls", `Slow, test_cloth_tears_and_falls);
+    ("fluid density advects", `Slow, test_fluid_density_advects);
+    ("haar scans candidates", `Slow, test_haar_scans_candidates);
+    ("harmony draws strokes", `Slow, test_harmony_draws_strokes);
+    ("ace renders typed text", `Slow, test_ace_renders_typed_text);
+    ("d3 projects points", `Slow, test_d3_projects_points);
+    ("sigma layout moves nodes", `Slow, test_sigma_layout_moves_nodes);
+    ("normal map lights pixels", `Slow, test_normalmap_lights_pixels);
+    ("processing trails update", `Slow, test_processing_trails_update);
+    ("myscript measures ink", `Slow, test_myscript_measures_ink) ]
