@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test bench examples reports clean
+.PHONY: all build test check bench examples reports clean
 
 all: build
 
@@ -10,6 +10,14 @@ build:
 
 test:
 	dune runtest
+
+# Tier-1 gate: full build, the whole test suite, and a 2-workload
+# smoke run of the parallel analysis driver (work-stealing pool,
+# --jobs 2, telemetry printed at exit).
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
 
 # Regenerate every table and figure of the paper's evaluation.
 bench:

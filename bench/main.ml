@@ -16,6 +16,17 @@ let section_requested args name = args = [] || List.mem name args
 let header name =
   Printf.printf "\n==================== %s ====================\n" name
 
+(* --jobs N: run the per-workload Table 2 / Table 3 pipelines
+   concurrently on the work-stealing pool. Each pipeline owns a fresh
+   interpreter state (share-nothing), so the printed tables are
+   byte-identical to the sequential run; the pool's scheduling
+   telemetry goes to stderr at exit. *)
+let analysis_pool : Js_parallel.Pool.t option ref = ref None
+
+let map_workloads f =
+  Workloads.Harness.map_workloads ?pool:!analysis_pool f
+    Workloads.Registry.all
+
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
@@ -73,6 +84,10 @@ let figure4 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Shared by table2/amdahl: one lightweight (Table 2) pass per app. *)
+let timings =
+  lazy (map_workloads (fun w -> Workloads.Harness.run_lightweight w))
+
 let table2 () =
   header "Table 2: running time (measured | paper)";
   let tbl =
@@ -83,8 +98,7 @@ let table2 () =
   Ceres_util.Table.set_align tbl
     [ Left; Right; Right; Right; Right; Right; Right ];
   List.iter
-    (fun (w : Workloads.Workload.t) ->
-       let t = Workloads.Harness.run_lightweight w in
+    (fun ((w : Workloads.Workload.t), (t : Workloads.Harness.timing)) ->
        let pt, pa, pl =
          match
            List.find_opt
@@ -102,15 +116,12 @@ let table2 () =
            Printf.sprintf "%.0f" pt;
            Printf.sprintf "%.2f" pa;
            Printf.sprintf "%.2f" pl ])
-    Workloads.Registry.all;
+    (Lazy.force timings);
   Ceres_util.Table.print tbl
 
 (* Shared by table3/amdahl: inspection is the expensive pass. *)
 let inspection =
-  lazy
-    (List.map
-       (fun (w : Workloads.Workload.t) -> (w, Workloads.Harness.inspect w))
-       Workloads.Registry.all)
+  lazy (map_workloads (fun w -> Workloads.Harness.inspect w))
 
 let difficulty_rank = function
   | "very easy" -> 0
@@ -202,11 +213,7 @@ let table3 () =
    Table 3 rows (fluidSim spreads its loop time over many small solver
    nests, all of them parallelizable). *)
 let full_inspection =
-  lazy
-    (List.map
-       (fun (w : Workloads.Workload.t) ->
-          (w, Workloads.Harness.inspect ~max_nests:16 w))
-       Workloads.Registry.all)
+  lazy (map_workloads (fun w -> Workloads.Harness.inspect ~max_nests:16 w))
 
 let amdahl () =
   header "Amdahl bounds (Sec 4.2: '>3x for 5 of the 12 applications')";
@@ -218,7 +225,7 @@ let amdahl () =
   let over_3 = ref 0 in
   List.iter
     (fun ((w : Workloads.Workload.t), rows) ->
-       let t = Workloads.Harness.run_lightweight w in
+       let t = List.assq w (Lazy.force timings) in
        let easy_pct =
          List.fold_left
            (fun acc (r : Workloads.Harness.nest_row) ->
@@ -285,20 +292,27 @@ let speedup () =
                 Js_parallel.Pool.with_pool ~domains:d (fun p ->
                     time (fun () -> k.run ~pool:p k.default_size))
               in
-              (Printf.sprintf "%.2fx" (seq_ms /. ms), sum))
+              (d, seq_ms /. ms, sum))
            domain_counts
        in
        let all_equal =
          List.for_all
-           (fun (_, sum) ->
+           (fun (_, _, sum) ->
               Float.abs (sum -. seq_sum)
               < (1e-6 *. Float.abs seq_sum) +. 1e-9)
            speedups
        in
+       (match List.rev speedups with
+        | (d, s, _) :: _ when d > 1 ->
+          Printf.printf
+            "  %-12s Karp-Flatt serial fraction at x%d domains: %.2f\n"
+            k.kname d
+            (Js_parallel.Amdahl.karp_flatt ~measured_speedup:s ~workers:d)
+        | _ -> ());
        Ceres_util.Table.add_row tbl
          ((k.kname :: k.workload
            :: Printf.sprintf "%.1f" seq_ms
-           :: List.map fst speedups)
+           :: List.map (fun (_, s, _) -> Printf.sprintf "%.2fx" s) speedups)
           @ [ (if all_equal then "equal" else "MISMATCH") ]))
     Workloads.Kernels.all;
   Ceres_util.Table.print tbl
@@ -601,8 +615,34 @@ let nbody () =
   header "Sec 3.3 walkthrough: the N-body example";
   print_string (Examples_support.Nbody.report ())
 
+(* Pull `--jobs N` (or `--jobs=N`) out of argv; everything else is a
+   section name. *)
+let parse_jobs args =
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> go j acc rest
+       | _ ->
+         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+         exit 2)
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs expects a positive integer\n";
+      exit 2
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+       | Some j when j >= 1 -> go j acc rest
+       | _ ->
+         Printf.eprintf "bad --jobs value in %S\n" a;
+         exit 2)
+    | a :: rest -> go jobs (a :: acc) rest
+  in
+  go 1 [] args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  if jobs > 1 then
+    analysis_pool := Some (Js_parallel.Pool.create ~domains:jobs ());
   let sections =
     [ ("table1", table1); ("figure1", figure1); ("figure2", figure2);
       ("figure3", figure3); ("figure4", figure4); ("table2", table2);
@@ -627,4 +667,12 @@ let () =
     args;
   List.iter
     (fun (name, f) -> if section_requested args name then f ())
-    sections
+    sections;
+  match !analysis_pool with
+  | None -> ()
+  | Some p ->
+    (* Telemetry goes to stderr so stdout stays byte-identical to the
+       sequential run. *)
+    Printf.eprintf "analysis pool telemetry: %s\n"
+      (Js_parallel.Pool.stats_json p);
+    Js_parallel.Pool.shutdown p

@@ -11,6 +11,7 @@
      jsceres loops <workload>          # Sec 3.2 per-loop statistics
      jsceres analyze <workload> [-f N] # Sec 3.3 dependence analysis
      jsceres inspect <workload>        # Table 3 row(s) for the app
+     jsceres pipeline [-j N] [w...]    # Table 2+3 for many apps, in parallel
      jsceres report <workload> [-o D]  # write the markdown report (Fig 5)
      jsceres file <path> [-m MODE]     # analyze an arbitrary script *)
 
@@ -182,6 +183,82 @@ let report_cmd =
           paper's Fig. 5 steps 5-7).")
     Term.(const run $ workload_arg $ dir_arg)
 
+(* Parallel analysis driver: the full Table 2 + Table 3 pipeline for
+   many workloads at once, scheduled over the work-stealing pool with
+   --jobs N. Each pipeline owns a fresh interpreter (share-nothing),
+   so the per-workload output is identical to running the stages one
+   at a time; --stats additionally prints the pool's scheduling
+   telemetry as JSON. *)
+let pipeline_cmd =
+  let run names jobs stats =
+    let ws =
+      match names with
+      | [] -> Workloads.Registry.all
+      | ns -> List.map find_workload ns
+    in
+    let pool =
+      if jobs > 1 then Some (Js_parallel.Pool.create ~domains:jobs ())
+      else None
+    in
+    let results =
+      Workloads.Harness.map_workloads ?pool
+        (fun w ->
+           (Workloads.Harness.run_lightweight w, Workloads.Harness.inspect w))
+        ws
+    in
+    List.iter
+      (fun ((w : Workloads.Workload.t),
+            ((t : Workloads.Harness.timing), rows)) ->
+        Printf.printf
+          "%s: total %.1f s, sampler-active %.2f s, busy %.2f s, in loops %.2f s\n"
+          w.name (t.total_ms /. 1000.) (t.active_ms /. 1000.)
+          (t.busy_ms /. 1000.) (t.in_loops_ms /. 1000.);
+        List.iter
+          (fun (r : Workloads.Harness.nest_row) ->
+             Printf.printf
+               "  %s: %.0f%% of loop time, %d instances, trips %.1f±%.1f,\n\
+               \    divergence %s, DOM %b, breaking deps %s, parallelization %s\n"
+               r.label r.pct_loop_time r.instances r.trips_mean r.trips_sd
+               (Ceres.Classify.divergence_to_string r.divergence)
+               r.dom_access
+               (Ceres.Classify.difficulty_to_string r.dep_difficulty)
+               (Ceres.Classify.difficulty_to_string r.par_difficulty))
+          rows)
+      results;
+    match pool with
+    | None -> ()
+    | Some p ->
+      if stats then
+        Printf.printf "pool telemetry: %s\n" (Js_parallel.Pool.stats_json p);
+      Js_parallel.Pool.shutdown p
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workloads to analyze (default: all twelve).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the per-workload pipelines concurrently on a \
+             work-stealing pool of $(docv) domains.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the pool's scheduling telemetry as JSON at the end.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Table 2 + Table 3 pipeline for many workloads, optionally in \
+          parallel (--jobs N).")
+    Term.(const run $ names_arg $ jobs_arg $ stats_arg)
+
 (* ------------------------------------------------------------------ *)
 
 let mode_arg =
@@ -247,4 +324,5 @@ let () =
   let info = Cmd.info "jsceres" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ list_cmd; run_cmd; profile_cmd; loops_cmd; analyze_cmd;
-                      inspect_cmd; report_cmd; survey_cmd; file_cmd ]))
+                      inspect_cmd; pipeline_cmd; report_cmd; survey_cmd;
+                      file_cmd ]))

@@ -30,3 +30,14 @@ let fraction_for ~target_speedup =
 let efficiency ~measured_speedup ~workers =
   if workers <= 0 then 0.
   else measured_speedup /. float_of_int workers
+
+(* Karp–Flatt experimentally-determined serial fraction: inverts
+   Amdahl's law on a *measured* speedup, e = (1/s - 1/n) / (1 - 1/n).
+   A fraction that grows with n exposes scheduling overhead the
+   asymptotic bound hides; the speedup bench reports it next to the
+   raw ratios. *)
+let karp_flatt ~measured_speedup ~workers =
+  if workers <= 1 || measured_speedup <= 0. then 1.
+  else
+    let s = measured_speedup and n = float_of_int workers in
+    ((1. /. s) -. (1. /. n)) /. (1. -. (1. /. n))

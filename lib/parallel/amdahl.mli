@@ -20,3 +20,10 @@ val fraction_for : target_speedup:float -> float
     workers: [1 - 1/s]. *)
 
 val efficiency : measured_speedup:float -> workers:int -> float
+
+val karp_flatt : measured_speedup:float -> workers:int -> float
+(** Karp–Flatt experimentally-determined serial fraction,
+    [(1/s - 1/n) / (1 - 1/n)] for a measured speedup [s] on [n]
+    workers; a fraction that grows with [n] indicates scheduling
+    overhead rather than inherently serial work. Returns [1.] when
+    [workers <= 1] or the speedup is non-positive. *)

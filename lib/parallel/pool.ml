@@ -1,29 +1,141 @@
+(* Work-stealing pool of OCaml 5 domains.
+
+   The previous pool was a single LIFO list behind one mutex: every
+   chunk handoff serialized on that lock, and nothing about the
+   scheduler was observable. This version gives every participant its
+   own chunk deque — owner pops LIFO at one end, thieves steal FIFO
+   (oldest first) at the other — with per-deque mutexes, so the only
+   contention left is actual stealing. Idle participants back off
+   exponentially (cpu_relax -> yield -> short sleep) instead of
+   blocking on a condition variable, and every scheduling event feeds
+   the Telemetry counters (tasks, steal attempts/successes, idle
+   spins, per-loop wall/fork/join times), exportable as JSON. *)
+
 type job = unit -> unit
 
+(* Two-list deque under a mutex. The owner pushes and pops at [bot]
+   (newest first, LIFO); thieves take from [top] (oldest first, FIFO),
+   flipping [bot] over when [top] runs dry. Mutex-per-deque keeps the
+   memory-ordering story trivial while removing the global bottleneck;
+   a Chase–Lev deque could drop the lock later without changing the
+   interface. *)
+module Deque = struct
+  type t = {
+    m : Mutex.t;
+    mutable bot : job list; (* newest first: the owner's end *)
+    mutable top : job list; (* oldest first: the thieves' end *)
+  }
+
+  let create () = { m = Mutex.create (); bot = []; top = [] }
+
+  let push d j =
+    Mutex.lock d.m;
+    d.bot <- j :: d.bot;
+    Mutex.unlock d.m
+
+  let pop d =
+    Mutex.lock d.m;
+    let r =
+      match d.bot with
+      | j :: rest ->
+        d.bot <- rest;
+        Some j
+      | [] ->
+        (match d.top with
+         | j :: rest ->
+           d.top <- rest;
+           Some j
+         | [] -> None)
+    in
+    Mutex.unlock d.m;
+    r
+
+  let steal d =
+    Mutex.lock d.m;
+    let r =
+      match d.top with
+      | j :: rest ->
+        d.top <- rest;
+        Some j
+      | [] ->
+        (match List.rev d.bot with
+         | j :: rest ->
+           d.bot <- [];
+           d.top <- rest;
+           Some j
+         | [] -> None)
+    in
+    Mutex.unlock d.m;
+    r
+end
+
 type t = {
-  n : int; (* participants, including the caller *)
-  mutex : Mutex.t;
-  cond : Condition.t;
-  mutable queue : job list; (* pending jobs, LIFO is fine *)
-  mutable closed : bool;
+  n : int; (* participants, including the caller (id 0) *)
+  deques : Deque.t array; (* one per participant *)
+  counters : Telemetry.counters array; (* one per participant *)
+  down : bool Atomic.t;
+  rr : int Atomic.t; (* round-robin cursor for submit *)
+  submitted : int Atomic.t;
+  loops : Telemetry.loop_log;
   mutable workers : unit Domain.t array;
-  mutable down : bool;
 }
 
-let rec worker_loop t =
-  Mutex.lock t.mutex;
-  while t.queue = [] && not t.closed do
-    Condition.wait t.cond t.mutex
-  done;
-  match t.queue with
-  | job :: rest ->
-    t.queue <- rest;
-    Mutex.unlock t.mutex;
-    (try job () with _ -> ());
-    worker_loop t
-  | [] ->
-    (* closed and drained *)
-    Mutex.unlock t.mutex
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* Exponential backoff for participants that found no work: spin a
+   few times on the core, then yield the OS thread, then sleep in
+   sub-millisecond slices. The sleep cap bounds both the idle CPU burn
+   and the worst-case shutdown/join latency. *)
+let idle_backoff c spins =
+  Telemetry.note_idle c;
+  (if !spins < 32 then Domain.cpu_relax ()
+   else if !spins < 256 then Thread.yield ()
+   else Thread.delay 0.0005);
+  incr spins
+
+(* Pop locally (LIFO), then sweep the other deques oldest-first. Every
+   probe of a foreign deque is a recorded steal attempt. *)
+let try_get t id =
+  match Deque.pop t.deques.(id) with
+  | Some _ as r -> r
+  | None ->
+    if t.n <= 1 then None
+    else begin
+      let c = t.counters.(id) in
+      let rec probe k =
+        if k >= t.n then None
+        else begin
+          Telemetry.note_steal_attempt c;
+          match Deque.steal t.deques.((id + k) mod t.n) with
+          | Some _ as r ->
+            Telemetry.note_steal_success c;
+            r
+          | None -> probe (k + 1)
+        end
+      in
+      probe 1
+    end
+
+(* Run a job on behalf of participant [id]. Plain submitted jobs have
+   no failure channel, so their exceptions are swallowed (as in the
+   previous pool); parallel_for chunk tasks catch and report their own
+   exceptions before this handler is reached. *)
+let exec t id job =
+  Telemetry.note_task t.counters.(id);
+  try job () with _ -> ()
+
+let rec worker_loop t id spins =
+  match try_get t id with
+  | Some job ->
+    spins := 0;
+    exec t id job;
+    worker_loop t id spins
+  | None ->
+    if Atomic.get t.down then () (* closed and drained: exit *)
+    else begin
+      idle_backoff t.counters.(id) spins;
+      worker_loop t id spins
+    end
 
 let create ?domains () =
   let requested =
@@ -34,53 +146,55 @@ let create ?domains () =
   let n = max 1 requested in
   let t =
     { n;
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      queue = [];
-      closed = false;
-      workers = [||];
-      down = false }
+      deques = Array.init n (fun _ -> Deque.create ());
+      counters = Array.init n (fun _ -> Telemetry.make_counters ());
+      down = Atomic.make false;
+      rr = Atomic.make 0;
+      submitted = Atomic.make 0;
+      loops = Telemetry.make_loop_log ();
+      workers = [||] }
   in
-  t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    Array.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) (ref 0)));
   t
 
 let size t = t.n
 
 let submit t job =
-  Mutex.lock t.mutex;
-  t.queue <- job :: t.queue;
-  Condition.signal t.cond;
-  Mutex.unlock t.mutex
+  if Atomic.get t.down then
+    invalid_arg "Js_parallel.Pool.submit: pool is shut down";
+  Atomic.incr t.submitted;
+  (* Deal onto the worker deques round-robin (the caller's own deque
+     when there are no workers); an idle worker that lands on nothing
+     steals it from wherever it went. *)
+  let slot =
+    if t.n = 1 then 0 else 1 + (Atomic.fetch_and_add t.rr 1 mod (t.n - 1))
+  in
+  Deque.push t.deques.(slot) job
 
 let shutdown t =
-  if not t.down then begin
-    t.down <- true;
-    Mutex.lock t.mutex;
-    t.closed <- true;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex;
+  (* compare_and_set makes idempotence race-safe: exactly one caller
+     observes the transition and joins the workers. Workers drain every
+     deque before exiting, preserving the old "closed and drained"
+     semantics. *)
+  if Atomic.compare_and_set t.down false true then
     Array.iter Domain.join t.workers
-  end
 
-(* A countdown latch for loop barriers. *)
-module Latch = struct
-  type l = { m : Mutex.t; c : Condition.t; mutable left : int }
+(* ------------------------------------------------------------------ *)
 
-  let create left = { m = Mutex.create (); c = Condition.create (); left }
+let stats t =
+  Telemetry.snapshot ~participants:t.n
+    ~jobs_submitted:(Atomic.get t.submitted) t.counters t.loops
 
-  let arrive l =
-    Mutex.lock l.m;
-    l.left <- l.left - 1;
-    if l.left = 0 then Condition.broadcast l.c;
-    Mutex.unlock l.m
+let stats_json t = Telemetry.to_json (stats t)
 
-  let wait l =
-    Mutex.lock l.m;
-    while l.left > 0 do
-      Condition.wait l.c l.m
-    done;
-    Mutex.unlock l.m
-end
+let reset_stats t =
+  Array.iter Telemetry.reset_counters t.counters;
+  Telemetry.reset_loop_log t.loops;
+  Atomic.set t.submitted 0
+
+(* ------------------------------------------------------------------ *)
 
 let default_chunk t ~lo ~hi =
   let span = hi - lo in
@@ -88,71 +202,83 @@ let default_chunk t ~lo ~hi =
 
 let parallel_for t ~lo ~hi ?chunk f =
   if hi > lo then begin
+    let t0 = now_ms () in
     let chunk =
       match chunk with Some c -> max 1 c | None -> default_chunk t ~lo ~hi
     in
-    let next = Atomic.make lo in
+    let nchunks = (hi - lo + chunk - 1) / chunk in
+    let pending = Atomic.make nchunks in
     let failure = Atomic.make None in
-    let helpers = t.n - 1 in
-    let latch = Latch.create helpers in
-    let work () =
-      let continue = ref true in
-      while !continue do
-        let start = Atomic.fetch_and_add next chunk in
-        if start >= hi then continue := false
-        else begin
-          let stop = min hi (start + chunk) in
-          try
-            for i = start to stop - 1 do
-              f i
-            done
-          with exn ->
-            (* First failure wins; stop handing out chunks. *)
-            ignore (Atomic.compare_and_set failure None (Some exn));
-            Atomic.set next hi;
-            continue := false
-        end
-      done
+    let task ci () =
+      (if Atomic.get failure = None then begin
+         let start = lo + (ci * chunk) in
+         let stop = min hi (start + chunk) in
+         try
+           for i = start to stop - 1 do
+             f i
+           done
+         with exn ->
+           (* First failure wins; later chunks see it and skip. *)
+           ignore (Atomic.compare_and_set failure None (Some exn))
+       end);
+      Atomic.decr pending
     in
-    for _ = 1 to helpers do
-      submit t (fun () ->
-          work ();
-          Latch.arrive latch)
+    (* Fork: deal the chunk tasks round-robin over every participant's
+       deque (the caller included). Owners pop their share LIFO; load
+       imbalance is repaired by stealing, which the telemetry counts. *)
+    for ci = 0 to nchunks - 1 do
+      Deque.push t.deques.(ci mod t.n) (task ci)
     done;
-    work ();
-    Latch.wait latch;
+    let t_fork = now_ms () in
+    (* Join: the caller participates until every chunk has finished,
+       helping with whatever work it can find (its own chunks first,
+       then steals — including unrelated submitted jobs). *)
+    let t_busy_end = ref t_fork in
+    let spins = ref 0 in
+    let c0 = t.counters.(0) in
+    while Atomic.get pending > 0 do
+      match try_get t 0 with
+      | Some job ->
+        spins := 0;
+        exec t 0 job;
+        t_busy_end := now_ms ()
+      | None -> idle_backoff c0 spins
+    done;
+    let t_end = now_ms () in
+    Telemetry.note_loop t.loops ~chunks:nchunks ~wall_ms:(t_end -. t0)
+      ~fork_ms:(t_fork -. t0) ~join_ms:(t_end -. !t_busy_end);
     match Atomic.get failure with None -> () | Some exn -> raise exn
   end
 
+(* Chunk-local folds, combined deterministically. Each chunk seeds its
+   accumulator from its first element (not from [init], which the old
+   code folded into every chunk *and* the final combine, counting a
+   non-identity [init] chunks+1 times); the partials land in an array
+   slot per chunk and are folded left-to-right onto a single [init],
+   so an associative — even non-commutative — [combine] sees exactly
+   the sequential association order. *)
 let parallel_reduce t ~lo ~hi ?chunk ~init ~body ~combine () =
-  let partials = Atomic.make [] in
-  let fold_chunk acc i = combine acc (body i) in
-  ignore fold_chunk;
-  (* Each participant keeps a local accumulator in a Domain.DLS-free
-     way: accumulate per chunk and push per-chunk partials. Chunks are
-     big enough that the push cost is negligible. *)
-  let chunk =
-    match chunk with
-    | Some c -> max 1 c
-    | None -> default_chunk t ~lo ~hi
-  in
-  parallel_for t ~lo:0
-    ~hi:((hi - lo + chunk - 1) / max 1 chunk)
-    ~chunk:1
-    (fun ci ->
-       let start = lo + (ci * chunk) in
-       let stop = min hi (start + chunk) in
-       let acc = ref init in
-       for i = start to stop - 1 do
-         acc := combine !acc (body i)
-       done;
-       let rec push () =
-         let old = Atomic.get partials in
-         if not (Atomic.compare_and_set partials old (!acc :: old)) then
-           push ()
-       in
-       push ());
-  List.fold_left combine init (Atomic.get partials)
+  if hi <= lo then init
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> default_chunk t ~lo ~hi
+    in
+    let nchunks = (hi - lo + chunk - 1) / chunk in
+    let partials = Array.make nchunks None in
+    parallel_for t ~lo:0 ~hi:nchunks ~chunk:1 (fun ci ->
+        let start = lo + (ci * chunk) in
+        let stop = min hi (start + chunk) in
+        let acc = ref (body start) in
+        for i = start + 1 to stop - 1 do
+          acc := combine !acc (body i)
+        done;
+        partials.(ci) <- Some !acc);
+    Array.fold_left
+      (fun acc p -> match p with Some v -> combine acc v | None -> acc)
+      init partials
+  end
 
 let map_array t f src =
   let n = Array.length src in

@@ -1,14 +1,19 @@
-(** Fixed pool of OCaml 5 domains with chunked data-parallel loops.
+(** Work-stealing pool of OCaml 5 domains with chunked data-parallel
+    loops and scheduling telemetry.
 
     The paper's thesis is that emerging web workloads have latent *data*
     parallelism; this pool is the substrate the reproduction uses to
     actually run the parallelizable kernels in parallel and measure the
     speedups that Table 3 and the Amdahl discussion predict.
 
-    Scheduling is dynamic: workers (the caller participates too) pull
-    fixed-size index chunks from an atomic counter, so divergent
-    iteration costs — the paper's "control-flow divergence" column —
-    load-balance automatically. *)
+    Scheduling is dynamic: [parallel_for] deals fixed-size index chunks
+    round-robin onto one deque per participant; owners pop their share
+    LIFO, idle participants steal FIFO (oldest first) from the others
+    with exponential backoff, so divergent iteration costs — the
+    paper's "control-flow divergence" column — load-balance
+    automatically. Every scheduling event (task executions, steal
+    attempts and successes, idle spins, per-loop wall/fork/join times)
+    is counted by {!Telemetry} and exportable as JSON via {!stats}. *)
 
 type t
 
@@ -21,8 +26,16 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Number of participants (workers + caller). *)
 
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a fire-and-forget job on a worker deque (round-robin).
+    Exceptions escaping the job are swallowed. @raise Invalid_argument
+    if the pool has been shut down — a silently-parked job that no
+    worker will ever run is never created. *)
+
 val shutdown : t -> unit
-(** Join all workers. The pool must not be used afterwards. Idempotent. *)
+(** Drain every deque and join all workers. The pool must not be used
+    afterwards. Idempotent and safe to race: exactly one caller
+    performs the join. *)
 
 val parallel_for : t -> lo:int -> hi:int -> ?chunk:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] runs [f i] for every [lo <= i < hi],
@@ -42,13 +55,27 @@ val parallel_reduce :
   combine:('a -> 'a -> 'a) ->
   unit ->
   'a
-(** Fold [combine] over the per-index values [body i]. Each participant
-    folds its chunks locally; partial results are combined at the
-    barrier in an unspecified order, so [combine] should be associative
-    and commutative with [init] as identity. *)
+(** Fold [combine] over the per-index values [body i]. Each chunk folds
+    its own elements locally (seeded from its first element, not from
+    [init]); the per-chunk partials are then folded onto [init] in
+    ascending chunk order, so the association order matches the
+    sequential [List.fold_left]. [combine] must be associative, but
+    need not be commutative and [init] need not be an identity — it is
+    used exactly once. Returns [init] on an empty range. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel array map built on {!parallel_for}. *)
+
+val stats : t -> Telemetry.pool_stats
+(** Snapshot of the scheduling telemetry: per-participant task/steal/
+    idle counters and recent per-loop fork/join timings. *)
+
+val stats_json : t -> string
+(** {!stats} rendered as one-line JSON. *)
+
+val reset_stats : t -> unit
+(** Zero all telemetry counters and the loop log (e.g. between bench
+    sections). *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** Create, run, and always shut down. *)

@@ -133,14 +133,17 @@ let run ?(domains = Domain.recommended_domain_count ()) ~setup_src ~iter_src
       let run_slice (d, slo, shi) =
         partials.(d) <- run_sequential ~setup_src ~iter_src ~lo:slo ~hi:shi
       in
+      (* The replay runs on the work-stealing pool rather than raw
+         [Domain.spawn]s, so speculation inherits the pool's dynamic
+         load balancing and its scheduling telemetry. *)
       (match slices with
        | [] -> ()
-       | first :: rest ->
-         let handles =
-           List.map (fun s -> Domain.spawn (fun () -> run_slice s)) rest
-         in
-         run_slice first;
-         List.iter Domain.join handles);
+       | [ s ] -> run_slice s
+       | _ ->
+         let arr = Array.of_list slices in
+         Pool.with_pool ~domains (fun p ->
+             Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
+               (fun i -> run_slice arr.(i))));
       Committed
         { result = Array.fold_left ( +. ) 0. partials; domains }
     end

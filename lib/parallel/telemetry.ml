@@ -1,0 +1,139 @@
+(* Scheduling telemetry for the work-stealing pool.
+
+   TASKPROF (Yoga & Nagarakatte) and ThreadScope both argue that a
+   parallel runtime is only trustworthy when its scheduling behaviour
+   is observable; this module is the pool's observability layer. Every
+   participant owns one [counters] record and is the only writer of it
+   (the reader races are benign: stats snapshots may lag by a few
+   increments), so the counters add no cross-domain contention to the
+   hot path. *)
+
+type counters = {
+  tasks : int Atomic.t; (* jobs executed by this participant *)
+  steal_attempts : int Atomic.t; (* probes of another participant's deque *)
+  steals : int Atomic.t; (* probes that yielded a job *)
+  idle_spins : int Atomic.t; (* backoff iterations with nothing to run *)
+}
+
+let make_counters () =
+  { tasks = Atomic.make 0;
+    steal_attempts = Atomic.make 0;
+    steals = Atomic.make 0;
+    idle_spins = Atomic.make 0 }
+
+let note_task c = Atomic.incr c.tasks
+let note_steal_attempt c = Atomic.incr c.steal_attempts
+let note_steal_success c = Atomic.incr c.steals
+let note_idle c = Atomic.incr c.idle_spins
+
+let reset_counters c =
+  Atomic.set c.tasks 0;
+  Atomic.set c.steal_attempts 0;
+  Atomic.set c.steals 0;
+  Atomic.set c.idle_spins 0
+
+(* ------------------------------------------------------------------ *)
+
+type domain_stats = {
+  domain : int;
+  tasks_executed : int;
+  steals_attempted : int;
+  steals_succeeded : int;
+  idle_spins : int;
+}
+
+type loop_stats = {
+  loop_index : int; (* 0-based ordinal of the parallel_for on this pool *)
+  chunks : int;
+  wall_ms : float; (* fork start to join end *)
+  fork_ms : float; (* time spent dealing chunks onto the deques *)
+  join_ms : float; (* caller's tail wait after its last executed task *)
+}
+
+let recent_cap = 64
+
+type loop_log = {
+  m : Mutex.t;
+  mutable count : int;
+  mutable recent : loop_stats list; (* newest first, capped *)
+}
+
+let make_loop_log () = { m = Mutex.create (); count = 0; recent = [] }
+
+let note_loop log ~chunks ~wall_ms ~fork_ms ~join_ms =
+  Mutex.lock log.m;
+  let r =
+    { loop_index = log.count; chunks; wall_ms; fork_ms; join_ms }
+  in
+  log.count <- log.count + 1;
+  log.recent <- r :: List.filteri (fun i _ -> i < recent_cap - 1) log.recent;
+  Mutex.unlock log.m
+
+let reset_loop_log log =
+  Mutex.lock log.m;
+  log.count <- 0;
+  log.recent <- [];
+  Mutex.unlock log.m
+
+(* ------------------------------------------------------------------ *)
+
+type pool_stats = {
+  participants : int;
+  jobs_submitted : int;
+  loops_run : int;
+  domains : domain_stats list; (* by participant id, caller first *)
+  recent_loops : loop_stats list; (* oldest first *)
+}
+
+let snapshot ~participants ~jobs_submitted (cs : counters array) log =
+  let domains =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+            { domain = i;
+              tasks_executed = Atomic.get c.tasks;
+              steals_attempted = Atomic.get c.steal_attempts;
+              steals_succeeded = Atomic.get c.steals;
+              idle_spins = Atomic.get c.idle_spins })
+         cs)
+  in
+  Mutex.lock log.m;
+  let loops_run = log.count and recent_loops = List.rev log.recent in
+  Mutex.unlock log.m;
+  { participants; jobs_submitted; loops_run; domains; recent_loops }
+
+let total_tasks s =
+  List.fold_left (fun a d -> a + d.tasks_executed) 0 s.domains
+
+let total_steals s =
+  List.fold_left (fun a d -> a + d.steals_succeeded) 0 s.domains
+
+(* Hand-rolled JSON: the stats are flat records of ints and floats, no
+   escaping needed, and the repo deliberately avoids new dependencies. *)
+let to_json s =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"participants\":%d,\"jobs_submitted\":%d,\"loops_run\":%d,"
+    s.participants s.jobs_submitted s.loops_run;
+  add "\"tasks_executed\":%d,\"steals_succeeded\":%d,\"domains\":["
+    (total_tasks s) (total_steals s);
+  List.iteri
+    (fun i d ->
+       if i > 0 then add ",";
+       add
+         "{\"domain\":%d,\"tasks_executed\":%d,\"steals_attempted\":%d,\
+          \"steals_succeeded\":%d,\"idle_spins\":%d}"
+         d.domain d.tasks_executed d.steals_attempted d.steals_succeeded
+         d.idle_spins)
+    s.domains;
+  add "],\"loops\":[";
+  List.iteri
+    (fun i (l : loop_stats) ->
+       if i > 0 then add ",";
+       add
+         "{\"loop\":%d,\"chunks\":%d,\"wall_ms\":%.3f,\"fork_ms\":%.3f,\
+          \"join_ms\":%.3f}"
+         l.loop_index l.chunks l.wall_ms l.fork_ms l.join_ms)
+    s.recent_loops;
+  add "]}";
+  Buffer.contents buf

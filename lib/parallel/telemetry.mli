@@ -1,0 +1,68 @@
+(** Scheduling telemetry for the work-stealing pool.
+
+    The pool records, per participant, how many tasks it executed, how
+    often it probed other deques, how often a probe yielded work, and
+    how long it spun idle; and, per [parallel_for], the wall, fork and
+    join times. The counters are single-writer (each participant owns
+    its record), so observing the scheduler does not perturb it — the
+    property TASKPROF and ThreadScope both identify as a precondition
+    for trustworthy parallel measurements. *)
+
+(** {1 Raw counters (one record per pool participant)} *)
+
+type counters
+
+val make_counters : unit -> counters
+val note_task : counters -> unit
+val note_steal_attempt : counters -> unit
+val note_steal_success : counters -> unit
+val note_idle : counters -> unit
+val reset_counters : counters -> unit
+
+(** {1 Per-loop records} *)
+
+type loop_log
+
+val make_loop_log : unit -> loop_log
+
+val note_loop :
+  loop_log -> chunks:int -> wall_ms:float -> fork_ms:float ->
+  join_ms:float -> unit
+
+val reset_loop_log : loop_log -> unit
+
+(** {1 Snapshots} *)
+
+type domain_stats = {
+  domain : int; (** participant id; 0 is the calling domain *)
+  tasks_executed : int;
+  steals_attempted : int; (** probes of another participant's deque *)
+  steals_succeeded : int; (** probes that yielded a job *)
+  idle_spins : int; (** backoff iterations with nothing to run *)
+}
+
+type loop_stats = {
+  loop_index : int; (** 0-based ordinal of the loop on this pool *)
+  chunks : int;
+  wall_ms : float; (** fork start to join end *)
+  fork_ms : float; (** time dealing chunks onto the deques *)
+  join_ms : float; (** caller's tail wait after its last task *)
+}
+
+type pool_stats = {
+  participants : int;
+  jobs_submitted : int; (** via [Pool.submit], excluding loop chunks *)
+  loops_run : int;
+  domains : domain_stats list; (** by participant id, caller first *)
+  recent_loops : loop_stats list; (** oldest first; last 64 loops *)
+}
+
+val snapshot :
+  participants:int -> jobs_submitted:int -> counters array -> loop_log ->
+  pool_stats
+
+val total_tasks : pool_stats -> int
+val total_steals : pool_stats -> int
+
+val to_json : pool_stats -> string
+(** One-line JSON export of the snapshot (no external dependencies). *)

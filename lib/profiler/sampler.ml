@@ -78,15 +78,16 @@ let detach t =
 
 let period_ms t = Ceres_util.Vclock.to_ms t.st.clock t.period_ticks
 
-(* Estimated active time: serviced windows × period, capped by the
-   interpreter's true busy time (a sampler cannot report more activity
-   than one full window per sample). *)
-let active_ms t =
-  let sampled = float_of_int t.serviced_windows *. period_ms t in
-  sampled
-
 let busy_ms t =
   Ceres_util.Vclock.to_ms t.st.clock (Ceres_util.Vclock.busy t.st.clock)
+
+(* Estimated active time: serviced windows × period, capped by the
+   interpreter's true busy time (a sampler books at most one full
+   window per sample, but cannot report more activity than the program
+   performed). *)
+let active_ms t =
+  let sampled = float_of_int t.serviced_windows *. period_ms t in
+  Float.min sampled (busy_ms t)
 
 let boundary_count t = t.boundary_count
 

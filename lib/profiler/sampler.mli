@@ -23,7 +23,10 @@ val detach : t -> unit
 (** Restore the hooks saved at {!attach}. *)
 
 val active_ms : t -> float
-(** Estimated active time: serviced windows x period. *)
+(** Estimated active time: serviced windows x period, capped by the
+    interpreter's true busy time — a sampler books at most one full
+    window per sample, but it cannot report more activity than the
+    program actually performed. *)
 
 val busy_ms : t -> float
 (** The interpreter's true busy time, for comparison. *)

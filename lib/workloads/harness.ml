@@ -115,6 +115,25 @@ let run_dependence ?focus (w : Workload.t) =
   (ctx, rt)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel analysis driver: run a per-workload analysis stage for
+   many workloads concurrently. Every stage builds its interpreter,
+   DOM and clock from scratch inside [prepare] and shares nothing, so
+   scheduling the 12 pipelines over pool domains cannot change any
+   measurement — the virtual clocks are deterministic per state. Input
+   order is preserved in the result, so callers print byte-identical
+   tables regardless of the job count. *)
+
+let map_workloads ?pool f ws =
+  match pool with
+  | None -> List.map (fun w -> (w, f w)) ws
+  | Some p ->
+    let arr = Array.of_list ws in
+    let out = Array.make (Array.length arr) None in
+    Js_parallel.Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
+      (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.to_list (Array.mapi (fun i r -> (arr.(i), Option.get r)) out)
+
+(* ------------------------------------------------------------------ *)
 (* Table 3: per-nest inspection                                        *)
 
 type nest_row = {

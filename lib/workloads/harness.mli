@@ -48,6 +48,17 @@ val run_dependence :
   ?focus:Jsir.Ast.loop_id list -> Workload.t -> run_context * Ceres.Runtime.t
 (** Sec. 3.3 stage, at the workload's [dep_scale]. *)
 
+val map_workloads :
+  ?pool:Js_parallel.Pool.t ->
+  (Workload.t -> 'a) ->
+  Workload.t list ->
+  (Workload.t * 'a) list
+(** [map_workloads ?pool f ws] runs the analysis stage [f] for every
+    workload, concurrently on [pool] when one is given (each run
+    builds its own interpreter state and shares nothing, so results
+    are identical to the sequential run). Result order follows [ws]
+    regardless of scheduling. *)
+
 (** One Table 3 row. *)
 type nest_row = {
   workload : string;

@@ -66,6 +66,50 @@ let prop_reduce_matches_sequential_fold =
            let seq = List.fold_left ( + ) 0 (List.init n body) in
            par = seq))
 
+(* Regression: a non-identity [init] must be counted exactly once. The
+   old pool seeded every chunk accumulator with [init] *and* used it
+   as the base of the final combine, so any init <> 0 here was counted
+   chunks+1 times. *)
+let prop_reduce_non_identity_init =
+  QCheck.Test.make ~name:"parallel_reduce with non-identity init" ~count:30
+    QCheck.(
+      triple (int_range 1 4) (int_range 0 500) (int_range (-50) 50))
+    (fun (domains, n, init) ->
+       Js_parallel.Pool.with_pool ~domains (fun p ->
+           let body i = ((i * 7) mod 13) - 5 in
+           let par =
+             Js_parallel.Pool.parallel_reduce p ~lo:0 ~hi:n ~init ~body
+               ~combine:( + ) ()
+           in
+           let seq =
+             List.fold_left
+               (fun acc i -> acc + body i)
+               init
+               (List.init n Fun.id)
+           in
+           par = seq))
+
+(* String concatenation is associative but not commutative, and ">" is
+   not its identity: the reduce must combine the chunk partials in
+   ascending index order onto a single init for this to hold. *)
+let prop_reduce_associative_non_commutative =
+  QCheck.Test.make ~name:"parallel_reduce ordered (string concat)" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 0 120))
+    (fun (domains, n) ->
+       Js_parallel.Pool.with_pool ~domains (fun p ->
+           let body i = String.make 1 (Char.chr (97 + (i mod 26))) in
+           let par =
+             Js_parallel.Pool.parallel_reduce p ~lo:0 ~hi:n ~init:">" ~body
+               ~combine:( ^ ) ()
+           in
+           let seq =
+             List.fold_left
+               (fun acc i -> acc ^ body i)
+               ">"
+               (List.init n Fun.id)
+           in
+           String.equal par seq))
+
 let test_map_array () =
   Js_parallel.Pool.with_pool ~domains:3 (fun p ->
       let src = Array.init 1000 (fun i -> i) in
@@ -85,6 +129,87 @@ let test_pool_size_clamped () =
   Js_parallel.Pool.with_pool ~domains:0 (fun p ->
       Alcotest.(check int) "at least one participant" 1
         (Js_parallel.Pool.size p))
+
+let test_submit_after_shutdown_raises () =
+  let p = Js_parallel.Pool.create ~domains:2 () in
+  Js_parallel.Pool.shutdown p;
+  match Js_parallel.Pool.submit p (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "submit on a shut-down pool must raise"
+
+let test_submitted_jobs_run () =
+  Js_parallel.Pool.with_pool ~domains:3 (fun p ->
+      let count = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Js_parallel.Pool.submit p (fun () -> Atomic.incr count)
+      done;
+      (* a loop barrier also drains previously submitted jobs *)
+      Js_parallel.Pool.parallel_for p ~lo:0 ~hi:1 (fun _ -> ());
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get count < 20 && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      Alcotest.(check int) "all submitted jobs ran" 20 (Atomic.get count))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+let test_telemetry_tasks_sum_to_chunks () =
+  Js_parallel.Pool.with_pool ~domains:3 (fun p ->
+      Js_parallel.Pool.reset_stats p;
+      Js_parallel.Pool.parallel_for p ~lo:0 ~hi:64 ~chunk:1 (fun _ -> ());
+      let st = Js_parallel.Pool.stats p in
+      Alcotest.(check int) "participants" 3 st.participants;
+      Alcotest.(check int) "one loop recorded" 1 st.loops_run;
+      Alcotest.(check int) "tasks executed = chunks" 64
+        (Js_parallel.Telemetry.total_tasks st);
+      match st.recent_loops with
+      | [ l ] ->
+        Alcotest.(check int) "chunk count in loop record" 64 l.chunks;
+        Alcotest.(check bool) "wall >= 0" true (l.wall_ms >= 0.)
+      | ls -> Alcotest.failf "expected 1 loop record, got %d" (List.length ls))
+
+let burn_ms ms =
+  let t0 = Unix.gettimeofday () in
+  let x = ref 0. in
+  while Unix.gettimeofday () -. t0 < ms /. 1000. do
+    for _ = 1 to 1000 do
+      x := !x +. 1.
+    done
+  done;
+  ignore !x
+
+let test_telemetry_steals_under_imbalance () =
+  Js_parallel.Pool.with_pool ~domains:4 (fun p ->
+      Js_parallel.Pool.reset_stats p;
+      (* chunk 1 puts 8 tasks on each of the 4 deques; task 0 burns
+         ~120 ms, so whoever picks it up stalls and the rest of its
+         deque is stolen by participants that finished their share. *)
+      Js_parallel.Pool.parallel_for p ~lo:0 ~hi:32 ~chunk:1 (fun i ->
+          if i = 0 then burn_ms 120. else burn_ms 1.);
+      let st = Js_parallel.Pool.stats p in
+      Alcotest.(check bool) "steals attempted" true
+        (List.fold_left
+           (fun a (d : Js_parallel.Telemetry.domain_stats) ->
+              a + d.steals_attempted)
+           0 st.domains
+         > 0);
+      Alcotest.(check bool) "steals succeeded under imbalance" true
+        (Js_parallel.Telemetry.total_steals st > 0))
+
+let test_stats_json_shape () =
+  Js_parallel.Pool.with_pool ~domains:2 (fun p ->
+      Js_parallel.Pool.parallel_for p ~lo:0 ~hi:100 (fun _ -> ());
+      let json = Js_parallel.Pool.stats_json p in
+      List.iter
+        (fun sub ->
+           Alcotest.(check bool)
+             (Printf.sprintf "json mentions %s" sub)
+             true
+             (Helpers.contains ~sub json))
+        [ "\"participants\":2"; "\"loops_run\""; "\"tasks_executed\"";
+          "\"steals_succeeded\""; "\"domains\":["; "\"loops\":[";
+          "\"wall_ms\""; "\"fork_ms\""; "\"join_ms\""; "\"idle_spins\"" ])
 
 (* ------------------------------------------------------------------ *)
 (* Speculative executor *)
@@ -202,9 +327,17 @@ let suite =
     ("parallel_for exceptions", `Quick, test_parallel_for_exception_propagates);
     ("parallel_reduce sum", `Quick, test_parallel_reduce_sum);
     qtest prop_reduce_matches_sequential_fold;
+    qtest prop_reduce_non_identity_init;
+    qtest prop_reduce_associative_non_commutative;
     ("map_array", `Quick, test_map_array);
     ("shutdown idempotent", `Quick, test_pool_shutdown_idempotent);
     ("pool size clamped", `Quick, test_pool_size_clamped);
+    ("submit after shutdown raises", `Quick, test_submit_after_shutdown_raises);
+    ("submitted jobs run", `Quick, test_submitted_jobs_run);
+    ("telemetry tasks = chunks", `Quick, test_telemetry_tasks_sum_to_chunks);
+    ("telemetry steals under imbalance", `Slow,
+     test_telemetry_steals_under_imbalance);
+    ("telemetry json shape", `Quick, test_stats_json_shape);
     ("speculation commits on map", `Quick, test_speculation_commits_on_map);
     ("speculation aborts on flow", `Quick, test_speculation_aborts_on_flow);
     ("speculation aborts on WAW", `Quick, test_speculation_aborts_on_waw);

@@ -65,6 +65,29 @@ let test_profile_attribution () =
     Alcotest.(check bool) "hot function dominates the profile" true
       (Helpers.contains ~sub:"hot" top)
 
+(* Regression for the active-time cap: a session dominated by idle
+   event-loop time with one trivial callback per sample window used to
+   report sampled-active time far above the interpreter's true busy
+   time (serviced_windows x period, uncapped). Active time may never
+   exceed busy time. *)
+let test_active_capped_by_busy () =
+  let st = Interp.Eval.create ~ticks_per_ms:300 () in
+  Interp.Builtins.install st;
+  let sampler = Profiler.Sampler.attach ~period_ms:1.0 st in
+  Interp.Eval.run_program st
+    (Jsir.Parser.parse_program
+       "function tick() { return 1; }\n\
+        for (var i = 1; i <= 400; i++) { setTimeout(tick, i * 5); }");
+  ignore (Interp.Events.run_until st ~until_ms:3000.);
+  let active = Profiler.Sampler.active_ms sampler in
+  let busy = Profiler.Sampler.busy_ms sampler in
+  Alcotest.(check bool) "monolithic timer session has samples" true
+    (Profiler.Sampler.boundary_count sampler > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "active (%.1f ms) <= busy (%.1f ms)" active busy)
+    true
+    (active <= busy +. 1e-9)
+
 let test_detach_restores_hooks () =
   let st = Interp.Eval.create () in
   Interp.Builtins.install st;
@@ -81,4 +104,5 @@ let suite =
     ("call-free loop starves sampler", `Quick, test_call_free_loop_starves_sampler);
     ("idle time inactive", `Quick, test_idle_time_is_inactive);
     ("profile attribution", `Quick, test_profile_attribution);
+    ("active capped by busy", `Quick, test_active_capped_by_busy);
     ("detach restores hooks", `Quick, test_detach_restores_hooks) ]
