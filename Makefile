@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check bench examples reports clean
+.PHONY: all build test check chaos bench examples reports clean
 
 all: build
 
@@ -11,13 +11,39 @@ build:
 test:
 	dune runtest
 
-# Tier-1 gate: full build, the whole test suite, and a 2-workload
-# smoke run of the parallel analysis driver (work-stealing pool,
-# --jobs 2, telemetry printed at exit).
+# Tier-1 gate: full build, the whole test suite, a 2-workload smoke
+# run of the parallel analysis driver, and the deterministic chaos
+# suite.
 check:
 	dune build @all
 	dune runtest
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
+	$(MAKE) chaos
+
+# Deterministic fault-injection suite. Each fixed seed must (a) kill at
+# least one workload — the run exits 1 and prints a failure summary
+# while the survivors still print their rows — and (b) produce
+# byte-identical stdout when repeated: the injection plan is a pure
+# function of the seed, and every printed failure field is virtual-time
+# based, so any nondeterminism here is a real bug.
+CHAOS_SEEDS = 1 3 4
+CHAOS_WORKLOADS = HAAR.js Ace MyScript fluidSim
+
+chaos: build
+	@for s in $(CHAOS_SEEDS); do \
+	  echo "== chaos seed $$s =="; \
+	  a=_build/chaos-$$s-a.out; b=_build/chaos-$$s-b.out; \
+	  rc1=0; dune exec bin/jsceres.exe -- pipeline --keep-going --jobs 2 \
+	    --chaos-seed $$s $(CHAOS_WORKLOADS) >$$a 2>/dev/null || rc1=$$?; \
+	  rc2=0; dune exec bin/jsceres.exe -- pipeline --keep-going --jobs 2 \
+	    --chaos-seed $$s $(CHAOS_WORKLOADS) >$$b 2>/dev/null || rc2=$$?; \
+	  test $$rc1 -eq 1 || { echo "seed $$s: expected exit 1, got $$rc1"; exit 1; }; \
+	  test $$rc2 -eq 1 || { echo "seed $$s: expected exit 1 on repeat, got $$rc2"; exit 1; }; \
+	  cmp -s $$a $$b || { echo "seed $$s: repeated run not byte-identical"; exit 1; }; \
+	  grep -q "FAILED" $$a || { echo "seed $$s: no failure row printed"; exit 1; }; \
+	  grep -q "workload(s) failed" $$a || { echo "seed $$s: no failure summary"; exit 1; }; \
+	  grep "FAILED" $$a; \
+	done; echo "chaos suite OK (seeds: $(CHAOS_SEEDS))"
 
 # Regenerate every table and figure of the paper's evaluation.
 bench:

@@ -23,9 +23,19 @@ let header name =
    telemetry goes to stderr at exit. *)
 let analysis_pool : Js_parallel.Pool.t option ref = ref None
 
+(* Every pipeline pass runs supervised: a workload that crashes (or is
+   killed by a JSCERES_CHAOS injection) becomes a stderr warning and is
+   dropped from its table instead of aborting the whole bench run. *)
 let map_workloads f =
-  Workloads.Harness.map_workloads ?pool:!analysis_pool f
+  Workloads.Harness.map_workloads_supervised ?pool:!analysis_pool ~retries:1 f
     Workloads.Registry.all
+  |> List.filter_map (fun ((w : Workloads.Workload.t), res) ->
+      match res with
+      | Ok v -> Some (w, v)
+      | Error fl ->
+        Printf.eprintf "bench: workload %s failed %s\n%!" w.name
+          (Js_parallel.Supervisor.failure_to_string fl);
+        None)
 
 (* ------------------------------------------------------------------ *)
 
@@ -225,7 +235,9 @@ let amdahl () =
   let over_3 = ref 0 in
   List.iter
     (fun ((w : Workloads.Workload.t), rows) ->
-       let t = List.assq w (Lazy.force timings) in
+       match List.assq_opt w (Lazy.force timings) with
+       | None -> () (* workload failed in the timing pass: no row *)
+       | Some t ->
        let easy_pct =
          List.fold_left
            (fun acc (r : Workloads.Harness.nest_row) ->
@@ -641,6 +653,9 @@ let parse_jobs args =
 
 let () =
   let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  if Js_parallel.Fault.enable_from_env () then
+    Printf.eprintf "bench: chaos injection enabled (%s)\n%!"
+      Js_parallel.Fault.env_var;
   if jobs > 1 then
     analysis_pool := Some (Js_parallel.Pool.create ~domains:jobs ());
   let sections =

@@ -188,49 +188,102 @@ let report_cmd =
    --jobs N. Each pipeline owns a fresh interpreter (share-nothing),
    so the per-workload output is identical to running the stages one
    at a time; --stats additionally prints the pool's scheduling
-   telemetry as JSON. *)
+   telemetry as JSON.
+
+   With --keep-going, --chaos-seed or --watchdog-ms the pipeline runs
+   *supervised*: each workload's stages execute under
+   [Js_parallel.Supervisor.run], so a crashing workload — real bug,
+   watchdog budget overrun, injected chaos fault — becomes a reported
+   FAILED row (and a trailing failure summary) while every other
+   workload still prints its rows. The process then exits 1. All
+   stdout failure fields are deterministic (virtual time only), so a
+   chaos run with a fixed seed is byte-identical when repeated. *)
+let print_workload_rows (w : Workloads.Workload.t)
+    ((t : Workloads.Harness.timing), rows) =
+  Printf.printf
+    "%s: total %.1f s, sampler-active %.2f s, busy %.2f s, in loops %.2f s\n"
+    w.name (t.total_ms /. 1000.) (t.active_ms /. 1000.)
+    (t.busy_ms /. 1000.) (t.in_loops_ms /. 1000.);
+  List.iter
+    (fun (r : Workloads.Harness.nest_row) ->
+       Printf.printf
+         "  %s: %.0f%% of loop time, %d instances, trips %.1f±%.1f,\n\
+         \    divergence %s, DOM %b, breaking deps %s, parallelization %s\n"
+         r.label r.pct_loop_time r.instances r.trips_mean r.trips_sd
+         (Ceres.Classify.divergence_to_string r.divergence)
+         r.dom_access
+         (Ceres.Classify.difficulty_to_string r.dep_difficulty)
+         (Ceres.Classify.difficulty_to_string r.par_difficulty))
+    rows
+
 let pipeline_cmd =
-  let run names jobs stats =
+  let run names jobs stats keep_going chaos_seed retries watchdog_ms =
     let ws =
       match names with
       | [] -> Workloads.Registry.all
       | ns -> List.map find_workload ns
     in
+    (match chaos_seed with
+     | Some seed -> Js_parallel.Fault.enable ~seed
+     | None -> ignore (Js_parallel.Fault.enable_from_env ()));
+    let chaos = Js_parallel.Fault.enabled () in
+    let supervised = keep_going || chaos || watchdog_ms <> None in
     let pool =
       if jobs > 1 then Some (Js_parallel.Pool.create ~domains:jobs ())
       else None
     in
-    let results =
-      Workloads.Harness.map_workloads ?pool
-        (fun w ->
-           (Workloads.Harness.run_lightweight w, Workloads.Harness.inspect w))
-        ws
+    let stage w =
+      (Workloads.Harness.run_lightweight w, Workloads.Harness.inspect w)
     in
-    List.iter
-      (fun ((w : Workloads.Workload.t),
-            ((t : Workloads.Harness.timing), rows)) ->
-        Printf.printf
-          "%s: total %.1f s, sampler-active %.2f s, busy %.2f s, in loops %.2f s\n"
-          w.name (t.total_ms /. 1000.) (t.active_ms /. 1000.)
-          (t.busy_ms /. 1000.) (t.in_loops_ms /. 1000.);
+    let failed =
+      if not supervised then begin
         List.iter
-          (fun (r : Workloads.Harness.nest_row) ->
-             Printf.printf
-               "  %s: %.0f%% of loop time, %d instances, trips %.1f±%.1f,\n\
-               \    divergence %s, DOM %b, breaking deps %s, parallelization %s\n"
-               r.label r.pct_loop_time r.instances r.trips_mean r.trips_sd
-               (Ceres.Classify.divergence_to_string r.divergence)
-               r.dom_access
-               (Ceres.Classify.difficulty_to_string r.dep_difficulty)
-               (Ceres.Classify.difficulty_to_string r.par_difficulty))
-          rows)
-      results;
-    match pool with
-    | None -> ()
-    | Some p ->
-      if stats then
-        Printf.printf "pool telemetry: %s\n" (Js_parallel.Pool.stats_json p);
-      Js_parallel.Pool.shutdown p
+          (fun (w, out) -> print_workload_rows w out)
+          (Workloads.Harness.map_workloads ?pool stage ws);
+        []
+      end
+      else begin
+        let budget =
+          Option.map
+            (fun ms -> Int64.of_int (ms * Workloads.Harness.ticks_per_ms))
+            watchdog_ms
+        in
+        let results =
+          Workloads.Harness.map_workloads_supervised ?pool ~retries ?budget
+            stage ws
+        in
+        List.filter_map
+          (fun ((w : Workloads.Workload.t), res) ->
+             match res with
+             | Ok out ->
+               print_workload_rows w out;
+               None
+             | Error fl ->
+               Printf.printf "%s: FAILED %s\n" w.name
+                 (Js_parallel.Supervisor.failure_to_string fl);
+               Printf.eprintf "jsceres: %s failed %s\n%!" w.name
+                 (Js_parallel.Supervisor.failure_details fl);
+               Some (w, fl))
+          results
+      end
+    in
+    if failed <> [] then begin
+      Printf.printf "\n%d of %d workload(s) failed:\n" (List.length failed)
+        (List.length ws);
+      List.iter
+        (fun ((w : Workloads.Workload.t), fl) ->
+           Printf.printf "  %-16s %s\n" w.name
+             (Js_parallel.Supervisor.failure_to_string fl))
+        failed
+    end;
+    (match pool with
+     | None -> ()
+     | Some p ->
+       if stats then
+         Printf.printf "pool telemetry: %s\n" (Js_parallel.Pool.stats_json p);
+       Js_parallel.Pool.shutdown p);
+    if chaos_seed <> None then Js_parallel.Fault.disable ();
+    if failed <> [] then exit 1
   in
   let names_arg =
     Arg.(
@@ -252,12 +305,55 @@ let pipeline_cmd =
       & info [ "stats" ]
           ~doc:"Print the pool's scheduling telemetry as JSON at the end.")
   in
+  let keep_going_arg =
+    Arg.(
+      value & flag
+      & info [ "k"; "keep-going" ]
+          ~doc:
+            "Supervise each workload: a crashing workload becomes a FAILED \
+             row and a structured failure summary while the others \
+             complete; the exit status is nonzero if any workload failed.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:
+            "Enable deterministic fault injection: the failure set is a \
+             pure function of $(docv), so repeated runs are byte-identical \
+             (implies supervision, as with $(b,--keep-going)). Also \
+             enabled by the JSCERES_CHAOS environment variable.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a workload up to $(docv) times after a transient \
+             failure (injected faults, interrupted syscalls); permanent \
+             failures — parse errors, JS exceptions, watchdog overruns — \
+             are never retried.")
+  in
+  let watchdog_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:
+            "Watchdog budget in virtual milliseconds: a workload whose \
+             interpreter exceeds it fails with a budget-exhausted report \
+             instead of hanging the pipeline (implies supervision).")
+  in
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:
          "Table 2 + Table 3 pipeline for many workloads, optionally in \
-          parallel (--jobs N).")
-    Term.(const run $ names_arg $ jobs_arg $ stats_arg)
+          parallel (--jobs N) and under per-workload supervision \
+          (--keep-going, --chaos-seed, --watchdog-ms).")
+    Term.(
+      const run $ names_arg $ jobs_arg $ stats_arg $ keep_going_arg
+      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -57,7 +57,7 @@ let attempt name iter_src ~hi =
     Printf.printf "committed on %d domains, checksum %.3f\n" domains result;
     let seq =
       Js_parallel.Speculative.run_sequential ~setup_src:setup ~iter_src ~lo:0
-        ~hi
+        ~hi ()
     in
     Printf.printf "sequential oracle %.3f -> %s\n\n" seq
       (if Float.abs (seq -. result) < 1e-6 then "equal" else "MISMATCH")

@@ -25,6 +25,7 @@ let cost_alloc = 3
 
 let tick st n =
   Ceres_util.Vclock.advance st.clock n;
+  (match st.on_tick with None -> () | Some probe -> probe n);
   if Int64.compare (Ceres_util.Vclock.busy st.clock) st.budget > 0 then
     raise Budget_exhausted
 
@@ -704,6 +705,7 @@ let create ?(seed = 20150207) ?(budget = default_budget)
       on_call_enter = (fun _ -> ());
       on_call_exit = (fun () -> ());
       on_host_access = (fun _ _ -> ());
+      on_tick = None;
       on_call_site = (fun _ _ _ -> ());
       apply = (fun _ _ _ _ -> Undefined);
       events = [];

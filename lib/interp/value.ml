@@ -77,6 +77,9 @@ and state = {
   mutable on_call_exit : unit -> unit;
   mutable on_host_access : string -> string -> unit;
       (* category (e.g. "dom"), operation *)
+  mutable on_tick : (int -> unit) option;
+      (* fault-injection probe called on every clock advance; [None]
+         (the default) keeps the hot path a single load + branch *)
   mutable on_call_site : int -> value -> int -> unit;
       (* source line of a call site, callee value, argument count *)
   mutable apply : state -> value -> value -> value list -> value;
@@ -102,6 +105,12 @@ exception Js_throw of value
 
 exception Budget_exhausted
 (** The interpreter exceeded its busy-tick budget. *)
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted ->
+      Some "interpreter vclock budget exhausted (watchdog: possible runaway loop)"
+    | _ -> None)
 
 let type_of = function
   | Num _ -> "number"

@@ -77,6 +77,10 @@ and state = {
   mutable on_call_exit : unit -> unit;
   mutable on_host_access : string -> string -> unit;
       (** (category, operation): the DOM/canvas report channel *)
+  mutable on_tick : (int -> unit) option;
+      (** fault-injection probe fired on every clock advance (receives
+          the tick cost); [None] by default, so the interpreter hot
+          path pays one load + branch when no chaos plan is armed *)
   mutable on_call_site : int -> value -> int -> unit;
       (** (source line, callee, argument count) for every syntactic
           call; backs the call-site mono/polymorphism census *)

@@ -1,0 +1,48 @@
+(* Exponential retry backoff with deterministic jitter.
+
+   Retried attempts sleep [base_ms * factor^(attempt-1)] capped at
+   [max_ms], scaled by a jitter factor drawn from a [Ceres_util.Prng]
+   stream keyed on (seed, attempt). Keying the stream on the attempt
+   number — rather than sharing one mutable generator — makes every
+   delay a pure function of the policy, so supervised runs are
+   reproducible no matter how many workloads retry, in what order, or
+   on which domain. *)
+
+type t = {
+  base_ms : float;
+  factor : float;
+  max_ms : float;
+  jitter : float; (* fraction in [0, 1): delay *= 1 - jitter .. 1 + jitter *)
+  seed : int;
+}
+
+let make ?(base_ms = 1.0) ?(factor = 2.0) ?(max_ms = 50.0) ?(jitter = 0.25)
+    ?(seed = 0x6a73) () =
+  if base_ms < 0. then invalid_arg "Backoff.make: base_ms must be >= 0";
+  if factor < 1. then invalid_arg "Backoff.make: factor must be >= 1";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Backoff.make: jitter must be in [0, 1)";
+  { base_ms; factor; max_ms = Float.max base_ms max_ms; jitter; seed }
+
+let default = make ()
+let none = make ~base_ms:0. ~jitter:0. ()
+
+let delay_ms t ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_ms: attempt must be >= 1";
+  if t.base_ms <= 0. then 0.
+  else begin
+    let raw =
+      Float.min t.max_ms
+        (t.base_ms *. Float.pow t.factor (float_of_int (attempt - 1)))
+    in
+    if t.jitter <= 0. then raw
+    else begin
+      let stream =
+        Ceres_util.Prng.create
+          (Int64.logxor (Int64.of_int t.seed)
+             (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int attempt)))
+      in
+      let u = Ceres_util.Prng.float stream in
+      raw *. (1. -. t.jitter +. (2. *. t.jitter *. u))
+    end
+  end

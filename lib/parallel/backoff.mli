@@ -1,0 +1,31 @@
+(** Exponential retry backoff with deterministic jitter.
+
+    The delay before retry attempt [k] is
+    [base_ms * factor^(k-1)] capped at [max_ms], scaled by a jitter
+    factor drawn from a {!Ceres_util.Prng} stream keyed on
+    [(seed, k)] — a pure function of the policy, so supervised runs
+    stay reproducible regardless of retry order or domain count. *)
+
+type t = {
+  base_ms : float; (** delay of the first retry; [0.] disables sleeping *)
+  factor : float; (** exponential growth per attempt (>= 1) *)
+  max_ms : float; (** cap on the un-jittered delay *)
+  jitter : float; (** fraction in [0, 1): delay spreads to [1 ± jitter] *)
+  seed : int; (** keys the deterministic jitter stream *)
+}
+
+val make :
+  ?base_ms:float -> ?factor:float -> ?max_ms:float -> ?jitter:float ->
+  ?seed:int -> unit -> t
+(** Defaults: 1 ms base, factor 2, 50 ms cap, 25% jitter. *)
+
+val default : t
+(** [make ()]. *)
+
+val none : t
+(** Zero-delay policy (retries fire immediately; useful in tests). *)
+
+val delay_ms : t -> attempt:int -> float
+(** Delay in milliseconds before retrying after failed attempt
+    [attempt] (1-based). Deterministic: same policy and attempt, same
+    delay. *)

@@ -1,0 +1,85 @@
+(** Deterministic fault injection ("chaos") for the analysis pipeline.
+
+    The paper's own tooling degrades gracefully (JS-CERES discards a
+    nest's results on recursive stack growth instead of corrupting the
+    run); this module is how we *prove* the pipeline now does too. An
+    injection plan is a pure function of a seed: enabling chaos with
+    the same seed yields the same failure set on every run, regardless
+    of domain count or scheduling order, which is what lets
+    [make chaos] assert byte-identical repeated runs.
+
+    Two mechanisms:
+    - per-workload {!session}s keyed on (seed, workload name), with
+      counters owned by the session and reset at each supervised
+      attempt — a plan dooms at most one of: the Nth task attempt, the
+      Nth interpreter tick advance, the Nth DOM/canvas access;
+    - a pool-submit site whose doom decision is taken at push time
+      (program order, hence deterministic) and fires when the job runs.
+
+    Everything is zero-cost when off: sessions are [None], no
+    interpreter hook is installed, [Pool.submit] pays one atomic
+    load. *)
+
+type site = Task | Tick | Dom | Submit
+
+val site_to_string : site -> string
+
+exception Injected of { site : site; key : string; ordinal : int }
+(** The injected failure. Registered with {!Printexc} so rendered
+    messages are stable across runs (determinism of failure output
+    depends on it). *)
+
+val fire : site -> string -> int -> 'a
+(** [fire site key ordinal] counts the injection in
+    {!Telemetry.faults_injected} and raises {!Injected}. *)
+
+(** {1 Global switch} *)
+
+val enable : seed:int -> unit
+(** Turn chaos on process-wide and reset the submit-site ordinal. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val current_seed : unit -> int option
+
+val env_var : string
+(** ["JSCERES_CHAOS"]. *)
+
+val enable_from_env : unit -> bool
+(** Enable from [JSCERES_CHAOS=<seed>] if set to an integer; returns
+    whether chaos was enabled. *)
+
+(** {1 Per-workload sessions} *)
+
+type session
+
+val session : key:string -> session option
+(** The (seed, key)-derived session, or [None] when chaos is off. *)
+
+val session_plan : session -> string
+(** Human-readable plan, e.g. ["fail interp-tick #8123"]. *)
+
+val describe_plan : seed:int -> key:string -> string
+(** The plan [key] would receive under [seed] (pure; no global state). *)
+
+val attempt_gate : session option -> unit
+(** Call at the top of each supervised attempt: counts the attempt,
+    resets the tick/DOM ordinals, and fires a planned [Task] fault. *)
+
+val arm : session option -> Interp.Value.state -> unit
+(** Install the session's tick/DOM probes on a freshly built
+    interpreter state. No-op for [None] or a non-interpreter plan. *)
+
+val with_session : session option -> (unit -> 'a) -> 'a
+(** Run a thunk with the session exposed domain-locally, so layers
+    that build interpreter states deep inside the attempt can
+    {!arm} them via {!current_session}. *)
+
+val current_session : unit -> session option
+
+(** {1 Pool-submit site} *)
+
+val submit_doom : unit -> int option
+(** Called by [Pool.submit] at push time: [Some ordinal] when the
+    pushed job is doomed (the pool substitutes a job that calls
+    {!fire}), [None] otherwise or when chaos is off. *)

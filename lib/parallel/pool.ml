@@ -77,6 +77,7 @@ type t = {
   rr : int Atomic.t; (* round-robin cursor for submit *)
   submitted : int Atomic.t;
   loops : Telemetry.loop_log;
+  on_error : exn -> unit; (* escaping submitted-job exceptions *)
   mutable workers : unit Domain.t array;
 }
 
@@ -116,13 +117,17 @@ let try_get t id =
       probe 1
     end
 
-(* Run a job on behalf of participant [id]. Plain submitted jobs have
-   no failure channel, so their exceptions are swallowed (as in the
-   previous pool); parallel_for chunk tasks catch and report their own
-   exceptions before this handler is reached. *)
+(* Run a job on behalf of participant [id]. parallel_for chunk tasks
+   catch and report their own exceptions before this handler is
+   reached, so anything caught here escaped a plain submitted job: it
+   is counted in the tasks_failed telemetry and routed to the pool's
+   [on_error] handler instead of being silently swallowed. *)
 let exec t id job =
   Telemetry.note_task t.counters.(id);
-  try job () with _ -> ()
+  try job ()
+  with exn ->
+    Telemetry.note_task_failed t.counters.(id);
+    (try t.on_error exn with _ -> ())
 
 let rec worker_loop t id spins =
   match try_get t id with
@@ -137,7 +142,11 @@ let rec worker_loop t id spins =
       worker_loop t id spins
     end
 
-let create ?domains () =
+let default_on_error exn =
+  Printf.eprintf "jsceres pool: submitted job raised: %s\n%!"
+    (Printexc.to_string exn)
+
+let create ?domains ?(on_error = default_on_error) () =
   let requested =
     match domains with
     | Some d -> d
@@ -152,6 +161,7 @@ let create ?domains () =
       rr = Atomic.make 0;
       submitted = Atomic.make 0;
       loops = Telemetry.make_loop_log ();
+      on_error;
       workers = [||] }
   in
   t.workers <-
@@ -165,6 +175,14 @@ let submit t job =
   if Atomic.get t.down then
     invalid_arg "Js_parallel.Pool.submit: pool is shut down";
   Atomic.incr t.submitted;
+  (* Chaos: the doom decision is taken here, in submission (program)
+     order, so which job fails is deterministic even though the raise
+     happens whenever a participant executes it. *)
+  let job =
+    match Fault.submit_doom () with
+    | None -> job
+    | Some ordinal -> fun () -> Fault.fire Fault.Submit "pool" ordinal
+  in
   (* Deal onto the worker deques round-robin (the caller's own deque
      when there are no workers); an idle worker that lands on nothing
      steals it from wherever it went. *)
@@ -192,6 +210,7 @@ let stats_json t = Telemetry.to_json (stats t)
 let reset_stats t =
   Array.iter Telemetry.reset_counters t.counters;
   Telemetry.reset_loop_log t.loops;
+  Telemetry.reset_globals ();
   Atomic.set t.submitted 0
 
 (* ------------------------------------------------------------------ *)

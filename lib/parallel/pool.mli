@@ -17,20 +17,24 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?on_error:(exn -> unit) -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains (the
     caller is the remaining participant). [domains] defaults to
     [Domain.recommended_domain_count ()], and is clamped to at least
-    1. *)
+    1. [on_error] receives every exception escaping a submitted job
+    (it may run on any participant's domain); the default prints a
+    one-line warning to stderr. *)
 
 val size : t -> int
 (** Number of participants (workers + caller). *)
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a fire-and-forget job on a worker deque (round-robin).
-    Exceptions escaping the job are swallowed. @raise Invalid_argument
-    if the pool has been shut down — a silently-parked job that no
-    worker will ever run is never created. *)
+    An exception escaping the job is counted in the [tasks_failed]
+    telemetry and routed to the pool's [on_error] handler.
+    @raise Invalid_argument if the pool has been shut down — a
+    silently-parked job that no worker will ever run is never
+    created. *)
 
 val shutdown : t -> unit
 (** Drain every deque and join all workers. The pool must not be used

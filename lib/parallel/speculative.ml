@@ -41,8 +41,8 @@ for (var __i = __lo; __i < __hi; __i++) {
 }|}
     iter_src
 
-let fresh_state ~setup_src =
-  let st = Interp.Eval.create () in
+let fresh_state ?budget ~setup_src () =
+  let st = Interp.Eval.create ?budget () in
   Interp.Builtins.install st;
   let doc = Dom.Document.install st in
   Interp.Eval.run_program st (Jsir.Parser.parse_program setup_src);
@@ -61,15 +61,15 @@ let read_acc (st : Interp.Value.state) =
 
 (* Sequential oracle: run uninstrumented, return the accumulated
    result. *)
-let run_sequential ~setup_src ~iter_src ~lo ~hi =
-  let st, _doc = fresh_state ~setup_src in
+let run_sequential ?budget ~setup_src ~iter_src ~lo ~hi () =
+  let st, _doc = fresh_state ?budget ~setup_src () in
   define_range st ~lo ~hi;
   Interp.Eval.run_program st (Jsir.Parser.parse_program (harness_src ~iter_src));
   read_acc st
 
 (* Validation run under dependence instrumentation. *)
-let validate ~setup_src ~iter_src ~lo ~hi =
-  let st, _doc = fresh_state ~setup_src in
+let validate ?budget ~setup_src ~iter_src ~lo ~hi () =
+  let st, _doc = fresh_state ?budget ~setup_src () in
   define_range st ~lo ~hi;
   let program = Jsir.Parser.parse_program (harness_src ~iter_src) in
   let infos = Jsir.Loops.index program in
@@ -110,10 +110,24 @@ let validate ~setup_src ~iter_src ~lo ~hi =
   in
   (carried, dom)
 
-let run ?(domains = Domain.recommended_domain_count ()) ~setup_src ~iter_src
-    ~lo ~hi () : outcome =
-  match validate ~setup_src ~iter_src ~lo ~hi with
+(* Validation and replay both run arbitrary MiniJS under speculation:
+   any interpreter exception — including [Value.Budget_exhausted] from
+   a runaway iteration body hitting the vclock watchdog — must abort
+   with a reported reason, never escape to the caller (paper Sec. 5.3). *)
+let abort_of_exn context = function
+  | Interp.Value.Budget_exhausted ->
+    Aborted
+      (Runtime_error
+         (context
+          ^ ": interpreter budget exhausted (runaway or non-terminating \
+             iteration body)"))
+  | exn -> Aborted (Runtime_error (context ^ ": " ^ Printexc.to_string exn))
+
+let run ?(domains = Domain.recommended_domain_count ()) ?budget ~setup_src
+    ~iter_src ~lo ~hi () : outcome =
+  match validate ?budget ~setup_src ~iter_src ~lo ~hi () with
   | exception Failure msg -> Aborted (Runtime_error msg)
+  | exception exn -> abort_of_exn "validation" exn
   | carried, dom ->
     if carried <> [] then Aborted (Carried_dependence carried)
     else if dom > 0 then Aborted (Dom_access dom)
@@ -131,21 +145,25 @@ let run ?(domains = Domain.recommended_domain_count ()) ~setup_src ~iter_src
         |> List.filter (fun (_, slo, shi) -> shi > slo)
       in
       let run_slice (d, slo, shi) =
-        partials.(d) <- run_sequential ~setup_src ~iter_src ~lo:slo ~hi:shi
+        partials.(d) <-
+          run_sequential ?budget ~setup_src ~iter_src ~lo:slo ~hi:shi ()
       in
       (* The replay runs on the work-stealing pool rather than raw
          [Domain.spawn]s, so speculation inherits the pool's dynamic
          load balancing and its scheduling telemetry. *)
-      (match slices with
-       | [] -> ()
-       | [ s ] -> run_slice s
-       | _ ->
-         let arr = Array.of_list slices in
-         Pool.with_pool ~domains (fun p ->
-             Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
-               (fun i -> run_slice arr.(i))));
-      Committed
-        { result = Array.fold_left ( +. ) 0. partials; domains }
+      match
+        (match slices with
+         | [] -> ()
+         | [ s ] -> run_slice s
+         | _ ->
+           let arr = Array.of_list slices in
+           Pool.with_pool ~domains (fun p ->
+               Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
+                 (fun i -> run_slice arr.(i))))
+      with
+      | () ->
+        Committed { result = Array.fold_left ( +. ) 0. partials; domains }
+      | exception exn -> abort_of_exn "parallel replay" exn
     end
 
 let abort_reason_to_string = function

@@ -29,6 +29,7 @@ type outcome =
 
 val run :
   ?domains:int ->
+  ?budget:int64 ->
   setup_src:string ->
   iter_src:string ->
   lo:int ->
@@ -39,10 +40,23 @@ val run :
     [for (i = lo; i < hi; i++) acc += iter(i)] where [iter_src] is a
     MiniJS function expression and [setup_src] prepares the state it
     closes over. The committed [result] is the sum of the iteration
-    results — a checksum comparable to {!run_sequential}. *)
+    results — a checksum comparable to {!run_sequential}.
+
+    Speculation never lets an interpreter exception escape: a JS throw,
+    a parse error, or — when [budget] caps the vclock — a runaway
+    iteration body degraded into {!Interp.Value.Budget_exhausted} all
+    come back as [Aborted (Runtime_error reason)], whether they strike
+    during validation or during the parallel replay. *)
 
 val run_sequential :
-  setup_src:string -> iter_src:string -> lo:int -> hi:int -> float
-(** The sequential oracle (uninstrumented). *)
+  ?budget:int64 ->
+  setup_src:string ->
+  iter_src:string ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  float
+(** The sequential oracle (uninstrumented). Unlike {!run} it does not
+    confine exceptions — a [budget] overrun raises. *)
 
 val abort_reason_to_string : abort_reason -> string

@@ -10,6 +10,7 @@
 
 type counters = {
   tasks : int Atomic.t; (* jobs executed by this participant *)
+  failed : int Atomic.t; (* jobs whose exception escaped to the pool *)
   steal_attempts : int Atomic.t; (* probes of another participant's deque *)
   steals : int Atomic.t; (* probes that yielded a job *)
   idle_spins : int Atomic.t; (* backoff iterations with nothing to run *)
@@ -17,26 +18,47 @@ type counters = {
 
 let make_counters () =
   { tasks = Atomic.make 0;
+    failed = Atomic.make 0;
     steal_attempts = Atomic.make 0;
     steals = Atomic.make 0;
     idle_spins = Atomic.make 0 }
 
 let note_task c = Atomic.incr c.tasks
+let note_task_failed c = Atomic.incr c.failed
 let note_steal_attempt c = Atomic.incr c.steal_attempts
 let note_steal_success c = Atomic.incr c.steals
 let note_idle c = Atomic.incr c.idle_spins
 
 let reset_counters c =
   Atomic.set c.tasks 0;
+  Atomic.set c.failed 0;
   Atomic.set c.steal_attempts 0;
   Atomic.set c.steals 0;
   Atomic.set c.idle_spins 0
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide robustness counters. Retries happen in [Supervisor]
+   and fault injections in [Fault] — neither owns a pool — so these
+   live here as globals and every pool snapshot carries them. *)
+
+let retries_total = Atomic.make 0
+let faults_total = Atomic.make 0
+
+let note_retry () = Atomic.incr retries_total
+let note_fault_injected () = Atomic.incr faults_total
+let retries () = Atomic.get retries_total
+let faults_injected () = Atomic.get faults_total
+
+let reset_globals () =
+  Atomic.set retries_total 0;
+  Atomic.set faults_total 0
 
 (* ------------------------------------------------------------------ *)
 
 type domain_stats = {
   domain : int;
   tasks_executed : int;
+  tasks_failed : int;
   steals_attempted : int;
   steals_succeeded : int;
   idle_spins : int;
@@ -81,6 +103,8 @@ type pool_stats = {
   participants : int;
   jobs_submitted : int;
   loops_run : int;
+  retries : int; (* supervisor retry count (process-wide) *)
+  faults_injected : int; (* chaos injections fired (process-wide) *)
   domains : domain_stats list; (* by participant id, caller first *)
   recent_loops : loop_stats list; (* oldest first *)
 }
@@ -92,6 +116,7 @@ let snapshot ~participants ~jobs_submitted (cs : counters array) log =
          (fun i c ->
             { domain = i;
               tasks_executed = Atomic.get c.tasks;
+              tasks_failed = Atomic.get c.failed;
               steals_attempted = Atomic.get c.steal_attempts;
               steals_succeeded = Atomic.get c.steals;
               idle_spins = Atomic.get c.idle_spins })
@@ -100,10 +125,15 @@ let snapshot ~participants ~jobs_submitted (cs : counters array) log =
   Mutex.lock log.m;
   let loops_run = log.count and recent_loops = List.rev log.recent in
   Mutex.unlock log.m;
-  { participants; jobs_submitted; loops_run; domains; recent_loops }
+  { participants; jobs_submitted; loops_run;
+    retries = retries (); faults_injected = faults_injected ();
+    domains; recent_loops }
 
 let total_tasks s =
   List.fold_left (fun a d -> a + d.tasks_executed) 0 s.domains
+
+let total_failed s =
+  List.fold_left (fun a d -> a + d.tasks_failed) 0 s.domains
 
 let total_steals s =
   List.fold_left (fun a d -> a + d.steals_succeeded) 0 s.domains
@@ -115,16 +145,19 @@ let to_json s =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\"participants\":%d,\"jobs_submitted\":%d,\"loops_run\":%d,"
     s.participants s.jobs_submitted s.loops_run;
-  add "\"tasks_executed\":%d,\"steals_succeeded\":%d,\"domains\":["
-    (total_tasks s) (total_steals s);
+  add "\"tasks_executed\":%d,\"tasks_failed\":%d,\"steals_succeeded\":%d,"
+    (total_tasks s) (total_failed s) (total_steals s);
+  add "\"retries\":%d,\"faults_injected\":%d,\"domains\":["
+    s.retries s.faults_injected;
   List.iteri
     (fun i d ->
        if i > 0 then add ",";
        add
-         "{\"domain\":%d,\"tasks_executed\":%d,\"steals_attempted\":%d,\
+         "{\"domain\":%d,\"tasks_executed\":%d,\"tasks_failed\":%d,\
+          \"steals_attempted\":%d,\
           \"steals_succeeded\":%d,\"idle_spins\":%d}"
-         d.domain d.tasks_executed d.steals_attempted d.steals_succeeded
-         d.idle_spins)
+         d.domain d.tasks_executed d.tasks_failed d.steals_attempted
+         d.steals_succeeded d.idle_spins)
     s.domains;
   add "],\"loops\":[";
   List.iteri

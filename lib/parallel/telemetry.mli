@@ -14,10 +14,23 @@ type counters
 
 val make_counters : unit -> counters
 val note_task : counters -> unit
+val note_task_failed : counters -> unit
 val note_steal_attempt : counters -> unit
 val note_steal_success : counters -> unit
 val note_idle : counters -> unit
 val reset_counters : counters -> unit
+
+(** {1 Process-wide robustness counters}
+
+    Retries happen in {!Supervisor} and fault injections in {!Fault} —
+    neither owns a pool — so these are global; every {!snapshot}
+    carries their current values. *)
+
+val note_retry : unit -> unit
+val note_fault_injected : unit -> unit
+val retries : unit -> int
+val faults_injected : unit -> int
+val reset_globals : unit -> unit
 
 (** {1 Per-loop records} *)
 
@@ -36,6 +49,7 @@ val reset_loop_log : loop_log -> unit
 type domain_stats = {
   domain : int; (** participant id; 0 is the calling domain *)
   tasks_executed : int;
+  tasks_failed : int; (** jobs whose exception escaped to the pool *)
   steals_attempted : int; (** probes of another participant's deque *)
   steals_succeeded : int; (** probes that yielded a job *)
   idle_spins : int; (** backoff iterations with nothing to run *)
@@ -53,6 +67,8 @@ type pool_stats = {
   participants : int;
   jobs_submitted : int; (** via [Pool.submit], excluding loop chunks *)
   loops_run : int;
+  retries : int; (** supervisor retries (process-wide counter) *)
+  faults_injected : int; (** chaos injections fired (process-wide) *)
   domains : domain_stats list; (** by participant id, caller first *)
   recent_loops : loop_stats list; (** oldest first; last 64 loops *)
 }
@@ -62,6 +78,7 @@ val snapshot :
   pool_stats
 
 val total_tasks : pool_stats -> int
+val total_failed : pool_stats -> int
 val total_steals : pool_stats -> int
 
 val to_json : pool_stats -> string

@@ -23,7 +23,17 @@ let ticks_per_ms = 300
    minute of wall clock. *)
 
 let prepare ?(seed = 7) ?(scale = 1.0) (w : Workload.t) : run_context =
-  let st = Interp.Eval.create ~seed ~ticks_per_ms () in
+  (* When a supervised attempt is running on this domain, its watchdog
+     budget caps every interpreter state built inside it, and the
+     state's busy virtual time is reported back for failure rows. The
+     chaos session (if any) arms its tick/DOM probes here too — this is
+     the single choke point where all workload interpreters are born. *)
+  let budget = Js_parallel.Supervisor.active_budget () in
+  let st = Interp.Eval.create ~seed ?budget ~ticks_per_ms () in
+  Js_parallel.Supervisor.set_virtual_probe (fun () ->
+      Ceres_util.Vclock.to_ms st.Interp.Value.clock
+        (Ceres_util.Vclock.busy st.Interp.Value.clock));
+  Js_parallel.Fault.arm (Js_parallel.Fault.current_session ()) st;
   Interp.Builtins.install st;
   let doc = Dom.Document.install st in
   Interp.Value.declare st.global_scope "SCALE";
@@ -132,6 +142,23 @@ let map_workloads ?pool f ws =
     Js_parallel.Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
       (fun i -> out.(i) <- Some (f arr.(i)));
     Array.to_list (Array.mapi (fun i r -> (arr.(i), Option.get r)) out)
+
+(* Supervised variant: each workload's stage runs inside
+   [Supervisor.run], so one crashing workload — real bug, watchdog
+   overrun, or injected chaos fault — degrades into an [Error] row
+   while every other workload completes. The body never raises (all
+   exceptions are confined to the [result]), so the pool's
+   [parallel_for] cancellation path is never triggered by a workload
+   failure. The chaos session is keyed on the workload *name*, not on
+   scheduling order, keeping the failure set deterministic. *)
+let map_workloads_supervised ?pool ?retries ?backoff ?budget f ws =
+  let supervised (w : Workload.t) =
+    let session = Js_parallel.Fault.session ~key:w.Workload.name in
+    Js_parallel.Supervisor.run ?retries ?backoff ?budget (fun () ->
+        Js_parallel.Fault.attempt_gate session;
+        Js_parallel.Fault.with_session session (fun () -> f w))
+  in
+  map_workloads ?pool supervised ws
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: per-nest inspection                                        *)

@@ -37,7 +37,7 @@ let test_war_does_not_abort_speculation () =
   | Committed { result; _ } ->
     let seq =
       Js_parallel.Speculative.run_sequential ~setup_src:setup ~iter_src:iter
-        ~lo:0 ~hi:5
+        ~lo:0 ~hi:5 ()
     in
     Alcotest.(check (float 1e-9)) "replay matches sequential" seq result
   | Aborted r ->

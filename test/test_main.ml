@@ -9,6 +9,7 @@ let () =
       ("semantics", Test_semantics_preserved.suite);
       ("survey", Test_survey.suite);
       ("parallel", Test_parallel.suite);
+      ("supervisor", Test_supervisor.suite);
       ("extensions", Test_extensions.suite);
       ("nbody", Test_nbody.suite);
       ("workloads", Test_workloads.suite);
