@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos bench examples reports clean
+.PHONY: all build test check chaos analyze bench examples reports clean
 
 all: build
 
@@ -18,7 +18,32 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
+	$(MAKE) analyze
 	$(MAKE) chaos
+
+# Static analyzer sweep: run `jsceres analyze --format=json` over every
+# workload (exit 0 = no sequential loops, 2 = some; both are fine here)
+# and diff against the committed goldens in test/golden/analyze/. After
+# an intentional analyzer change, regenerate with ANALYZE_REGEN=1.
+ANALYZE_WORKLOADS = HAAR.js Tear-able_Cloth CamanJS fluidSim Harmony Ace \
+                    MyScript Raytracing Normal_Mapping sigma.js \
+                    processing.js D3.js
+
+analyze: build
+	@for w in $(ANALYZE_WORKLOADS); do \
+	  name=$$(echo $$w | tr '_' ' '); \
+	  out=_build/analyze-$$w.json; \
+	  dune exec bin/jsceres.exe -- analyze "$$name" --format=json >$$out; \
+	  rc=$$?; \
+	  test $$rc -eq 0 -o $$rc -eq 2 || \
+	    { echo "analyze $$name: exit $$rc"; exit 1; }; \
+	  if [ -n "$(ANALYZE_REGEN)" ]; then \
+	    cp $$out test/golden/analyze/$$w.json; \
+	  else \
+	    cmp -s $$out test/golden/analyze/$$w.json || \
+	      { echo "analyze $$name: report differs from golden"; exit 1; }; \
+	  fi; \
+	done; echo "analyze sweep OK ($(words $(ANALYZE_WORKLOADS)) workloads)"
 
 # Deterministic fault-injection suite. Each fixed seed must (a) kill at
 # least one workload — the run exits 1 and prints a failure summary

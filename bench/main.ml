@@ -146,7 +146,7 @@ let table3 () =
   let tbl =
     Ceres_util.Table.create
       [ "name"; "%"; "inst"; "trips"; "diverg."; "DOM"; "deps"; "difficulty";
-        "|paper %"; "trips"; "div"; "DOM"; "deps"; "diff" ]
+        "static"; "|paper %"; "trips"; "div"; "DOM"; "deps"; "diff" ]
   in
   List.iter
     (fun ((w : Workloads.Workload.t), rows) ->
@@ -168,6 +168,7 @@ let table3 () =
                 (if r.dom_access then "yes" else "no");
                 Ceres.Classify.difficulty_to_string r.dep_difficulty;
                 Ceres.Classify.difficulty_to_string r.par_difficulty;
+                r.static_verdict;
                 pget (fun (p : Workloads.Paper_data.t3_row) ->
                     Printf.sprintf "%.0f" p.pct);
                 pget (fun p ->
@@ -216,6 +217,55 @@ let table3 () =
   Printf.printf
     "ordinal agreement with the paper: %d/%d cells exact, +%d within one level\n"
     !agree !cells !near
+
+(* ------------------------------------------------------------------ *)
+
+(* Static-vs-dynamic cross-validation: one row per workload, counting
+   statically proven loops and checking the soundness obligation (a
+   statically [Parallel]/[Reduction] loop must not be observed
+   dynamically carrying an inter-iteration dependence). *)
+let crossval () =
+  header "Cross-validation: static verdicts vs dynamic dependence analysis";
+  let tbl =
+    Ceres_util.Table.create
+      [ "name"; "loops"; "parallel"; "reduction"; "runtime-check";
+        "sequential"; "unsound" ]
+  in
+  let total_unsound = ref 0 and total_proven = ref 0 in
+  List.iter
+    (fun ((w : Workloads.Workload.t), rows) ->
+       let count p = List.length (List.filter p rows) in
+       let kind k (r : Workloads.Harness.crossval_row) =
+         String.equal (Analysis.Verdict.kind_name r.static_verdict) k
+       in
+       let unsound =
+         List.filter
+           (fun (r : Workloads.Harness.crossval_row) -> not r.sound)
+           rows
+       in
+       total_unsound := !total_unsound + List.length unsound;
+       total_proven :=
+         !total_proven
+         + count (fun r -> Analysis.Verdict.is_proven r.static_verdict);
+       Ceres_util.Table.add_row tbl
+         [ w.name;
+           string_of_int (List.length rows);
+           string_of_int (count (kind "parallel"));
+           string_of_int (count (kind "reduction"));
+           string_of_int (count (kind "needs-runtime-check"));
+           string_of_int (count (kind "sequential"));
+           string_of_int (List.length unsound) ];
+       List.iter
+         (fun (r : Workloads.Harness.crossval_row) ->
+            Printf.printf "  UNSOUND %s %s [%s]: %s\n" w.name
+              (Jsir.Loops.label r.loop)
+              (Analysis.Verdict.to_string r.static_verdict)
+              (String.concat " | " r.dynamic_carried))
+         unsound)
+    (map_workloads (fun w -> Workloads.Harness.crossval w));
+  Ceres_util.Table.print tbl;
+  Printf.printf "statically proven: %d loops; soundness violations: %d\n"
+    !total_proven !total_unsound
 
 (* ------------------------------------------------------------------ *)
 
@@ -661,7 +711,8 @@ let () =
   let sections =
     [ ("table1", table1); ("figure1", figure1); ("figure2", figure2);
       ("figure3", figure3); ("figure4", figure4); ("table2", table2);
-      ("table3", table3); ("amdahl", amdahl); ("speedup", speedup);
+      ("table3", table3); ("crossval", crossval);
+      ("amdahl", amdahl); ("speedup", speedup);
       ("overhead", overhead);
       ("polymorphism", polymorphism);
       ("callsites", callsites);

@@ -9,7 +9,8 @@
      jsceres run <workload>            # uninstrumented + console output
      jsceres profile <workload>        # Sec 3.1 lightweight + sampler
      jsceres loops <workload>          # Sec 3.2 per-loop statistics
-     jsceres analyze <workload> [-f N] # Sec 3.3 dependence analysis
+     jsceres deps <workload> [-f N]    # Sec 3.3 dynamic dependence analysis
+     jsceres analyze <workload>        # static loop-parallelizability analysis
      jsceres inspect <workload>        # Table 3 row(s) for the app
      jsceres pipeline [-j N] [w...]    # Table 2+3 for many apps, in parallel
      jsceres report <workload> [-o D]  # write the markdown report (Fig 5)
@@ -94,7 +95,7 @@ let focus_arg =
     & info [ "f"; "focus" ] ~docv:"LOOP"
         ~doc:"Restrict dependence recording to the nest of this loop id.")
 
-let analyze_cmd =
+let deps_cmd =
   let run name focus =
     let w = find_workload name in
     let focus = Option.map (fun id -> [ id ]) focus in
@@ -105,9 +106,46 @@ let analyze_cmd =
          rt ctx.infos)
   in
   Cmd.v
-    (Cmd.info "analyze"
-       ~doc:"Dependence analysis (Sec 3.3): problematic memory accesses.")
+    (Cmd.info "deps"
+       ~doc:"Dynamic dependence analysis (Sec 3.3): problematic memory \
+             accesses observed while the workload runs.")
     Term.(const run $ workload_arg $ focus_arg)
+
+(* Exit-code convention (documented in the README): 0 when no analyzed
+   loop is sequential, 2 when at least one demonstrably carries a
+   dependence, so operational errors must NOT use the other commands'
+   exit 2: an unknown workload exits 1 here. *)
+let static_analyze_cmd =
+  let run name format =
+    let w =
+      match Workloads.Registry.find name with
+      | Some w -> w
+      | None ->
+        Printf.eprintf "unknown workload %S; available:\n  %s\n" name
+          (String.concat "\n  " Workloads.Registry.names);
+        exit 1
+    in
+    let program = Jsir.Parser.parse_program w.source in
+    let report = Analysis.Driver.analyze program in
+    (match format with
+     | `Text -> print_string (Analysis.Driver.to_text report)
+     | `Json -> print_string (Analysis.Driver.to_json report));
+    if Analysis.Driver.any_sequential report then exit 2
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static loop-parallelizability analysis: scope resolution, \
+          effect summaries, loop-carried dependence proofs. Exits 2 \
+          when any analyzed loop is sequential.")
+    Term.(const run $ workload_arg $ format_arg)
 
 let inspect_cmd =
   let run name =
@@ -419,6 +457,6 @@ let () =
   let doc = "JS-CERES: profiling and dependence analysis for MiniJS programs" in
   let info = Cmd.info "jsceres" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ list_cmd; run_cmd; profile_cmd; loops_cmd; analyze_cmd;
-                      inspect_cmd; pipeline_cmd; report_cmd; survey_cmd;
-                      file_cmd ]))
+                    [ list_cmd; run_cmd; profile_cmd; loops_cmd; deps_cmd;
+                      static_analyze_cmd; inspect_cmd; pipeline_cmd;
+                      report_cmd; survey_cmd; file_cmd ]))

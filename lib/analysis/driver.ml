@@ -1,0 +1,141 @@
+(* Entry point of the static analyzer: run the three stages over a
+   program and render per-loop reports.
+
+   Renderings are deterministic — rows ordered by loop id, detail
+   lists sorted and deduplicated by the verdict layer — because the
+   JSON output is compared byte-for-byte against committed golden
+   files and across repeated runs. The CLI and the test suite share
+   these exact functions. *)
+
+open Jsir
+
+type row = {
+  info : Loops.info;
+  verdict : Verdict.t;
+  notes : string list;
+}
+
+type report = { rows : row list (* sorted by loop id *) }
+
+let analyze (prog : Ast.program) : report =
+  let scope = Scope.resolve_program prog in
+  let fx = Effects.infer scope in
+  let results = Loopdep.analyze_program fx prog in
+  let infos = Loops.index prog in
+  let rows =
+    List.map
+      (fun (r : Loopdep.result) ->
+         { info = Loops.find infos r.loop_id;
+           verdict = r.verdict;
+           notes = r.notes })
+      results
+  in
+  { rows }
+
+let verdict_of (rep : report) (id : Ast.loop_id) : Verdict.t option =
+  List.find_map
+    (fun r -> if r.info.Loops.id = id then Some r.verdict else None)
+    rep.rows
+
+let any_sequential (rep : report) =
+  List.exists
+    (fun r ->
+       match r.verdict with Verdict.Sequential _ -> true | _ -> false)
+    rep.rows
+
+let proven (rep : report) =
+  List.filter (fun r -> Verdict.is_proven r.verdict) rep.rows
+
+(* ------------------------------------------------------------------ *)
+
+let row_header (r : row) =
+  let fn =
+    match r.info.Loops.in_function with
+    | Some f -> Printf.sprintf " in %s" f
+    | None -> ""
+  in
+  Printf.sprintf "%s%s" (Loops.label r.info) fn
+
+let to_text (rep : report) : string =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun r ->
+       Buffer.add_string buf (String.make (2 * r.info.Loops.depth) ' ');
+       Buffer.add_string buf (row_header r);
+       Buffer.add_string buf ": ";
+       Buffer.add_string buf (Verdict.to_string r.verdict);
+       if r.notes <> [] then begin
+         Buffer.add_string buf " [";
+         Buffer.add_string buf (String.concat " " r.notes);
+         Buffer.add_char buf ']'
+       end;
+       Buffer.add_char buf '\n')
+    rep.rows;
+  Buffer.contents buf
+
+(* Uniform row shape so goldens diff cleanly: every row carries
+   [accumulators], [details] and [notes], empty when inapplicable. *)
+let to_json (rep : report) : string =
+  let buf = Buffer.create 1024 in
+  let strings xs =
+    String.concat ","
+      (List.map
+         (fun s -> Printf.sprintf "\"%s\"" (Verdict.json_escape s))
+         xs)
+  in
+  let details (pairs : (string * int) list) =
+    String.concat ","
+      (List.map
+         (fun (text, ln) ->
+            Printf.sprintf "{\"text\":\"%s\",\"line\":%d}"
+              (Verdict.json_escape text) ln)
+         pairs)
+  in
+  Buffer.add_string buf "{\n  \"loops\": [";
+  List.iteri
+    (fun i r ->
+       if i > 0 then Buffer.add_char buf ',';
+       let accs, dets =
+         match r.verdict with
+         | Verdict.Parallel -> ([], [])
+         | Verdict.Reduction accs -> (accs, [])
+         | Verdict.Needs_runtime_check rs ->
+           ( [],
+             List.map
+               (fun (x : Verdict.reason) -> (x.why, x.line))
+               (List.sort_uniq compare rs) )
+         | Verdict.Sequential ds ->
+           ( [],
+             List.map
+               (fun (x : Verdict.dep) -> (x.what, x.line))
+               (List.sort_uniq compare ds) )
+       in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "\n    {\n\
+            \      \"id\": %d,\n\
+            \      \"kind\": \"%s\",\n\
+            \      \"line\": %d,\n\
+            \      \"depth\": %d,\n\
+            \      \"parent\": %s,\n\
+            \      \"function\": %s,\n\
+            \      \"verdict\": \"%s\",\n\
+            \      \"accumulators\": [%s],\n\
+            \      \"details\": [%s],\n\
+            \      \"notes\": [%s]\n\
+            \    }"
+            r.info.Loops.id
+            (Ast.loop_kind_name r.info.Loops.kind)
+            r.info.Loops.line r.info.Loops.depth
+            (match r.info.Loops.parent with
+             | Some p -> string_of_int p
+             | None -> "null")
+            (match r.info.Loops.in_function with
+             | Some f ->
+               Printf.sprintf "\"%s\"" (Verdict.json_escape f)
+             | None -> "null")
+            (Verdict.kind_name r.verdict)
+            (strings accs) (details dets) (strings r.notes)))
+    rep.rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Entry point of the static analyzer: staged analysis of a whole
+    program and deterministic per-loop report rendering (shared by the
+    CLI, the golden-file tests and the cross-validation harness). *)
+
+open Jsir
+
+type row = {
+  info : Loops.info;
+  verdict : Verdict.t;
+  notes : string list;
+}
+
+type report = { rows : row list  (** sorted by loop id *) }
+
+val analyze : Ast.program -> report
+(** Scope resolution, effect-summary fixpoint, per-loop dependence
+    verdicts. *)
+
+val verdict_of : report -> Ast.loop_id -> Verdict.t option
+val any_sequential : report -> bool
+val proven : report -> row list
+(** Rows whose verdict is [Parallel] or [Reduction]. *)
+
+val row_header : row -> string
+(** ["for(line 12) in processPixels"]. *)
+
+val to_text : report -> string
+(** Nesting-indented human-readable report. *)
+
+val to_json : report -> string
+(** Pretty-printed JSON, byte-identical across runs; every row has
+    the keys [id kind line depth parent function verdict accumulators
+    details notes]. *)

@@ -1,0 +1,117 @@
+(* Symbolic linear forms over program names.
+
+   The subscript analysis normalises array subscripts into
+   [c0 + c1*a1 + c2*a2 + ...] where each atom [ai] is a product of
+   loop-invariant identifiers (or the induction / an inner induction
+   variable, split out later). Keeping the combination symbolic lets
+   the disjointness proof cancel terms like [4*W] between the stride
+   of an outer pixel loop and the extent of its inner column loop —
+   the pattern behind every RGBA kernel in the corpus. *)
+
+module Atom = struct
+  (* A product of identifiers, kept sorted so [x*y] and [y*x] unify.
+     The empty product is the constant term. *)
+  type t = string list
+
+  let compare = compare
+end
+
+module AM = Map.Make (Atom)
+
+type t = int AM.t
+
+let normalize (m : t) : t = AM.filter (fun _ c -> c <> 0) m
+let zero : t = AM.empty
+let const n : t = normalize (AM.singleton [] n)
+let var v : t = AM.singleton [ v ] 1
+let is_zero (m : t) = AM.is_empty (normalize m)
+
+let add (a : t) (b : t) : t =
+  normalize
+    (AM.union (fun _ ca cb -> Some (ca + cb)) a b)
+
+let neg (a : t) : t = AM.map (fun c -> -c) a
+let sub a b = add a (neg b)
+let scale k (a : t) : t = normalize (AM.map (fun c -> c * k) a)
+
+let degree_cap = 3
+
+(* Product of two forms; gives up (returns [None]) past a small atom
+   degree — real subscripts are (bi)linear, anything deeper is noise. *)
+let mul (a : t) (b : t) : t option =
+  let ok = ref true in
+  let acc = ref zero in
+  AM.iter
+    (fun fa ca ->
+       AM.iter
+         (fun fb cb ->
+            let atom = List.sort String.compare (fa @ fb) in
+            if List.length atom > degree_cap then ok := false
+            else acc := add !acc (normalize (AM.singleton atom (ca * cb))))
+         b)
+    a;
+  if !ok then Some !acc else None
+
+let equal (a : t) (b : t) = AM.equal ( = ) (normalize a) (normalize b)
+
+let is_const (a : t) : int option =
+  let a = normalize a in
+  if AM.is_empty a then Some 0
+  else
+    match AM.bindings a with
+    | [ ([], c) ] -> Some c
+    | _ -> None
+
+let const_part (a : t) : int =
+  match AM.find_opt [] a with Some c -> c | None -> 0
+
+let drop_const (a : t) : t = AM.remove [] a
+
+(* All identifiers mentioned by any atom. *)
+let vars (a : t) : string list =
+  AM.fold (fun atom _ acc -> List.rev_append atom acc) (normalize a) []
+  |> List.sort_uniq String.compare
+
+let mentions v (a : t) =
+  AM.exists (fun atom c -> c <> 0 && List.mem v atom) a
+
+(* Split out a variable: [split v t = Some (coeff, rest)] with
+   [t = coeff*v + rest], [coeff] and [rest] free of [v]. Fails when
+   [v] appears non-linearly (e.g. [v*v] or inside a mixed atom that
+   still mentions [v] after removing one occurrence... it cannot). *)
+let split v (a : t) : (t * t) option =
+  let coeff = ref zero and rest = ref zero and ok = ref true in
+  AM.iter
+    (fun atom c ->
+       let occs = List.length (List.filter (String.equal v) atom) in
+       if occs = 0 then rest := add !rest (normalize (AM.singleton atom c))
+       else if occs = 1 then begin
+         let atom' =
+           let removed = ref false in
+           List.filter
+             (fun f ->
+                if (not !removed) && String.equal f v then begin
+                  removed := true;
+                  false
+                end
+                else true)
+             atom
+         in
+         coeff := add !coeff (normalize (AM.singleton atom' c))
+       end
+       else ok := false)
+    (normalize a);
+  if !ok then Some (!coeff, !rest) else None
+
+let to_string (a : t) : string =
+  let a = normalize a in
+  if AM.is_empty a then "0"
+  else
+    AM.bindings a
+    |> List.map (fun (atom, c) ->
+        match atom with
+        | [] -> string_of_int c
+        | _ ->
+          let p = String.concat "*" atom in
+          if c = 1 then p else Printf.sprintf "%d*%s" c p)
+    |> String.concat " + "

@@ -1,0 +1,1069 @@
+(* Loop-carried dependence analysis (stage 3).
+
+   One pass per loop: a flow-sensitive walk of a single iteration
+   tracking definitely-assigned scalars, per-iteration allocation
+   regions, and a substitution environment for single-assignment
+   affine locals; every heap access is attributed to a memory root and
+   its subscript normalised ({!Subscript}); calls are folded in
+   through the {!Effects} summaries. The end-of-walk resolution
+   classifies written scalars (privatizable / reduction accumulator /
+   carried), proves per-root footprint disjointness, and assembles the
+   verdict with [Sequential] evidence or [Needs_runtime_check]
+   reasons carrying source lines.
+
+   Soundness contract (checked by the cross-validation harness): on a
+   loop reported [Parallel] the dynamic analyzer may never observe an
+   iteration-carried conflict triple; on [Reduction accs] the only
+   carried conflicts are accumulating updates of [accs]. *)
+
+open Jsir
+module SS = Scope.SS
+module SM = Map.Make (String)
+module RM = Scope.RM
+
+type result = {
+  loop_id : Ast.loop_id;
+  kind : Ast.loop_kind;
+  line : int;
+  verdict : Verdict.t;
+  notes : string list; (* sorted, deduped facts worth reporting *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-loop mutable collection state (order-insensitive facts). *)
+
+type sub_kind = Slin of Lin.t | Sprop of string | Sunknown
+
+type haccess = { is_write : bool; hsub : sub_kind; hline : int }
+
+type scalar_facts = {
+  mutable carried_reads : int list; (* lines read while not yet defined *)
+  mutable plain_write : bool; (* a non-accumulating write site *)
+  mutable accum_carried : bool; (* accumulating update of a stale value *)
+  mutable accum_dirty : int option; (* accum RHS reads loop-varying state *)
+  mutable wrote : bool;
+}
+
+type collect = {
+  fx : Effects.t;
+  fid : Scope.fid;
+  written_names : SS.t; (* scalar names with a write site in the body *)
+  ivar : string option;
+  scalars : (string, scalar_facts) Hashtbl.t;
+  heap : (Scope.root, haccess list ref) Hashtbl.t;
+  mutable unknown_read : bool; (* a read through unresolved memory *)
+  mutable deps : Verdict.dep list;
+  mutable rtc : Verdict.reason list;
+  mutable callee_greads : Scope.RS.t;
+  mutable induction_mutated : bool;
+}
+
+let facts_of c n =
+  match Hashtbl.find_opt c.scalars n with
+  | Some f -> f
+  | None ->
+    let f =
+      { carried_reads = [];
+        plain_write = false;
+        accum_carried = false;
+        accum_dirty = None;
+        wrote = false }
+    in
+    Hashtbl.add c.scalars n f;
+    f
+
+let add_dep c what line = c.deps <- { Verdict.what; line } :: c.deps
+let add_rtc c why line = c.rtc <- { Verdict.why; line } :: c.rtc
+
+let record_heap c root (a : haccess) =
+  let l =
+    match Hashtbl.find_opt c.heap root with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add c.heap root l;
+      l
+  in
+  l := a :: !l
+
+(* Immutable flow state of the iteration walk. *)
+type istate = {
+  defined : SS.t;
+  accum_defined : SS.t;
+  (* defined this iteration, but by a carried accumulation — the
+     value still incorporates earlier iterations, so reading it is a
+     carried read even though the name is "defined" *)
+  regions : Effects.region SM.t; (* per-iteration region overlay *)
+  substm : Lin.t SM.t; (* single-assignment affine locals *)
+}
+
+let line_of (e : Ast.expr) = e.at.left.line
+
+let join_states (a : istate) (b : istate) =
+  { defined = SS.inter a.defined b.defined;
+    accum_defined = SS.union a.accum_defined b.accum_defined;
+    regions =
+      SM.merge
+        (fun _ x y ->
+           match (x, y) with
+           | Some rx, Some ry -> Some (Effects.region_join rx ry)
+           | _ -> None)
+        a.regions b.regions;
+    substm =
+      SM.merge
+        (fun _ x y ->
+           match (x, y) with
+           | Some lx, Some ly when Lin.equal lx ly -> Some lx
+           | _ -> None)
+        a.substm b.substm }
+
+(* ------------------------------------------------------------------ *)
+
+let arith_op = function
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Lshift | Ast.Rshift | Ast.Urshift ->
+    true
+  | _ -> false
+
+(* Free identifier reads of an expression (not entering functions). *)
+let idents_read (e : Ast.expr) : SS.t =
+  let acc = ref SS.empty in
+  let rec go (e : Ast.expr) =
+    match e.e with
+    | Ast.Ident x -> acc := SS.add x !acc
+    | Ast.Function_expr _ -> ()
+    | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+    | Ast.This ->
+      ()
+    | Ast.Array_lit es -> List.iter go es
+    | Ast.Object_lit ps -> List.iter (fun (_, v) -> go v) ps
+    | Ast.Member (b, _) -> go b
+    | Ast.Index (b, i) ->
+      go b;
+      go i
+    | Ast.Call (f, args) | Ast.New (f, args) ->
+      go f;
+      List.iter go args
+    | Ast.Unop (_, o) -> go o
+    | Ast.Binop (_, l, r) | Ast.Logical (_, l, r) | Ast.Seq (l, r) ->
+      go l;
+      go r
+    | Ast.Cond (a, b, c) ->
+      go a;
+      go b;
+      go c
+    | Ast.Assign (tgt, _, rhs) ->
+      (match tgt with
+       | Ast.Tgt_ident _ -> ()
+       | Ast.Tgt_member (b, _) -> go b
+       | Ast.Tgt_index (b, i) ->
+         go b;
+         go i);
+      go rhs
+    | Ast.Update (_, _, tgt) -> (
+        match tgt with
+        | Ast.Tgt_ident x -> acc := SS.add x !acc
+        | Ast.Tgt_member (b, _) -> go b
+        | Ast.Tgt_index (b, i) ->
+          go b;
+          go i)
+    | Ast.Intrinsic (_, args) -> List.iter go args
+  in
+  go e;
+  !acc
+
+(* Does the accumulation RHS read loop-varying scalars besides the
+   accumulator itself? *)
+let accum_rhs_dirty c ~acc (rhs : Ast.expr) =
+  let forbidden = SS.add acc c.written_names in
+  let reads = idents_read rhs in
+  not (SS.is_empty (SS.inter reads forbidden))
+
+(* [n = n + e] / [n = e + n] — returns the contribution [e]. *)
+let accum_rhs_pattern n (rhs : Ast.expr) : Ast.expr option =
+  match rhs.e with
+  | Ast.Binop (op, { e = Ast.Ident x; _ }, e)
+    when arith_op op && String.equal x n ->
+    Some e
+  | Ast.Binop ((Ast.Add | Ast.Mul), e, { e = Ast.Ident x; _ })
+    when String.equal x n ->
+    Some e
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pre-pass: syntactic write-site counts and inner-loop extents.
+   Stays out of nested function bodies. *)
+
+let prepass (body : Ast.stmt list) =
+  let writes = Hashtbl.create 16 in
+  let bump n =
+    Hashtbl.replace writes n
+      (1 + Option.value ~default:0 (Hashtbl.find_opt writes n))
+  in
+  let inner : (string * (Lin.t * Lin.t)) list ref = ref [] in
+  let bad = ref SS.empty in
+  let note_inner (ind : Subscript.induction) =
+    match Subscript.extent_of ind with
+    | None -> bad := SS.add ind.ivar !bad
+    | Some ext -> (
+        match List.assoc_opt ind.ivar !inner with
+        | None -> inner := (ind.ivar, ext) :: !inner
+        | Some (lo, hi) ->
+          let lo', hi' = ext in
+          if not (Lin.equal lo lo' && Lin.equal hi hi') then
+            bad := SS.add ind.ivar !bad)
+  in
+  let rec stmt (st : Ast.stmt) =
+    match st.s with
+    | Ast.Expr_stmt e | Ast.Throw e -> expr e
+    | Ast.Return e -> Option.iter expr e
+    | Ast.Var_decl ds ->
+      List.iter
+        (fun (n, i) ->
+           match i with
+           | Some e ->
+             bump n;
+             expr e
+           | None -> ())
+        ds
+    | Ast.If (cnd, th, el) ->
+      expr cnd;
+      stmt th;
+      Option.iter stmt el
+    | Ast.While (_, cnd, b) | Ast.Do_while (_, b, cnd) ->
+      expr cnd;
+      stmt b
+    | Ast.For (_, init, cnd, u, b) ->
+      (match init with
+       | Some (Ast.Init_var ds) ->
+         List.iter
+           (fun (n, i) ->
+              match i with
+              | Some e ->
+                bump n;
+                expr e
+              | None -> ())
+           ds
+       | Some (Ast.Init_expr e) -> expr e
+       | None -> ());
+      Option.iter expr cnd;
+      Option.iter expr u;
+      (match
+         Subscript.induction_of_for init cnd u ~line:st.sat.left.line
+       with
+       | Some ind -> note_inner ind
+       | None -> ());
+      stmt b
+    | Ast.For_in (_, binder, o, b) ->
+      (match binder with
+       | Ast.Binder_var n | Ast.Binder_ident n -> bump n);
+      expr o;
+      stmt b
+    | Ast.Try (b, cth, fin) ->
+      List.iter stmt b;
+      Option.iter (fun (_, cb) -> List.iter stmt cb) cth;
+      Option.iter (List.iter stmt) fin
+    | Ast.Block b -> List.iter stmt b
+    | Ast.Func_decl _ -> ()
+    | Ast.Switch (s, cases) ->
+      expr s;
+      List.iter
+        (fun (g, b) ->
+           Option.iter expr g;
+           List.iter stmt b)
+        cases
+    | Ast.Labeled (_, b) -> stmt b
+    | Ast.Empty | Ast.Break _ | Ast.Continue _ -> ()
+  and expr (e : Ast.expr) =
+    match e.e with
+    | Ast.Assign (Ast.Tgt_ident n, _, rhs) ->
+      bump n;
+      expr rhs
+    | Ast.Assign ((Ast.Tgt_member (b, _) as _t), _, rhs) ->
+      expr b;
+      expr rhs
+    | Ast.Assign (Ast.Tgt_index (b, i), _, rhs) ->
+      expr b;
+      expr i;
+      expr rhs
+    | Ast.Update (_, _, Ast.Tgt_ident n) -> bump n
+    | Ast.Update (_, _, Ast.Tgt_member (b, _)) -> expr b
+    | Ast.Update (_, _, Ast.Tgt_index (b, i)) ->
+      expr b;
+      expr i
+    | Ast.Unop (Ast.Delete, { e = Ast.Ident n; _ }) -> bump n
+    | Ast.Ident _ | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null
+    | Ast.Undefined | Ast.This | Ast.Function_expr _ ->
+      ()
+    | Ast.Array_lit es -> List.iter expr es
+    | Ast.Object_lit ps -> List.iter (fun (_, v) -> expr v) ps
+    | Ast.Member (b, _) -> expr b
+    | Ast.Index (b, i) ->
+      expr b;
+      expr i
+    | Ast.Call (f, args) | Ast.New (f, args) ->
+      expr f;
+      List.iter expr args
+    | Ast.Unop (_, o) -> expr o
+    | Ast.Binop (_, l, r) | Ast.Logical (_, l, r) | Ast.Seq (l, r) ->
+      expr l;
+      expr r
+    | Ast.Cond (a, b, cc) ->
+      expr a;
+      expr b;
+      expr cc
+    | Ast.Intrinsic (_, args) -> List.iter expr args
+  in
+  List.iter stmt body;
+  let names =
+    Hashtbl.fold (fun n _ acc -> SS.add n acc) writes SS.empty
+  in
+  let single n =
+    match Hashtbl.find_opt writes n with Some 1 -> true | _ -> false
+  in
+  let extents =
+    List.filter (fun (v, _) -> not (SS.mem v !bad)) !inner
+  in
+  (names, single, extents)
+
+(* ------------------------------------------------------------------ *)
+(* The iteration walk. *)
+
+let analyze_loop (fx : Effects.t) ~(fid : Scope.fid)
+    ~(kind : Ast.loop_kind) ~(loop_id : Ast.loop_id) ~(line : int)
+    ~(header : [ `For of Subscript.induction option
+               | `For_in of string
+               | `Cond ]) ~(cond : Ast.expr option)
+    ~(update : Ast.expr option) ~(body : Ast.stmt list) : result =
+  let scope = Effects.scope fx in
+  let written_names, single_write, extents = prepass body in
+  let ivar =
+    match header with
+    | `For (Some ind) -> Some ind.Subscript.ivar
+    | `For_in b -> Some b
+    | _ -> None
+  in
+  let c =
+    { fx;
+      fid;
+      written_names;
+      ivar;
+      scalars = Hashtbl.create 16;
+      heap = Hashtbl.create 16;
+      unknown_read = false;
+      deps = [];
+      rtc = [];
+      callee_greads = Scope.RS.empty;
+      induction_mutated = false }
+  in
+  let region_of (st : istate) e =
+    Effects.region_of fx ~param_as_root:true
+      ~local_env:(fun n -> SM.find_opt n st.regions)
+      fid e
+  in
+  let subst_of (st : istate) n = SM.find_opt n st.substm in
+  (* -- scalar events -------------------------------------------------- *)
+  let scalar_read (st : istate) n ln =
+    match ivar with
+    | Some v when String.equal v n -> ()
+    | _ ->
+      if
+        SS.mem n c.written_names
+        && (SS.mem n st.accum_defined || not (SS.mem n st.defined))
+      then begin
+        let f = facts_of c n in
+        f.carried_reads <- ln :: f.carried_reads
+      end
+  in
+  let scalar_write (st : istate) n ~accum ~dirty ln =
+    (match ivar with
+     | Some v when String.equal v n -> c.induction_mutated <- true
+     | _ ->
+       let f = facts_of c n in
+       f.wrote <- true;
+       if accum then begin
+         if not (SS.mem n st.defined) then begin
+           f.accum_carried <- true;
+           if dirty && f.accum_dirty = None then f.accum_dirty <- Some ln
+         end
+       end
+       else f.plain_write <- true);
+    let accum_defined =
+      (* A carried accumulation leaves the running (cross-iteration)
+         value in the name; a plain write resets it to an
+         iteration-local one. An accumulation over an
+         already-iteration-local value stays local. *)
+      if accum && not (SS.mem n st.defined) then
+        SS.add n st.accum_defined
+      else if not accum then SS.remove n st.accum_defined
+      else st.accum_defined
+    in
+    { st with defined = SS.add n st.defined; accum_defined }
+  in
+  (* -- heap events ---------------------------------------------------- *)
+  let heap_access (st : istate) base (sub : sub_kind) ~is_write ln =
+    match region_of st base with
+    | Effects.Fresh -> ()
+    | Effects.Root r -> record_heap c r { is_write; hsub = sub; hline = ln }
+    | Effects.Param _ ->
+      (* unreachable with param_as_root *)
+      if is_write then add_rtc c "write through unresolved reference" ln
+      else c.unknown_read <- true
+    | Effects.RThis | Effects.RUnknown ->
+      if is_write then add_rtc c "write through unresolved reference" ln
+      else c.unknown_read <- true
+  in
+  (* -- callee effect folding ------------------------------------------ *)
+  let handle_eff (eff : Effects.summary) ln =
+    if eff.io then add_dep c "callee performs I/O (DOM/host)" ln;
+    if eff.calls_unknown then add_rtc c "calls a function the analysis cannot resolve" ln;
+    Scope.RS.iter
+      (fun r ->
+         add_dep c
+           (Printf.sprintf "callee writes shared scalar %s"
+              (Scope.root_name r))
+           ln)
+      eff.gwrites;
+    c.callee_greads <- Scope.RS.union c.callee_greads eff.greads;
+    Scope.RS.iter
+      (fun r -> record_heap c r { is_write = true; hsub = Sunknown; hline = ln })
+      eff.hwrite_roots;
+    Scope.RS.iter
+      (fun r -> record_heap c r { is_write = false; hsub = Sunknown; hline = ln })
+      eff.hread_roots;
+    if eff.hwrite_unknown then
+      add_rtc c "callee writes memory the analysis cannot resolve" ln;
+    if eff.hread_unknown then c.unknown_read <- true;
+    if eff.this_writes then
+      add_rtc c "callee writes through `this`" ln;
+    if eff.this_reads then c.unknown_read <- true
+  in
+  (* -- the walk ------------------------------------------------------- *)
+  let rec walk_expr ?(suppress : string option) (st : istate)
+      (e : Ast.expr) : istate =
+    let ln = line_of e in
+    match e.e with
+    | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined ->
+      st
+    | Ast.This -> st
+    | Ast.Ident x ->
+      (match suppress with
+       | Some s when String.equal s x -> ()
+       | _ -> scalar_read st x ln);
+      st
+    | Ast.Array_lit es -> List.fold_left (fun st e -> walk_expr st e) st es
+    | Ast.Object_lit ps ->
+      List.fold_left (fun st (_, v) -> walk_expr st v) st ps
+    | Ast.Function_expr _ -> st
+    | Ast.Member (b, p) -> (
+        match b.e with
+        | Ast.Ident ns
+          when (match Scope.classify scope fid ns with
+              | Scope.Global -> true
+              | _ -> false)
+               && (String.equal ns "Math" || String.equal ns "JSON") ->
+          st
+        | Ast.Ident ns
+          when (match Scope.classify scope fid ns with
+              | Scope.Global -> true
+              | _ -> false)
+               && (String.equal ns "console" || String.equal ns "document"
+                   || String.equal ns "window" || String.equal ns "Date"
+                   || String.equal ns "performance") ->
+          add_dep c "accesses the host/DOM" ln;
+          st
+        | _ ->
+          let st = walk_expr st b in
+          heap_access st b (Sprop p) ~is_write:false ln;
+          st)
+    | Ast.Index (b, i) ->
+      let st = walk_expr st b in
+      let st = walk_expr st i in
+      let sub =
+        match Subscript.lin_of ~subst:(subst_of st) i with
+        | Some l -> Slin l
+        | None -> Sunknown
+      in
+      heap_access st b sub ~is_write:false ln;
+      st
+    | Ast.Call (callee, args) -> walk_call st ~is_new:false callee args ln
+    | Ast.New (callee, args) -> walk_call st ~is_new:true callee args ln
+    | Ast.Unop (Ast.Delete, { e = Ast.Ident x; _ }) ->
+      scalar_write st x ~accum:false ~dirty:false ln
+    | Ast.Unop (Ast.Delete, ({ e = Ast.Member (b, p); _ })) ->
+      let st = walk_expr st b in
+      heap_access st b (Sprop p) ~is_write:true ln;
+      st
+    | Ast.Unop (Ast.Delete, ({ e = Ast.Index (b, i); _ })) ->
+      let st = walk_expr st b in
+      let st = walk_expr st i in
+      let sub =
+        match Subscript.lin_of ~subst:(subst_of st) i with
+        | Some l -> Slin l
+        | None -> Sunknown
+      in
+      heap_access st b sub ~is_write:true ln;
+      st
+    | Ast.Unop (_, o) -> walk_expr st o
+    | Ast.Binop (_, l, r) ->
+      let st = walk_expr ?suppress st l in
+      walk_expr ?suppress st r
+    | Ast.Logical (_, l, r) ->
+      let st = walk_expr st l in
+      (* RHS conditionally evaluated: keep events, drop definitions *)
+      let _ = walk_expr st r in
+      st
+    | Ast.Cond (g, th, el) ->
+      let st = walk_expr st g in
+      let s1 = walk_expr st th in
+      let s2 = walk_expr st el in
+      join_states s1 s2
+    | Ast.Seq (l, r) ->
+      let st = walk_expr st l in
+      walk_expr st r
+    | Ast.Assign (Ast.Tgt_ident n, _, rhs)
+      when (match suppress with
+          | Some s -> String.equal s n
+          | None -> false) ->
+      (* the loop header's own induction update *)
+      walk_expr ~suppress:n st rhs
+    | Ast.Assign (Ast.Tgt_ident n, op, rhs) ->
+      let accum, dirty, st =
+        match op with
+        | Some op when arith_op op ->
+          let st = walk_expr ~suppress:n st rhs in
+          (true, accum_rhs_dirty c ~acc:n rhs, st)
+        | Some _ | None -> (
+            match accum_rhs_pattern n rhs with
+            | Some contrib when op = None ->
+              let st = walk_expr ~suppress:n st rhs in
+              (true, accum_rhs_dirty c ~acc:n contrib, st)
+            | _ ->
+              let st = walk_expr st rhs in
+              (false, false, st))
+      in
+      let st = scalar_write st n ~accum ~dirty (line_of e) in
+      (* single-assignment affine locals feed the substitution env;
+         per-iteration regions track fresh allocations *)
+      let st =
+        if (not accum) && single_write n then
+          match Subscript.lin_of ~subst:(subst_of st) rhs with
+          | Some l -> { st with substm = SM.add n l st.substm }
+          | None -> st
+        else st
+      in
+      { st with regions = SM.add n (region_of st rhs) st.regions }
+    | Ast.Assign (Ast.Tgt_member (b, p), op, rhs) ->
+      let st = walk_expr st b in
+      let st = walk_expr st rhs in
+      let ln = line_of e in
+      if op <> None then heap_access st b (Sprop p) ~is_write:false ln;
+      heap_access st b (Sprop p) ~is_write:true ln;
+      st
+    | Ast.Assign (Ast.Tgt_index (b, i), op, rhs) ->
+      let st = walk_expr st b in
+      let st = walk_expr st i in
+      let st = walk_expr st rhs in
+      let ln = line_of e in
+      let sub =
+        match Subscript.lin_of ~subst:(subst_of st) i with
+        | Some l -> Slin l
+        | None -> Sunknown
+      in
+      if op <> None then heap_access st b sub ~is_write:false ln;
+      heap_access st b sub ~is_write:true ln;
+      st
+    | Ast.Update (_, _, Ast.Tgt_ident n) -> (
+        match suppress with
+        | Some s when String.equal s n -> st (* header induction update *)
+        | _ -> scalar_write st n ~accum:true ~dirty:false ln)
+    | Ast.Update (_, _, Ast.Tgt_member (b, p)) ->
+      let st = walk_expr st b in
+      heap_access st b (Sprop p) ~is_write:false ln;
+      heap_access st b (Sprop p) ~is_write:true ln;
+      st
+    | Ast.Update (_, _, Ast.Tgt_index (b, i)) ->
+      let st = walk_expr st b in
+      let st = walk_expr st i in
+      let sub =
+        match Subscript.lin_of ~subst:(subst_of st) i with
+        | Some l -> Slin l
+        | None -> Sunknown
+      in
+      heap_access st b sub ~is_write:false ln;
+      heap_access st b sub ~is_write:true ln;
+      st
+    | Ast.Intrinsic (_, args) ->
+      List.fold_left (fun st a -> walk_expr st a) st args
+  and walk_call st ~is_new callee args ln : istate =
+    (* receiver/argument subexpressions evaluate first *)
+    let st =
+      match callee.e with
+      | Ast.Ident _ | Ast.Function_expr _ -> st
+      | Ast.Member (b, _) -> (
+          match b.e with
+          | Ast.Ident ns
+            when (match Scope.classify scope fid ns with
+                | Scope.Global -> true
+                | _ -> false)
+                 && (String.equal ns "Math" || String.equal ns "JSON"
+                     || String.equal ns "console" || String.equal ns "document"
+                     || String.equal ns "window" || String.equal ns "Date"
+                     || String.equal ns "performance") ->
+            st
+          | _ -> walk_expr st b)
+      | _ -> walk_expr st callee
+    in
+    let st = List.fold_left (fun st a -> walk_expr st a) st args in
+    let arg_region k =
+      match List.nth_opt args k with
+      | Some a -> region_of st a
+      | None -> Effects.RUnknown
+    in
+    let receiver_region recv = region_of st recv in
+    (match Effects.classify_call fx fid callee with
+     | Effects.Cpure -> ()
+     | Effects.Cio -> add_dep c "accesses the host/DOM" ln
+     | Effects.Cmutate_receiver (m, recv) -> (
+         match receiver_region recv with
+         | Effects.Fresh -> ()
+         | Effects.Root r ->
+           add_dep c
+             (Printf.sprintf "%s.%s() mutates shared storage across iterations"
+                (Scope.root_name r) m)
+             ln
+         | _ -> add_rtc c (m ^ "() on an unresolved receiver") ln)
+     | Effects.Cread_receiver recv -> (
+         match receiver_region recv with
+         | Effects.Fresh -> ()
+         | Effects.Root r ->
+           record_heap c r { is_write = false; hsub = Sunknown; hline = ln }
+         | _ -> c.unknown_read <- true)
+     | Effects.Citerate recv ->
+       (match receiver_region recv with
+        | Effects.Fresh -> ()
+        | Effects.Root r ->
+          record_heap c r { is_write = false; hsub = Sunknown; hline = ln }
+        | _ -> c.unknown_read <- true);
+       (match Effects.callback_fids fx fid args with
+        | Some cbs ->
+          if cbs <> [] then
+            handle_eff
+              (Effects.apply fx ~callees:cbs
+                 ~arg_region:(fun _ -> receiver_region recv)
+                 ~receiver:(Some (receiver_region recv)) ~is_new:false)
+              ln
+        | None -> add_rtc c "iteration callback cannot be resolved" ln)
+     | Effects.Cuser fids ->
+       let receiver =
+         match callee.e with
+         | Ast.Member (b, _) -> Some (receiver_region b)
+         | _ -> None
+       in
+       handle_eff
+         (Effects.apply fx ~callees:fids ~arg_region ~receiver ~is_new)
+         ln
+     | Effects.Cunknown ->
+       add_rtc c "calls a function the analysis cannot resolve" ln);
+    st
+  and walk_stmt (st : istate) (s : Ast.stmt) : istate =
+    match s.s with
+    | Ast.Expr_stmt e | Ast.Throw e -> walk_expr st e
+    | Ast.Return e ->
+      Option.fold ~none:st ~some:(fun e -> walk_expr st e) e
+    | Ast.Var_decl ds ->
+      List.fold_left
+        (fun st (n, init) ->
+           match init with
+           | None -> st
+           | Some rhs ->
+             let st = walk_expr st rhs in
+             let st =
+               scalar_write st n ~accum:false ~dirty:false (line_of rhs)
+             in
+             let st =
+               if single_write n then
+                 match Subscript.lin_of ~subst:(subst_of st) rhs with
+                 | Some l -> { st with substm = SM.add n l st.substm }
+                 | None -> st
+               else st
+             in
+             { st with regions = SM.add n (region_of st rhs) st.regions })
+        st ds
+    | Ast.If (g, th, el) ->
+      let st = walk_expr st g in
+      let s1 = walk_stmt st th in
+      let s2 =
+        match el with Some el -> walk_stmt st el | None -> st
+      in
+      join_states s1 s2
+    | Ast.While (_, g, b) ->
+      let st = walk_expr st g in
+      let _ = walk_stmt st b in
+      st
+    | Ast.Do_while (_, b, g) ->
+      (* body runs at least once *)
+      let st = walk_stmt st b in
+      walk_expr st g
+    | Ast.For (_, init, g, u, b) ->
+      let st =
+        match init with
+        | Some (Ast.Init_var ds) ->
+          walk_stmt st { s = Ast.Var_decl ds; sat = s.sat }
+        | Some (Ast.Init_expr e) -> walk_expr st e
+        | None -> st
+      in
+      let st =
+        match g with Some g -> walk_expr st g | None -> st
+      in
+      let body_st = walk_stmt st b in
+      let _ = Option.map (walk_expr body_st) u in
+      st
+    | Ast.For_in (_, binder, o, b) ->
+      (* enumerating keys reads the key *set*, which value writes do
+         not disturb; key additions/deletions are caught as element
+         writes or mutator calls *)
+      let st = walk_expr st o in
+      let n =
+        match binder with Ast.Binder_var n | Ast.Binder_ident n -> n
+      in
+      let st' = scalar_write st n ~accum:false ~dirty:false s.sat.left.line in
+      let _ = walk_stmt st' b in
+      st
+    | Ast.Try (b, cth, fin) ->
+      (* exceptional control flow: keep events, trust no definitions *)
+      let _ = List.fold_left walk_stmt st b in
+      Option.iter
+        (fun (exn_name, cb) ->
+           let st' =
+             { st with defined = SS.add exn_name st.defined }
+           in
+           ignore (List.fold_left walk_stmt st' cb))
+        cth;
+      Option.iter (fun fb -> ignore (List.fold_left walk_stmt st fb)) fin;
+      st
+    | Ast.Block b -> List.fold_left walk_stmt st b
+    | Ast.Func_decl _ -> st
+    | Ast.Switch (g, cases) ->
+      let st = walk_expr st g in
+      List.iter
+        (fun (guard, body) ->
+           let st' =
+             match guard with Some g -> walk_expr st g | None -> st
+           in
+           ignore (List.fold_left walk_stmt st' body))
+        cases;
+      st
+    | Ast.Labeled (_, b) -> walk_stmt st b
+    | Ast.Empty | Ast.Break _ | Ast.Continue _ -> st
+  in
+  (* One iteration: induction defined on entry; the guard is evaluated
+     every iteration; [do-while] evaluates the body first. *)
+  let st0 =
+    { defined =
+        (match ivar with Some v -> SS.singleton v | None -> SS.empty);
+      accum_defined = SS.empty;
+      regions = SM.empty;
+      substm = SM.empty }
+  in
+  let st0 =
+    match kind with
+    | Ast.Kdo_while -> st0
+    | _ -> (
+        match cond with
+        | Some g -> walk_expr st0 g
+        | None -> st0)
+  in
+  let st_end = List.fold_left walk_stmt st0 body in
+  (match kind with
+   | Ast.Kdo_while ->
+     ignore
+       (match cond with Some g -> walk_expr st_end g | None -> st_end)
+   | _ -> ());
+  (match update with
+   | Some u ->
+     let sup = match ivar with Some v -> Some v | None -> None in
+     ignore (walk_expr ?suppress:sup st_end u)
+   | None -> ());
+  (* ------------------------------------------------------------------ *)
+  (* Resolution. *)
+  let notes = ref [] in
+  let note n = notes := n :: !notes in
+  let accums = ref [] in
+  if c.induction_mutated then
+    add_rtc c "loop induction variable is mutated in the body" line;
+  (* scalars *)
+  Hashtbl.iter
+    (fun n (f : scalar_facts) ->
+       if f.wrote then begin
+         match f.carried_reads with
+         | ln :: _ ->
+           add_dep c
+             (Printf.sprintf "scalar %s carries a value across iterations" n)
+             (List.fold_left min ln f.carried_reads)
+         | [] ->
+           if f.accum_carried then begin
+             if f.plain_write then
+               add_dep c
+                 (Printf.sprintf
+                    "scalar %s mixes accumulation with plain writes" n)
+                 line
+             else
+               match f.accum_dirty with
+               | Some ln ->
+                 add_dep c
+                   (Printf.sprintf
+                      "accumulator %s folds in loop-varying values" n)
+                   ln
+               | None -> accums := n :: !accums
+           end
+           else if f.plain_write then note (Printf.sprintf "privatizable:%s" n)
+       end)
+    c.scalars;
+  (* callee scalar reads vs. scalars this loop writes *)
+  let written_roots =
+    SS.fold
+      (fun n acc ->
+         match ivar with
+         | Some v when String.equal v n -> acc
+         | _ -> Scope.RS.add (Scope.resolve scope fid n) acc)
+      c.written_names Scope.RS.empty
+  in
+  Scope.RS.iter
+    (fun r ->
+       if Scope.RS.mem r written_roots then
+         add_dep c
+           (Printf.sprintf
+              "callee reads scalar %s that the loop writes"
+              (Scope.root_name r))
+           line)
+    c.callee_greads;
+  (* heap roots *)
+  let heap_roots =
+    Hashtbl.fold (fun r l acc -> (r, !l) :: acc) c.heap []
+    |> List.sort (fun (a, _) (b, _) -> Scope.root_compare a b)
+  in
+  let written_heap_roots =
+    List.filter
+      (fun (_, accs) -> List.exists (fun a -> a.is_write) accs)
+      heap_roots
+  in
+  let any_heap_write = written_heap_roots <> [] in
+  (* alias obligations between a written root and any other root *)
+  List.iter
+    (fun (r, accs) ->
+       List.iter
+         (fun (q, _) ->
+            if Scope.root_compare r q < 0 && Scope.may_alias scope r q then
+              add_rtc c
+                (Printf.sprintf "%s and %s may alias"
+                   (Scope.root_name r) (Scope.root_name q))
+                (match accs with a :: _ -> a.hline | [] -> line))
+         heap_roots)
+    written_heap_roots;
+  if c.unknown_read && any_heap_write then
+    add_rtc c "a read through unresolved memory may see loop writes" line;
+  (* footprints per written root *)
+  (* A residual subscript name is invariant when nothing in this loop
+     writes it. (Scalars written by callees already produced a
+     [Sequential] dep above, which outranks any footprint proof.) *)
+  let invariant v =
+    (not (SS.mem v c.written_names))
+    && match ivar with Some i -> not (String.equal i v) | None -> true
+  in
+  List.iter
+    (fun (r, accs) ->
+       let name = Scope.root_name r in
+       let unknowns = List.filter (fun a -> a.hsub = Sunknown) accs in
+       let props_written =
+         List.filter_map
+           (fun a ->
+              match a.hsub with
+              | Sprop p when a.is_write -> Some (p, a.hline)
+              | _ -> None)
+           accs
+       in
+       let elems =
+         List.filter_map
+           (fun a ->
+              match a.hsub with
+              | Slin l -> Some { Subscript.sub = l; line = a.hline }
+              | _ -> None)
+           accs
+       in
+       (match unknowns with
+        | u :: _ ->
+          add_rtc c
+            (Printf.sprintf "access to %s with unresolved subscript" name)
+            u.hline
+        | [] -> ());
+       List.iter
+         (fun (p, ln) ->
+            add_dep c
+              (Printf.sprintf
+                 "property %s.%s is written every iteration" name p)
+              ln)
+         (List.sort_uniq compare props_written);
+       if elems <> [] then begin
+         let res =
+           match header with
+           | `For_in binder ->
+             Subscript.check_for_in ~binder ~accesses:elems
+           | `For (Some ind) ->
+             Subscript.check ~ivar:ind.Subscript.ivar
+               ~step:ind.Subscript.step ~inner:extents ~invariant
+               ~accesses:elems
+           | `For None | `Cond ->
+             (* no induction: subscripts must still be invariant, and
+                then every iteration hits the same slots *)
+             Subscript.check ~ivar:"%none" ~step:1 ~inner:extents
+               ~invariant ~accesses:elems
+         in
+         match res with
+         | Subscript.Disjoint ->
+           note (Printf.sprintf "disjoint:%s" name)
+         | Subscript.Same_slot ln ->
+           add_dep c
+             (Printf.sprintf
+                "element of %s is rewritten every iteration" name)
+             ln
+         | Subscript.Unproven (why, ln) ->
+           add_rtc c (Printf.sprintf "%s: %s" name why) ln
+       end)
+    written_heap_roots;
+  (* verdict *)
+  let verdict =
+    if c.deps <> [] then Verdict.Sequential (List.sort_uniq compare c.deps)
+    else if c.rtc <> [] then
+      Verdict.Needs_runtime_check (List.sort_uniq compare c.rtc)
+    else if !accums <> [] then
+      Verdict.Reduction (List.sort_uniq String.compare !accums)
+    else Verdict.Parallel
+  in
+  { loop_id;
+    kind;
+    line;
+    verdict;
+    notes = List.sort_uniq String.compare !notes }
+
+(* ------------------------------------------------------------------ *)
+(* Program walk: find every loop, with its enclosing function. *)
+
+let analyze_program (fx : Effects.t) (prog : Ast.program) : result list =
+  let scope = Effects.scope fx in
+  let out = ref [] in
+  let fid_of_body (f : Ast.func) =
+    let cands =
+      List.filter
+        (fun (fr : Scope.func_rec) ->
+           fr.body == f.body && fr.params = f.params)
+        (Scope.functions scope)
+    in
+    match cands with [ fr ] -> Some fr.fid | _ -> None
+  in
+  let analyze ~fid ~kind ~loop_id ~line ~header ~cond ~update ~body =
+    out :=
+      analyze_loop fx ~fid ~kind ~loop_id ~line ~header ~cond ~update ~body
+      :: !out
+  in
+  let rec stmt fid (s : Ast.stmt) =
+    let line = s.sat.left.line in
+    match s.s with
+    | Ast.Expr_stmt e | Ast.Throw e -> expr fid e
+    | Ast.Return e -> Option.iter (expr fid) e
+    | Ast.Var_decl ds -> List.iter (fun (_, i) -> Option.iter (expr fid) i) ds
+    | Ast.If (g, th, el) ->
+      expr fid g;
+      stmt fid th;
+      Option.iter (stmt fid) el
+    | Ast.While (id, g, b) ->
+      expr fid g;
+      analyze ~fid ~kind:Ast.Kwhile ~loop_id:id ~line ~header:`Cond
+        ~cond:(Some g) ~update:None ~body:[ b ];
+      stmt fid b
+    | Ast.Do_while (id, b, g) ->
+      expr fid g;
+      analyze ~fid ~kind:Ast.Kdo_while ~loop_id:id ~line ~header:`Cond
+        ~cond:(Some g) ~update:None ~body:[ b ];
+      stmt fid b
+    | Ast.For (id, init, g, u, b) ->
+      (match init with
+       | Some (Ast.Init_var ds) ->
+         List.iter (fun (_, i) -> Option.iter (expr fid) i) ds
+       | Some (Ast.Init_expr e) -> expr fid e
+       | None -> ());
+      Option.iter (expr fid) g;
+      Option.iter (expr fid) u;
+      let ind = Subscript.induction_of_for init g u ~line in
+      analyze ~fid ~kind:Ast.Kfor ~loop_id:id ~line ~header:(`For ind)
+        ~cond:g ~update:u ~body:[ b ];
+      stmt fid b
+    | Ast.For_in (id, binder, o, b) ->
+      expr fid o;
+      let n =
+        match binder with Ast.Binder_var n | Ast.Binder_ident n -> n
+      in
+      analyze ~fid ~kind:Ast.Kfor_in ~loop_id:id ~line ~header:(`For_in n)
+        ~cond:None ~update:None ~body:[ b ];
+      stmt fid b
+    | Ast.Try (b, cth, fin) ->
+      List.iter (stmt fid) b;
+      Option.iter (fun (_, cb) -> List.iter (stmt fid) cb) cth;
+      Option.iter (List.iter (stmt fid)) fin
+    | Ast.Block b -> List.iter (stmt fid) b
+    | Ast.Func_decl f -> enter_func fid f
+    | Ast.Switch (g, cases) ->
+      expr fid g;
+      List.iter
+        (fun (gd, b) ->
+           Option.iter (expr fid) gd;
+           List.iter (stmt fid) b)
+        cases
+    | Ast.Labeled (_, b) -> stmt fid b
+    | Ast.Empty | Ast.Break _ | Ast.Continue _ -> ()
+  and expr fid (e : Ast.expr) =
+    match e.e with
+    | Ast.Function_expr f -> enter_func fid f
+    | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+    | Ast.Ident _ | Ast.This ->
+      ()
+    | Ast.Array_lit es -> List.iter (expr fid) es
+    | Ast.Object_lit ps -> List.iter (fun (_, v) -> expr fid v) ps
+    | Ast.Member (b, _) -> expr fid b
+    | Ast.Index (b, i) ->
+      expr fid b;
+      expr fid i
+    | Ast.Call (f, args) | Ast.New (f, args) ->
+      expr fid f;
+      List.iter (expr fid) args
+    | Ast.Unop (_, o) -> expr fid o
+    | Ast.Binop (_, l, r) | Ast.Logical (_, l, r) | Ast.Seq (l, r) ->
+      expr fid l;
+      expr fid r
+    | Ast.Cond (a, b, cc) ->
+      expr fid a;
+      expr fid b;
+      expr fid cc
+    | Ast.Assign (tgt, _, rhs) ->
+      (match tgt with
+       | Ast.Tgt_ident _ -> ()
+       | Ast.Tgt_member (b, _) -> expr fid b
+       | Ast.Tgt_index (b, i) ->
+         expr fid b;
+         expr fid i);
+      expr fid rhs
+    | Ast.Update (_, _, tgt) -> (
+        match tgt with
+        | Ast.Tgt_ident _ -> ()
+        | Ast.Tgt_member (b, _) -> expr fid b
+        | Ast.Tgt_index (b, i) ->
+          expr fid b;
+          expr fid i)
+    | Ast.Intrinsic (_, args) -> List.iter (expr fid) args
+  and enter_func fid (f : Ast.func) =
+    match fid_of_body f with
+    | Some inner -> List.iter (stmt inner) f.body
+    | None -> List.iter (stmt fid) f.body
+  in
+  List.iter (stmt 0) prog.stmts;
+  List.sort (fun a b -> compare a.loop_id b.loop_id) !out

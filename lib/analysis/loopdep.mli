@@ -1,0 +1,24 @@
+(** Loop-carried dependence analysis (stage 3): per-loop verdicts.
+
+    Walks one iteration of each loop flow-sensitively, attributes heap
+    accesses to memory roots with normalised subscripts, folds call
+    effects in through {!Effects}, and decides
+    {!Verdict.t} per loop. The soundness contract — checked by the
+    cross-validation harness — is that on a [Parallel] loop the
+    dynamic analyzer can never observe an iteration-carried conflict,
+    and on [Reduction accs] the only carried conflicts are
+    accumulating updates of [accs]. *)
+
+open Jsir
+
+type result = {
+  loop_id : Ast.loop_id;
+  kind : Ast.loop_kind;
+  line : int;
+  verdict : Verdict.t;
+  notes : string list;
+      (** sorted facts: [privatizable:x], [disjoint:root] *)
+}
+
+val analyze_program : Effects.t -> Ast.program -> result list
+(** Every loop of the program, sorted by [loop_id]. *)

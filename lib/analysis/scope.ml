@@ -1,0 +1,639 @@
+(* Scope resolution for MiniJS (stage 1 of the static analyzer).
+
+   Pre-ES6 JavaScript has exactly two binding constructs the analysis
+   must honour: [var] declarations hoist to the enclosing *function*
+   (blocks are transparent — the Sec. 3.3 example of the paper hinges
+   on this), and function declarations/parameters bind in their own
+   frame. This module indexes every function in the program (the top
+   level is function 0), resolves each name occurrence to the frame
+   that owns it, records every definition reaching a binding (the
+   effect and alias stages consume these), and tabulates the direct
+   global reads/writes per function. *)
+
+open Jsir
+
+type fid = int
+
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+type root =
+  | Rglobal of string
+  | Rlocal of fid * string (* a [var]/param owned by a non-toplevel frame *)
+
+let root_compare = compare
+let root_name = function Rglobal n -> n | Rlocal (_, n) -> n
+
+let root_to_string = function
+  | Rglobal n -> n
+  | Rlocal (f, n) -> Printf.sprintf "%s@%d" n f
+
+module Root = struct
+  type t = root
+
+  let compare = root_compare
+end
+
+module RS = Set.Make (Root)
+module RM = Map.Make (Root)
+
+type func_rec = {
+  fid : fid;
+  fname : string option;
+  params : string list;
+  parent : fid option;
+  locals : SS.t; (* params + hoisted vars + inner function-decl names *)
+  body : Ast.stmt list;
+  line : int;
+}
+
+(* A definition reaching a binding: the RHS expression (with the frame
+   it appears in and, when it is syntactically a function, that
+   function's id), or an unknown source (for-in binders, catch params,
+   [delete], unresolvable call sites). *)
+type def =
+  | Dexpr of fid * Ast.expr * fid option
+  | Dunknown
+
+type t = {
+  funcs : func_rec array;
+  defs : (root, def list) Hashtbl.t;
+  calls : (root, (fid * (Ast.expr * fid option) list) list) Hashtbl.t;
+      (* call sites with an identifier callee, newest first *)
+  prop_funcs : (string, fid list) Hashtbl.t;
+      (* functions assigned to a property of that name anywhere *)
+  direct_global_reads : (fid, SS.t) Hashtbl.t;
+  direct_global_writes : (fid, SS.t) Hashtbl.t;
+  mutable sites_memo : (root, string list option) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Hoisting: collect the [var]-declared names of one function body,
+   without descending into nested functions (their vars are theirs). *)
+
+let rec hoist_stmt acc (st : Ast.stmt) =
+  match st.s with
+  | Ast.Var_decl ds ->
+    List.fold_left (fun a (n, _) -> SS.add n a) acc ds
+  | Ast.Func_decl f -> (
+      match f.fname with Some n -> SS.add n acc | None -> acc)
+  | Ast.If (_, t, e) ->
+    let acc = hoist_stmt acc t in
+    (match e with Some e -> hoist_stmt acc e | None -> acc)
+  | Ast.While (_, _, b) | Ast.Do_while (_, b, _) | Ast.Labeled (_, b) ->
+    hoist_stmt acc b
+  | Ast.For (_, init, _, _, b) ->
+    let acc =
+      match init with
+      | Some (Ast.Init_var ds) ->
+        List.fold_left (fun a (n, _) -> SS.add n a) acc ds
+      | _ -> acc
+    in
+    hoist_stmt acc b
+  | Ast.For_in (_, binder, _, b) ->
+    let acc =
+      match binder with
+      | Ast.Binder_var n -> SS.add n acc
+      | Ast.Binder_ident _ -> acc
+    in
+    hoist_stmt acc b
+  | Ast.Try (b, catch, fin) ->
+    let acc = List.fold_left hoist_stmt acc b in
+    let acc =
+      match catch with
+      | Some (p, cb) -> List.fold_left hoist_stmt (SS.add p acc) cb
+      | None -> acc
+    in
+    (match fin with Some f -> List.fold_left hoist_stmt acc f | None -> acc)
+  | Ast.Block b -> List.fold_left hoist_stmt acc b
+  | Ast.Switch (_, cases) ->
+    List.fold_left
+      (fun acc (_, body) -> List.fold_left hoist_stmt acc body)
+      acc cases
+  | Ast.Expr_stmt _ | Ast.Return _ | Ast.Break _ | Ast.Continue _
+  | Ast.Throw _ | Ast.Empty ->
+    acc
+
+let hoisted body = List.fold_left hoist_stmt SS.empty body
+
+(* ------------------------------------------------------------------ *)
+
+let resolve_chain chain name : root =
+  let rec go = function
+    | [] -> Rglobal name
+    | (fid, locals) :: rest ->
+      if SS.mem name locals then
+        if fid = 0 then Rglobal name else Rlocal (fid, name)
+      else go rest
+  in
+  go chain
+
+let resolve_in t fid name : root =
+  let rec chain f acc =
+    let fr = t.funcs.(f) in
+    let acc = (f, fr.locals) :: acc in
+    match fr.parent with None -> List.rev acc | Some p -> chain p acc
+  in
+  resolve_chain (chain fid []) name
+
+let push tbl key v =
+  let old = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+  Hashtbl.replace tbl key (v :: old)
+
+let add_set tbl key name =
+  let old =
+    match Hashtbl.find_opt tbl key with Some s -> s | None -> SS.empty
+  in
+  Hashtbl.replace tbl key (SS.add name old)
+
+let resolve_program (p : Ast.program) : t =
+  let funcs = ref [] in
+  let next = ref 0 in
+  let t_defs = Hashtbl.create 64 in
+  let t_calls = Hashtbl.create 64 in
+  let t_props = Hashtbl.create 16 in
+  let t_greads = Hashtbl.create 16 in
+  let t_gwrites = Hashtbl.create 16 in
+  (* chain: innermost first, list of (fid, locals) *)
+  let note_read chain name =
+    match resolve_chain chain name with
+    | Rglobal n -> add_set t_greads (fst (List.hd chain)) n
+    | Rlocal _ -> ()
+  in
+  let note_write chain name =
+    match resolve_chain chain name with
+    | Rglobal n -> add_set t_gwrites (fst (List.hd chain)) n
+    | Rlocal _ -> ()
+  in
+  let add_def chain name d = push t_defs (resolve_chain chain name) d in
+  (* Walk returns the fid when the expression is syntactically a
+     function, so definitions and call arguments can be linked to it. *)
+  let rec walk_func ~fname ~parent (f : Ast.func) chain : fid =
+    let fid = !next in
+    incr next;
+    let locals =
+      SS.union (SS.of_list f.params)
+        (SS.union (hoisted f.body)
+           (match fname with Some n -> SS.singleton n | None -> SS.empty))
+    in
+    (* A named function expression binds its own name inside itself;
+       keeping the name out of [locals] for declarations is harmless
+       because the declaring frame already owns it. *)
+    let rec_ =
+      { fid;
+        fname;
+        params = f.params;
+        parent;
+        locals;
+        body = f.body;
+        line = f.fspan.left.line }
+    in
+    funcs := rec_ :: !funcs;
+    let chain' = (fid, locals) :: chain in
+    List.iter (walk_stmt chain') f.body;
+    fid
+  and cur chain = fst (List.hd chain)
+  and walk_stmt chain (st : Ast.stmt) =
+    match st.s with
+    | Ast.Empty | Ast.Break _ | Ast.Continue _ -> ()
+    | Ast.Expr_stmt e | Ast.Throw e -> ignore (walk_expr chain e)
+    | Ast.Return e -> Option.iter (fun e -> ignore (walk_expr chain e)) e
+    | Ast.Var_decl ds ->
+      List.iter
+        (fun (n, init) ->
+           match init with
+           | Some e ->
+             let vf = walk_expr chain e in
+             add_def chain n (Dexpr (cur chain, e, vf));
+             note_write chain n
+           | None -> ())
+        ds
+    | Ast.If (c, th, el) ->
+      ignore (walk_expr chain c);
+      walk_stmt chain th;
+      Option.iter (walk_stmt chain) el
+    | Ast.While (_, c, b) ->
+      ignore (walk_expr chain c);
+      walk_stmt chain b
+    | Ast.Do_while (_, b, c) ->
+      walk_stmt chain b;
+      ignore (walk_expr chain c)
+    | Ast.For (_, init, c, u, b) ->
+      (match init with
+       | None -> ()
+       | Some (Ast.Init_var ds) ->
+         List.iter
+           (fun (n, ie) ->
+              match ie with
+              | Some e ->
+                let vf = walk_expr chain e in
+                add_def chain n (Dexpr (cur chain, e, vf));
+                note_write chain n
+              | None -> ())
+           ds
+       | Some (Ast.Init_expr e) -> ignore (walk_expr chain e));
+      Option.iter (fun e -> ignore (walk_expr chain e)) c;
+      Option.iter (fun e -> ignore (walk_expr chain e)) u;
+      walk_stmt chain b
+    | Ast.For_in (_, binder, obj, b) ->
+      let n =
+        match binder with Ast.Binder_var n | Ast.Binder_ident n -> n
+      in
+      add_def chain n Dunknown;
+      note_write chain n;
+      ignore (walk_expr chain obj);
+      walk_stmt chain b
+    | Ast.Try (b, catch, fin) ->
+      List.iter (walk_stmt chain) b;
+      Option.iter
+        (fun (p, cb) ->
+           add_def chain p Dunknown;
+           List.iter (walk_stmt chain) cb)
+        catch;
+      Option.iter (List.iter (walk_stmt chain)) fin
+    | Ast.Block b -> List.iter (walk_stmt chain) b
+    | Ast.Func_decl f ->
+      let fid = walk_func ~fname:f.fname ~parent:(Some (cur chain)) f chain in
+      (match f.fname with
+       | Some n ->
+         add_def chain n
+           (Dexpr (cur chain, Ast.mk (Ast.Function_expr f), Some fid));
+         note_write chain n
+       | None -> ())
+    | Ast.Switch (scr, cases) ->
+      ignore (walk_expr chain scr);
+      List.iter
+        (fun (g, body) ->
+           Option.iter (fun e -> ignore (walk_expr chain e)) g;
+           List.iter (walk_stmt chain) body)
+        cases
+    | Ast.Labeled (_, b) -> walk_stmt chain b
+  and walk_expr chain (e : Ast.expr) : fid option =
+    match e.e with
+    | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+    | Ast.This ->
+      None
+    | Ast.Ident x ->
+      note_read chain x;
+      None
+    | Ast.Array_lit es ->
+      List.iter (fun e -> ignore (walk_expr chain e)) es;
+      None
+    | Ast.Object_lit props ->
+      List.iter
+        (fun (p, v) ->
+           match walk_expr chain v with
+           | Some vf -> push t_props p vf
+           | None -> ())
+        props;
+      None
+    | Ast.Function_expr f ->
+      Some (walk_func ~fname:f.fname ~parent:(Some (cur chain)) f chain)
+    | Ast.Member (o, _) ->
+      ignore (walk_expr chain o);
+      None
+    | Ast.Index (o, i) ->
+      ignore (walk_expr chain o);
+      ignore (walk_expr chain i);
+      None
+    | Ast.Call (callee, args) ->
+      let arg_fids = List.map (fun a -> (a, walk_expr chain a)) args in
+      (match callee.e with
+       | Ast.Ident f ->
+         note_read chain f;
+         push t_calls (resolve_chain chain f) (cur chain, arg_fids)
+       | _ -> ignore (walk_expr chain callee));
+      None
+    | Ast.New (callee, args) ->
+      let arg_fids = List.map (fun a -> (a, walk_expr chain a)) args in
+      (match callee.e with
+       | Ast.Ident f ->
+         note_read chain f;
+         push t_calls (resolve_chain chain f) (cur chain, arg_fids)
+       | _ -> ignore (walk_expr chain callee));
+      None
+    | Ast.Unop (Ast.Delete, { e = Ast.Ident x; _ }) ->
+      add_def chain x Dunknown;
+      note_write chain x;
+      None
+    | Ast.Unop (_, o) ->
+      ignore (walk_expr chain o);
+      None
+    | Ast.Binop (_, l, r) | Ast.Logical (_, l, r) | Ast.Seq (l, r) ->
+      ignore (walk_expr chain l);
+      ignore (walk_expr chain r);
+      None
+    | Ast.Cond (c, th, el) ->
+      ignore (walk_expr chain c);
+      ignore (walk_expr chain th);
+      ignore (walk_expr chain el);
+      None
+    | Ast.Assign (tgt, op, rhs) ->
+      (match tgt with
+       | Ast.Tgt_ident n ->
+         if op <> None then note_read chain n;
+         let vf = walk_expr chain rhs in
+         add_def chain n (Dexpr (cur chain, rhs, vf));
+         note_write chain n
+       | Ast.Tgt_member (o, p) ->
+         ignore (walk_expr chain o);
+         (match walk_expr chain rhs with
+          | Some vf -> push t_props p vf
+          | None -> ())
+       | Ast.Tgt_index (o, i) ->
+         ignore (walk_expr chain o);
+         ignore (walk_expr chain i);
+         ignore (walk_expr chain rhs));
+      None
+    | Ast.Update (_, _, tgt) ->
+      (match tgt with
+       | Ast.Tgt_ident n ->
+         note_read chain n;
+         note_write chain n;
+         add_def chain n Dunknown
+       | Ast.Tgt_member (o, _) -> ignore (walk_expr chain o)
+       | Ast.Tgt_index (o, i) ->
+         ignore (walk_expr chain o);
+         ignore (walk_expr chain i));
+      None
+    | Ast.Intrinsic (_, args) ->
+      List.iter (fun a -> ignore (walk_expr chain a)) args;
+      None
+  in
+  let top_locals = hoisted p.stmts in
+  let top =
+    { fid = 0;
+      fname = None;
+      params = [];
+      parent = None;
+      locals = top_locals;
+      body = p.stmts;
+      line = 0 }
+  in
+  next := 1;
+  funcs := [ top ];
+  let chain = [ (0, top_locals) ] in
+  List.iter (walk_stmt chain) p.stmts;
+  let arr = Array.make !next top in
+  List.iter (fun (f : func_rec) -> arr.(f.fid) <- f) !funcs;
+  { funcs = arr;
+    defs = t_defs;
+    calls = t_calls;
+    prop_funcs = t_props;
+    direct_global_reads = t_greads;
+    direct_global_writes = t_gwrites;
+    sites_memo = Hashtbl.create 32 }
+
+(* ------------------------------------------------------------------ *)
+
+let functions t = Array.to_list t.funcs
+let func t fid = t.funcs.(fid)
+let resolve = resolve_in
+
+type binding = Local | Captured of fid | Global
+
+let classify t fid name =
+  match resolve_in t fid name with
+  | Rglobal _ -> Global
+  | Rlocal (owner, _) -> if owner = fid then Local else Captured owner
+
+(* Free names of a function that are bound by an enclosing function
+   frame: its closure captures. *)
+let captures t fid : (string * fid) list =
+  let fr = t.funcs.(fid) in
+  let acc = ref SM.empty in
+  (* Scan identifier occurrences of [fid]'s own body (excluding nested
+     functions, which report their own captures) and classify each. *)
+  let rec stmt (st : Ast.stmt) =
+    match st.s with
+    | Ast.Expr_stmt e | Ast.Throw e -> expr e
+    | Ast.Return e -> Option.iter expr e
+    | Ast.Var_decl ds -> List.iter (fun (_, i) -> Option.iter expr i) ds
+    | Ast.If (c, t, e) ->
+      expr c;
+      stmt t;
+      Option.iter stmt e
+    | Ast.While (_, c, b) | Ast.Do_while (_, b, c) ->
+      expr c;
+      stmt b
+    | Ast.For (_, init, c, u, b) ->
+      (match init with
+       | Some (Ast.Init_var ds) ->
+         List.iter (fun (_, i) -> Option.iter expr i) ds
+       | Some (Ast.Init_expr e) -> expr e
+       | None -> ());
+      Option.iter expr c;
+      Option.iter expr u;
+      stmt b
+    | Ast.For_in (_, _, o, b) ->
+      expr o;
+      stmt b
+    | Ast.Try (b, c, f) ->
+      List.iter stmt b;
+      Option.iter (fun (_, cb) -> List.iter stmt cb) c;
+      Option.iter (List.iter stmt) f
+    | Ast.Block b -> List.iter stmt b
+    | Ast.Switch (s, cases) ->
+      expr s;
+      List.iter
+        (fun (g, body) ->
+           Option.iter expr g;
+           List.iter stmt body)
+        cases
+    | Ast.Labeled (_, b) -> stmt b
+    | Ast.Func_decl _ | Ast.Empty | Ast.Break _ | Ast.Continue _ -> ()
+  and expr (e : Ast.expr) =
+    match e.e with
+    | Ast.Ident x -> (
+        match classify t fid x with
+        | Captured owner -> acc := SM.add x owner !acc
+        | _ -> ())
+    | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+    | Ast.This | Ast.Function_expr _ ->
+      ()
+    | Ast.Array_lit es -> List.iter expr es
+    | Ast.Object_lit ps -> List.iter (fun (_, v) -> expr v) ps
+    | Ast.Member (o, _) -> expr o
+    | Ast.Index (o, i) ->
+      expr o;
+      expr i
+    | Ast.Call (c, args) | Ast.New (c, args) ->
+      expr c;
+      List.iter expr args
+    | Ast.Unop (_, o) -> expr o
+    | Ast.Binop (_, l, r) | Ast.Logical (_, l, r) | Ast.Seq (l, r) ->
+      expr l;
+      expr r
+    | Ast.Cond (c, th, el) ->
+      expr c;
+      expr th;
+      expr el
+    | Ast.Assign (tgt, _, rhs) ->
+      target tgt;
+      expr rhs
+    | Ast.Update (_, _, tgt) -> target tgt
+    | Ast.Intrinsic (_, args) -> List.iter expr args
+  and target = function
+    | Ast.Tgt_ident x -> (
+        match classify t fid x with
+        | Captured owner -> acc := SM.add x owner !acc
+        | _ -> ())
+    | Ast.Tgt_member (o, _) -> expr o
+    | Ast.Tgt_index (o, i) ->
+      expr o;
+      expr i
+  in
+  List.iter stmt fr.body;
+  SM.bindings !acc
+
+let global_reads t fid =
+  match Hashtbl.find_opt t.direct_global_reads fid with
+  | Some s -> SS.elements s
+  | None -> []
+
+let global_writes t fid =
+  match Hashtbl.find_opt t.direct_global_writes fid with
+  | Some s -> SS.elements s
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Definitions, call-site parameter binding, function candidates. *)
+
+let is_param t = function
+  | Rlocal (fid, n) -> List.mem n t.funcs.(fid).params
+  | Rglobal _ -> false
+
+let rec param_index n = function
+  | [] -> None
+  | p :: rest -> if String.equal p n then Some 0
+    else Option.map succ (param_index n rest)
+
+(* Which functions can a root be bound to? Direct function defs only
+   (declarations, function-expression initialisers and assignments). *)
+let funcs_of_defs defs =
+  List.filter_map (function Dexpr (_, _, Some f) -> Some f | _ -> None) defs
+  |> List.sort_uniq compare
+
+let direct_defs t root =
+  match Hashtbl.find_opt t.defs root with Some l -> List.rev l | None -> []
+
+(* Roots that a given function is bound to (for call-site discovery). *)
+let roots_of_func t fid : root list =
+  Hashtbl.fold
+    (fun root defs acc ->
+       if List.exists (function Dexpr (_, _, Some f) -> f = fid | _ -> false)
+            defs
+       then root :: acc
+       else acc)
+    t.defs []
+
+let call_sites t root =
+  match Hashtbl.find_opt t.calls root with Some l -> List.rev l | None -> []
+
+(* All definitions reaching a binding. For parameters these are the
+   matching arguments of every discovered call site of every function
+   the parameter's frame may be bound to; an uncallable or
+   partially-applied site contributes [Dunknown]. *)
+let defs_of t root : def list =
+  if not (is_param t root) then
+    match direct_defs t root with [] -> [ Dunknown ] | l -> l
+  else
+    match root with
+    | Rglobal _ -> [ Dunknown ]
+    | Rlocal (fid, n) -> (
+        match param_index n t.funcs.(fid).params with
+        | None -> [ Dunknown ]
+        | Some k ->
+          let sites =
+            roots_of_func t fid
+            |> List.concat_map (fun r -> call_sites t r)
+          in
+          if sites = [] then [ Dunknown ]
+          else
+            List.map
+              (fun (caller, args) ->
+                 match List.nth_opt args k with
+                 | Some (e, vf) -> Dexpr (caller, e, vf)
+                 | None -> Dunknown)
+              sites)
+
+let funcs_of_root t root = funcs_of_defs (defs_of t root)
+
+let prop_funcs t name =
+  match Hashtbl.find_opt t.prop_funcs name with
+  | Some l -> List.sort_uniq compare l
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-site sets: the alias oracle.
+
+   A root is *alias-isolated* when every definition that can reach it
+   is a fresh allocation (literal, [new], a copying builtin like
+   [slice]/[getImageData], or the [.data] buffer of such a fresh host
+   object). Each allocation occurrence gets a stable site key derived
+   from its source position; two isolated roots may alias iff their
+   site sets intersect (e.g. two reads of the same [img.data]).
+   Anything assigned from another variable, a parameter with unknown
+   call sites, or an arbitrary expression is not isolated and is
+   assumed to alias everything. *)
+
+let fresh_method = function
+  | "slice" | "concat" | "splice" | "split" | "map" | "filter"
+  | "getImageData" | "createImageData" ->
+    true
+  | _ -> false
+
+let site_key (e : Ast.expr) suffix =
+  Printf.sprintf "%d:%d%s" e.at.left.line e.at.left.col suffix
+
+let alloc_sites t root : string list option =
+  let memo = t.sites_memo in
+  let visiting = Hashtbl.create 8 in
+  let rec of_root root =
+    match Hashtbl.find_opt memo root with
+    | Some r -> r
+    | None ->
+      if Hashtbl.mem visiting root then None
+      else begin
+        Hashtbl.replace visiting root ();
+        let r =
+          defs_of t root
+          |> List.fold_left
+               (fun acc d ->
+                  match (acc, d) with
+                  | None, _ -> None
+                  | _, Dunknown -> None
+                  | Some sites, Dexpr (fid, e, _) -> (
+                      match of_expr fid e with
+                      | Some s -> Some (List.rev_append s sites)
+                      | None -> None))
+               (Some [])
+          |> Option.map (List.sort_uniq String.compare)
+        in
+        Hashtbl.remove visiting root;
+        Hashtbl.replace memo root r;
+        r
+      end
+  and of_expr fid (e : Ast.expr) =
+    match e.e with
+    | Ast.Array_lit _ | Ast.Object_lit _ | Ast.New _ | Ast.Function_expr _ ->
+      Some [ site_key e "" ]
+    | Ast.Call ({ e = Ast.Member (_, m); _ }, _) when fresh_method m ->
+      Some [ site_key e "" ]
+    | Ast.Member (b, p) -> (
+        (* e.g. [img.data]: same buffer for every read of the same
+           [img], so derive the site from the base's sites. *)
+        match of_expr fid b with
+        | Some sites -> Some (List.map (fun s -> s ^ "." ^ p) sites)
+        | None -> None)
+    | Ast.Ident x -> of_root (resolve_in t fid x)
+    | _ -> None
+  in
+  of_root root
+
+let may_alias t r1 r2 =
+  if root_compare r1 r2 = 0 then true
+  else
+    match (alloc_sites t r1, alloc_sites t r2) with
+    | Some s1, Some s2 -> List.exists (fun s -> List.mem s s2) s1
+    | _ -> true

@@ -1,0 +1,311 @@
+(* Affine subscript analysis (stage 3 support).
+
+   Parses subscript expressions into symbolic linear forms ({!Lin}),
+   extracts induction descriptions from [for] headers and iteration
+   extents from inner counted loops, and decides whether the element
+   footprint a loop iteration touches on a given array is provably
+   disjoint from every other iteration's.
+
+   The disjointness test is the classic stride-vs-spread argument,
+   kept symbolic: with all accesses of a root written by the loop
+   affine in the analyzed induction variable with a common coefficient
+   [A], the per-iteration footprint lies in an interval of width
+   [spread] that slides by [stride = A*step] each iteration; the
+   footprints are pairwise disjoint when [|stride| - spread >= 1],
+   where the difference must *cancel to an integer constant* (that is
+   how [4*W] stride beats a [4*W - 1] spread in an RGBA kernel
+   regardless of the runtime width; when inner extents are empty the
+   claim holds vacuously because no access executes). *)
+
+open Jsir
+
+type induction = {
+  ivar : string;
+  lower : Lin.t option; (* initial value, when affine *)
+  step : int; (* constant signed step per iteration *)
+  upper : (Lin.t * bool) option; (* bound and strictness, from i<e / i<=e *)
+  span_line : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression -> linear form. [subst] supplies forms for local names
+   proven single-assignment in the loop body; unknown names become
+   atoms (the caller later checks every residual atom is invariant). *)
+
+let rec lin_of ~(subst : string -> Lin.t option) (e : Ast.expr) :
+  Lin.t option =
+  match e.e with
+  | Ast.Number f ->
+    if Float.is_integer f && Float.abs f <= 1e9 then
+      Some (Lin.const (int_of_float f))
+    else None
+  | Ast.Ident x -> (
+      match subst x with Some l -> Some l | None -> Some (Lin.var x))
+  | Ast.Binop (Ast.Add, a, b) -> (
+      match (lin_of ~subst a, lin_of ~subst b) with
+      | Some la, Some lb -> Some (Lin.add la lb)
+      | _ -> None)
+  | Ast.Binop (Ast.Sub, a, b) -> (
+      match (lin_of ~subst a, lin_of ~subst b) with
+      | Some la, Some lb -> Some (Lin.sub la lb)
+      | _ -> None)
+  | Ast.Binop (Ast.Mul, a, b) -> (
+      match (lin_of ~subst a, lin_of ~subst b) with
+      | Some la, Some lb -> Lin.mul la lb
+      | _ -> None)
+  | Ast.Unop (Ast.Neg, a) -> Option.map Lin.neg (lin_of ~subst a)
+  | Ast.Unop (Ast.Positive, a) -> lin_of ~subst a
+  | Ast.Seq (_, r) -> lin_of ~subst r
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Induction recognition from a [for] header. *)
+
+let const_of (e : Ast.expr) =
+  match e.e with
+  | Ast.Number f when Float.is_integer f && Float.abs f <= 1e9 ->
+    Some (int_of_float f)
+  | _ -> None
+
+(* The update gives us the variable and the step. *)
+let step_of (u : Ast.expr) : (string * int) option =
+  match u.e with
+  | Ast.Update (Ast.Incr, _, Ast.Tgt_ident x) -> Some (x, 1)
+  | Ast.Update (Ast.Decr, _, Ast.Tgt_ident x) -> Some (x, -1)
+  | Ast.Assign (Ast.Tgt_ident x, Some Ast.Add, e) ->
+    Option.map (fun c -> (x, c)) (const_of e)
+  | Ast.Assign (Ast.Tgt_ident x, Some Ast.Sub, e) ->
+    Option.map (fun c -> (x, -c)) (const_of e)
+  | Ast.Assign
+      (Ast.Tgt_ident x, None, { e = Ast.Binop (Ast.Add, l, r); _ }) -> (
+      match (l.e, const_of r, const_of l) with
+      | Ast.Ident y, Some c, _ when String.equal x y -> Some (x, c)
+      | _, _, Some c -> (
+          match r.e with
+          | Ast.Ident y when String.equal x y -> Some (x, c)
+          | _ -> None)
+      | _ -> None)
+  | Ast.Assign
+      (Ast.Tgt_ident x, None, { e = Ast.Binop (Ast.Sub, l, r); _ }) -> (
+      match (l.e, const_of r) with
+      | Ast.Ident y, Some c when String.equal x y -> Some (x, -c)
+      | _ -> None)
+  | _ -> None
+
+let bound_of ~ivar ~step (c : Ast.expr) ~subst : (Lin.t * bool) option =
+  let lin e = lin_of ~subst e in
+  match c.e with
+  | Ast.Binop (op, { e = Ast.Ident x; _ }, e) when String.equal x ivar -> (
+      match (op, step > 0) with
+      | Ast.Lt, true -> Option.map (fun l -> (l, true)) (lin e)
+      | Ast.Le, true -> Option.map (fun l -> (l, false)) (lin e)
+      | Ast.Gt, false -> Option.map (fun l -> (l, true)) (lin e)
+      | Ast.Ge, false -> Option.map (fun l -> (l, false)) (lin e)
+      | _ -> None)
+  | Ast.Binop (op, e, { e = Ast.Ident x; _ }) when String.equal x ivar -> (
+      (* e < i  ==  i > e *)
+      match (op, step > 0) with
+      | Ast.Gt, true -> Option.map (fun l -> (l, true)) (lin e)
+      | Ast.Ge, true -> Option.map (fun l -> (l, false)) (lin e)
+      | Ast.Lt, false -> Option.map (fun l -> (l, true)) (lin e)
+      | Ast.Le, false -> Option.map (fun l -> (l, false)) (lin e)
+      | _ -> None)
+  | _ -> None
+
+let induction_of_for ?(subst = fun (_ : string) -> None)
+    (init : Ast.for_init option) (cond : Ast.expr option)
+    (update : Ast.expr option) ~(line : int) : induction option =
+  match Option.bind update step_of with
+  | None -> None
+  | Some (ivar, step) ->
+    if step = 0 then None
+    else
+      let lower =
+        match init with
+        | Some (Ast.Init_var decls) ->
+          List.find_map
+            (fun (n, i) ->
+               if String.equal n ivar then Option.bind i (lin_of ~subst)
+               else None)
+            decls
+        | Some (Ast.Init_expr { e = Ast.Assign (Ast.Tgt_ident x, None, e); _ })
+          when String.equal x ivar ->
+          lin_of ~subst e
+        | _ -> None
+      in
+      let upper = Option.bind cond (bound_of ~ivar ~step ~subst) in
+      Some { ivar; lower; step; upper; span_line = line }
+
+(* Inclusive value range of a counted inner loop, for footprint
+   expansion. Requires a known affine lower bound, a positive constant
+   step and an upper bound; with step s > 0 and bound U, [U - 1]
+   (strict) or [U] (inclusive) over-approximates the maximum value
+   soundly for any s. *)
+let extent_of (ind : induction) : (Lin.t * Lin.t) option =
+  match (ind.lower, ind.upper) with
+  | Some lo, Some (u, strict) when ind.step > 0 ->
+    Some (lo, if strict then Lin.sub u (Lin.const 1) else u)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Footprint disjointness. *)
+
+type access = { sub : Lin.t; line : int }
+
+type footprint_result =
+  | Disjoint
+  | Same_slot of int (* all accesses hit one slot per iteration: line *)
+  | Unproven of string * int
+
+(* Substitute an inner induction variable by its [lo, hi] range inside
+   an interval pair, keeping soundness: positive coefficients pull
+   [lo] into the lower end and [hi] into the upper, negative ones the
+   reverse. The coefficient must be an integer constant. *)
+let expand_var v (lo_v, hi_v) (lo, hi) =
+  let expand_end ~is_lo l =
+    match Lin.split v l with
+    | None -> None
+    | Some (coeff, rest) -> (
+        match Lin.is_const coeff with
+        | None -> None
+        | Some 0 -> Some rest
+        | Some c ->
+          let pick = if (c > 0) = is_lo then lo_v else hi_v in
+          Some (Lin.add rest (Lin.scale c pick)))
+  in
+  match (expand_end ~is_lo:true lo, expand_end ~is_lo:false hi) with
+  | Some lo', Some hi' -> Some (lo', hi')
+  | _ -> None
+
+let check ~(ivar : string) ~(step : int)
+    ~(inner : (string * (Lin.t * Lin.t)) list)
+    ~(invariant : string -> bool) ~(accesses : access list) :
+  footprint_result =
+  match accesses with
+  | [] -> Disjoint
+  | first :: _ -> (
+      let inner_names = List.map fst inner in
+      (* Per access: split the analyzed induction variable out, then
+         expand inner induction variables into interval ends. *)
+      let prepared =
+        List.map
+          (fun (a : access) ->
+             match Lin.split ivar a.sub with
+             | None -> Error ("non-linear use of " ^ ivar, a.line)
+             | Some (coeff_a, rest) ->
+               if
+                 List.exists
+                   (fun v -> Lin.mentions v coeff_a)
+                   inner_names
+               then
+                 Error
+                   ( "induction coefficient varies with an inner loop",
+                     a.line )
+               else
+                 let interval =
+                   List.fold_left
+                     (fun acc (v, range) ->
+                        match acc with
+                        | None -> None
+                        | Some iv -> expand_var v range iv)
+                     (Some (rest, rest))
+                     inner
+                 in
+                 (match interval with
+                  | None ->
+                    Error ("inner extent not expandable", a.line)
+                  | Some (lo, hi) ->
+                    (* every residual name must be loop-invariant *)
+                    let residual =
+                      List.sort_uniq String.compare
+                        (Lin.vars coeff_a @ Lin.vars lo @ Lin.vars hi)
+                    in
+                    (match
+                       List.find_opt (fun v -> not (invariant v)) residual
+                     with
+                     | Some v ->
+                       Error ("subscript depends on loop-varying " ^ v,
+                              a.line)
+                     | None -> Ok (coeff_a, lo, hi, a.line))))
+          accesses
+      in
+      match
+        List.find_map
+          (function Error e -> Some e | Ok _ -> None)
+          prepared
+      with
+      | Some (why, line) -> Unproven (why, line)
+      | None -> (
+          let oks =
+            List.filter_map
+              (function Ok x -> Some x | Error _ -> None)
+              prepared
+          in
+          let a0, _, _, _ = List.hd oks in
+          if
+            not
+              (List.for_all (fun (a, _, _, _) -> Lin.equal a a0) oks)
+          then
+            Unproven
+              ("accesses advance at different rates in the induction",
+               first.line)
+          else if Lin.is_zero a0 then Same_slot first.line
+          else
+            (* common symbolic part of the interval ends, extremal
+               constant offsets *)
+            let lo_syms =
+              List.map (fun (_, lo, _, _) -> Lin.drop_const lo) oks
+            and hi_syms =
+              List.map (fun (_, _, hi, _) -> Lin.drop_const hi) oks
+            in
+            let lo0 = List.hd lo_syms and hi0 = List.hd hi_syms in
+            if
+              not
+                (List.for_all (Lin.equal lo0) lo_syms
+                 && List.for_all (Lin.equal hi0) hi_syms)
+            then
+              Unproven
+                ("footprint ends differ symbolically across accesses",
+                 first.line)
+            else
+              let lo_min =
+                List.fold_left
+                  (fun m (_, lo, _, _) -> min m (Lin.const_part lo))
+                  max_int oks
+              and hi_max =
+                List.fold_left
+                  (fun m (_, _, hi, _) -> max m (Lin.const_part hi))
+                  min_int oks
+              in
+              let spread =
+                Lin.add
+                  (Lin.sub hi0 lo0)
+                  (Lin.const (hi_max - lo_min))
+              in
+              let stride = Lin.scale step a0 in
+              let fits d =
+                match Lin.is_const d with
+                | Some c when c >= 1 -> true
+                | _ -> false
+              in
+              if
+                fits (Lin.sub stride spread)
+                || fits (Lin.sub (Lin.neg stride) spread)
+              then Disjoint
+              else
+                Unproven
+                  ( Printf.sprintf
+                      "stride %s does not clear footprint spread %s"
+                      (Lin.to_string stride) (Lin.to_string spread),
+                    first.line )))
+
+(* For-in loops: the binder enumerates *distinct* keys, so a root is
+   safe exactly when every access indexes it by the binder alone. *)
+let check_for_in ~(binder : string) ~(accesses : access list) :
+  footprint_result =
+  let key = Lin.var binder in
+  match
+    List.find_opt (fun (a : access) -> not (Lin.equal a.sub key)) accesses
+  with
+  | None -> Disjoint
+  | Some a -> Unproven ("subscript is not the for-in key", a.line)

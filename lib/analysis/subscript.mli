@@ -1,0 +1,57 @@
+(** Affine subscript analysis: linear forms of subscript expressions,
+    induction recognition for [for] headers, and the symbolic
+    stride-vs-spread footprint disjointness proof. *)
+
+open Jsir
+
+type induction = {
+  ivar : string;
+  lower : Lin.t option;  (** initial value, when affine *)
+  step : int;  (** constant signed step per iteration *)
+  upper : (Lin.t * bool) option;  (** bound and strictness *)
+  span_line : int;
+}
+
+val lin_of : subst:(string -> Lin.t option) -> Ast.expr -> Lin.t option
+(** Normalise an expression into a linear combination of names;
+    [subst] supplies forms for names proven single-assignment in the
+    loop body. [None] when not (integer-)affine. *)
+
+val induction_of_for :
+  ?subst:(string -> Lin.t option) ->
+  Ast.for_init option ->
+  Ast.expr option ->
+  Ast.expr option ->
+  line:int ->
+  induction option
+(** Recognise [for (i = e0; i </<=/>/>= e1; i += c)] and friends. *)
+
+val extent_of : induction -> (Lin.t * Lin.t) option
+(** Inclusive value range of a counted inner loop (requires known
+    lower bound, positive constant step, and an upper bound). *)
+
+type access = { sub : Lin.t; line : int }
+
+type footprint_result =
+  | Disjoint
+  | Same_slot of int
+      (** accesses hit a single slot every iteration — a carried
+          dependence when the root is written *)
+  | Unproven of string * int
+
+val check :
+  ivar:string ->
+  step:int ->
+  inner:(string * (Lin.t * Lin.t)) list ->
+  invariant:(string -> bool) ->
+  accesses:access list ->
+  footprint_result
+(** Are per-iteration footprints over these accesses pairwise
+    disjoint across iterations of the [ivar] loop? [inner] gives the
+    value ranges of inner counted loops to expand away; [invariant]
+    must hold of every residual name. *)
+
+val check_for_in :
+  binder:string -> accesses:access list -> footprint_result
+(** A for-in root is disjoint iff every access indexes by the binder
+    alone (distinct keys). *)

@@ -1,0 +1,86 @@
+(* Per-loop verdict of the static parallelizability analysis.
+
+   The lattice runs Parallel < Reduction < Needs_runtime_check <
+   Sequential: each step weakens the static claim. [Parallel] and
+   [Reduction] are *proofs* (valid for every execution, so the dynamic
+   analyzer may never observe a carried triple on such a loop);
+   [Needs_runtime_check] means the analysis was inconclusive and
+   runtime speculation must decide; [Sequential] is a demonstrated
+   loop-carried dependence or I/O, with the offending accesses. *)
+
+type dep = { what : string; line : int }
+type reason = { why : string; line : int }
+
+type t =
+  | Parallel
+  | Reduction of string list (* accumulator variables, sorted *)
+  | Needs_runtime_check of reason list
+  | Sequential of dep list
+
+let kind_name = function
+  | Parallel -> "parallel"
+  | Reduction _ -> "reduction"
+  | Needs_runtime_check _ -> "needs-runtime-check"
+  | Sequential _ -> "sequential"
+
+let is_proven = function
+  | Parallel | Reduction _ -> true
+  | Needs_runtime_check _ | Sequential _ -> false
+
+let dedup_sorted details =
+  List.sort_uniq compare details
+
+let to_string = function
+  | Parallel -> "parallel"
+  | Reduction accs -> Printf.sprintf "reduction(%s)" (String.concat ", " accs)
+  | Needs_runtime_check rs ->
+    Printf.sprintf "needs-runtime-check: %s"
+      (String.concat "; "
+         (List.map
+            (fun (r : reason) -> Printf.sprintf "%s (line %d)" r.why r.line)
+            (dedup_sorted rs)))
+  | Sequential ds ->
+    Printf.sprintf "sequential: %s"
+      (String.concat "; "
+         (List.map
+            (fun (d : dep) -> Printf.sprintf "%s (line %d)" d.what d.line)
+            (dedup_sorted ds)))
+
+(* Minimal JSON string escaping: the strings we render are identifier
+   lists and fixed English phrases, but source fragments could carry
+   quotes or backslashes. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let details_to_json (pairs : (string * int) list) =
+  pairs
+  |> List.map (fun (text, line) ->
+      Printf.sprintf "{\"text\":\"%s\",\"line\":%d}" (json_escape text) line)
+  |> String.concat ","
+
+let to_json = function
+  | Parallel -> "{\"verdict\":\"parallel\"}"
+  | Reduction accs ->
+    Printf.sprintf "{\"verdict\":\"reduction\",\"accumulators\":[%s]}"
+      (String.concat ","
+         (List.map (fun a -> Printf.sprintf "\"%s\"" (json_escape a)) accs))
+  | Needs_runtime_check rs ->
+    Printf.sprintf "{\"verdict\":\"needs-runtime-check\",\"reasons\":[%s]}"
+      (details_to_json
+         (List.map (fun (r : reason) -> (r.why, r.line)) (dedup_sorted rs)))
+  | Sequential ds ->
+    Printf.sprintf "{\"verdict\":\"sequential\",\"deps\":[%s]}"
+      (details_to_json
+         (List.map (fun (d : dep) -> (d.what, d.line)) (dedup_sorted ds)))

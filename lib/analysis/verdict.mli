@@ -1,0 +1,27 @@
+(** Per-loop verdict of the static parallelizability analysis.
+
+    The lattice runs [Parallel < Reduction < Needs_runtime_check <
+    Sequential]; the first two are proofs valid for every execution
+    (soundness: the dynamic analyzer may never observe an
+    iteration-carried triple on such a loop), the third is an honest
+    "inconclusive, speculate at runtime", the last a demonstrated
+    dependence or I/O. *)
+
+type dep = { what : string; line : int }
+type reason = { why : string; line : int }
+
+type t =
+  | Parallel
+  | Reduction of string list  (** accumulator variables, sorted *)
+  | Needs_runtime_check of reason list
+  | Sequential of dep list
+
+val kind_name : t -> string
+(** ["parallel" | "reduction" | "needs-runtime-check" | "sequential"] *)
+
+val is_proven : t -> bool
+(** [Parallel] and [Reduction] only. *)
+
+val to_string : t -> string
+val to_json : t -> string
+val json_escape : string -> string

@@ -233,20 +233,32 @@ let on_var_write ?(induction = false) ?(accum = false) t ~name ~owner_sid
          l] right after [x = e] in the same iteration is still a plain
          temporary write. *)
       let key = (Option.value ~default:(-1) owner_sid, name) in
-      let cross_iteration_read =
-        accum
-        &&
-        match Hashtbl.find_opt t.var_snaps key with
-        | None -> false
-        | Some snap ->
-          Triple.iteration_carrier (characterize_against t snap) <> None
+      let accum_carrier =
+        if not accum then None
+        else
+          match Hashtbl.find_opt t.var_snaps key with
+          | None -> None
+          | Some snap ->
+            Triple.iteration_carrier (characterize_against t snap)
       in
       let kind =
         if induction then Induction_write name
-        else if cross_iteration_read then Var_accum name
+        else if accum_carrier <> None then Var_accum name
         else Var_write name
       in
-      add_warning t kind line c (Triple.sharing_carrier c)
+      (* An accumulation is carried by the loop whose iterations the
+         folded-over value actually flows across (the last-write
+         diff), which may be an inner loop of the outermost shared
+         level: [var v; for { v = 0; while { v += e } }] accumulates
+         across the [while]'s iterations only — the [for]'s
+         iterations each start from their own reset. Plain shared
+         writes keep the outermost shared level as carrier. *)
+      let carrier =
+        match accum_carrier with
+        | Some _ as it -> it
+        | None -> Triple.sharing_carrier c
+      in
+      add_warning t kind line c carrier
     end;
     let key = (Option.value ~default:(-1) owner_sid, name) in
     Hashtbl.replace t.var_snaps key
@@ -385,15 +397,7 @@ let warnings t =
   |> List.sort (fun ((a : warning), _) (b, _) ->
       compare (a.line, a.kind) (b.line, b.kind))
 
-let in_nest t ~root id =
-  let rec up i =
-    if i = root then true
-    else
-      match (Jsir.Loops.find t.infos i).parent with
-      | Some p -> up p
-      | None -> false
-  in
-  up id
+let in_nest t ~root id = Jsir.Loops.in_nest t.infos ~root id
 
 (* Warnings whose innermost characterized level belongs to the loop
    nest rooted at [root] (per the static index) — the report view. *)

@@ -147,3 +147,18 @@ let roots infos =
 let children infos id =
   Array.to_list infos
   |> List.filter (fun (info : info) -> info.parent = Some id)
+
+let in_nest infos ~root id =
+  let rec up i =
+    if i = root then true
+    else
+      match (find infos i : info).parent with
+      | Some p -> up p
+      | None -> false
+  in
+  up id
+
+let descendants infos id =
+  Array.to_list infos
+  |> List.filter_map (fun (info : info) ->
+      if in_nest infos ~root:id info.id then Some info.id else None)

@@ -34,3 +34,11 @@ val roots : info array -> info list
 
 val children : info array -> Ast.loop_id -> info list
 (** Loops whose syntactic parent is the given loop. *)
+
+val in_nest : info array -> root:Ast.loop_id -> Ast.loop_id -> bool
+(** Whether a loop belongs to the nest rooted at [root], i.e. is
+    [root] itself or a transitive syntactic descendant of it. *)
+
+val descendants : info array -> Ast.loop_id -> Ast.loop_id list
+(** All loop ids of the nest rooted at the given loop (the loop
+    itself included), in id order. *)

@@ -123,48 +123,90 @@ let abort_of_exn context = function
              iteration body)"))
   | exn -> Aborted (Runtime_error (context ^ ": " ^ Printexc.to_string exn))
 
-let run ?(domains = Domain.recommended_domain_count ()) ?budget ~setup_src
-    ~iter_src ~lo ~hi () : outcome =
-  match validate ?budget ~setup_src ~iter_src ~lo ~hi () with
-  | exception Failure msg -> Aborted (Runtime_error msg)
-  | exception exn -> abort_of_exn "validation" exn
-  | carried, dom ->
-    if carried <> [] then Aborted (Carried_dependence carried)
-    else if dom > 0 then Aborted (Dom_access dom)
-    else begin
-      (* Share-nothing parallel replay: one interpreter per slice. *)
-      let domains = max 1 domains in
-      let span = hi - lo in
-      let slice = (span + domains - 1) / max 1 domains in
-      let partials = Array.make domains 0. in
-      let slices =
-        List.init domains (fun d ->
-            let slo = lo + (d * slice) in
-            let shi = min hi (slo + slice) in
-            (d, slo, shi))
-        |> List.filter (fun (_, slo, shi) -> shi > slo)
-      in
-      let run_slice (d, slo, shi) =
-        partials.(d) <-
-          run_sequential ?budget ~setup_src ~iter_src ~lo:slo ~hi:shi ()
-      in
-      (* The replay runs on the work-stealing pool rather than raw
-         [Domain.spawn]s, so speculation inherits the pool's dynamic
-         load balancing and its scheduling telemetry. *)
-      match
-        (match slices with
-         | [] -> ()
-         | [ s ] -> run_slice s
-         | _ ->
-           let arr = Array.of_list slices in
-           Pool.with_pool ~domains (fun p ->
-               Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
-                 (fun i -> run_slice arr.(i))))
-      with
-      | () ->
-        Committed { result = Array.fold_left ( +. ) 0. partials; domains }
-      | exception exn -> abort_of_exn "parallel replay" exn
-    end
+(* Share-nothing parallel replay: one interpreter per slice. *)
+let replay ~domains ?budget ~setup_src ~iter_src ~lo ~hi () : outcome =
+  let domains = max 1 domains in
+  let span = hi - lo in
+  let slice = (span + domains - 1) / max 1 domains in
+  let partials = Array.make domains 0. in
+  let slices =
+    List.init domains (fun d ->
+        let slo = lo + (d * slice) in
+        let shi = min hi (slo + slice) in
+        (d, slo, shi))
+    |> List.filter (fun (_, slo, shi) -> shi > slo)
+  in
+  let run_slice (d, slo, shi) =
+    partials.(d) <-
+      run_sequential ?budget ~setup_src ~iter_src ~lo:slo ~hi:shi ()
+  in
+  (* The replay runs on the work-stealing pool rather than raw
+     [Domain.spawn]s, so speculation inherits the pool's dynamic
+     load balancing and its scheduling telemetry. *)
+  match
+    (match slices with
+     | [] -> ()
+     | [ s ] -> run_slice s
+     | _ ->
+       let arr = Array.of_list slices in
+       Pool.with_pool ~domains (fun p ->
+           Pool.parallel_for p ~lo:0 ~hi:(Array.length arr) ~chunk:1
+             (fun i -> run_slice arr.(i))))
+  with
+  | () -> Committed { result = Array.fold_left ( +. ) 0. partials; domains }
+  | exception exn -> abort_of_exn "parallel replay" exn
+
+(* ------------------------------------------------------------------ *)
+(* Static fast path: when the static analyzer already proved the
+   harness loop parallel (or a reduction over the harness accumulator
+   alone), the validation run — a full sequential execution under
+   dependence instrumentation — is pure bookkeeping and is skipped. *)
+
+let analyze_candidate ~iter_src =
+  Analysis.Driver.analyze (Jsir.Parser.parse_program (harness_src ~iter_src))
+
+(* The harness driver loop is the top-level [for] the template wraps
+   around [__iter] — identified structurally, not by id, so the
+   template can evolve. *)
+let driver_verdict (rep : Analysis.Driver.report) =
+  List.find_map
+    (fun (r : Analysis.Driver.row) ->
+       if
+         r.info.parent = None && r.info.in_function = None
+         && r.info.kind = Jsir.Ast.Kfor
+       then Some r.verdict
+       else None)
+    rep.rows
+
+let statically_proven rep =
+  match driver_verdict rep with
+  | Some Analysis.Verdict.Parallel -> true
+  | Some (Analysis.Verdict.Reduction accs) ->
+    (* only the harness's own accumulator may be reduced: a reduction
+       over user state would change observable behaviour under the
+       share-nothing replay *)
+    List.for_all (String.equal "__acc") accs
+  | _ -> false
+
+let run ?(domains = Domain.recommended_domain_count ()) ?budget
+    ?static_verdicts ~setup_src ~iter_src ~lo ~hi () : outcome =
+  let skip_validation =
+    match static_verdicts with
+    | Some rep -> statically_proven rep
+    | None -> false
+  in
+  if skip_validation then begin
+    Telemetry.note_speculation_skipped_static ();
+    replay ~domains ?budget ~setup_src ~iter_src ~lo ~hi ()
+  end
+  else
+    match validate ?budget ~setup_src ~iter_src ~lo ~hi () with
+    | exception Failure msg -> Aborted (Runtime_error msg)
+    | exception exn -> abort_of_exn "validation" exn
+    | carried, dom ->
+      if carried <> [] then Aborted (Carried_dependence carried)
+      else if dom > 0 then Aborted (Dom_access dom)
+      else replay ~domains ?budget ~setup_src ~iter_src ~lo ~hi ()
 
 let abort_reason_to_string = function
   | Carried_dependence ws ->

@@ -30,6 +30,7 @@ type outcome =
 val run :
   ?domains:int ->
   ?budget:int64 ->
+  ?static_verdicts:Analysis.Driver.report ->
   setup_src:string ->
   iter_src:string ->
   lo:int ->
@@ -42,11 +43,25 @@ val run :
     closes over. The committed [result] is the sum of the iteration
     results — a checksum comparable to {!run_sequential}.
 
+    [static_verdicts] is a report from {!analyze_candidate}: when it
+    proves the harness loop [Parallel] (or a [Reduction] over the
+    harness accumulator alone), the instrumented validation run is
+    skipped entirely and the loop goes straight to the parallel
+    replay; {!Telemetry.speculation_skipped_static} counts these.
+
     Speculation never lets an interpreter exception escape: a JS throw,
     a parse error, or — when [budget] caps the vclock — a runaway
     iteration body degraded into {!Interp.Value.Budget_exhausted} all
     come back as [Aborted (Runtime_error reason)], whether they strike
     during validation or during the parallel replay. *)
+
+val analyze_candidate : iter_src:string -> Analysis.Driver.report
+(** Static analysis of the speculation harness wrapped around
+    [iter_src] — the report to pass as [?static_verdicts]. *)
+
+val statically_proven : Analysis.Driver.report -> bool
+(** Whether the report proves the harness driver loop parallelizable
+    (verdict [Parallel], or [Reduction] over [__acc] only). *)
 
 val run_sequential :
   ?budget:int64 ->

@@ -43,15 +43,19 @@ let reset_counters c =
 
 let retries_total = Atomic.make 0
 let faults_total = Atomic.make 0
+let skipped_static_total = Atomic.make 0
 
 let note_retry () = Atomic.incr retries_total
 let note_fault_injected () = Atomic.incr faults_total
+let note_speculation_skipped_static () = Atomic.incr skipped_static_total
 let retries () = Atomic.get retries_total
 let faults_injected () = Atomic.get faults_total
+let speculation_skipped_static () = Atomic.get skipped_static_total
 
 let reset_globals () =
   Atomic.set retries_total 0;
-  Atomic.set faults_total 0
+  Atomic.set faults_total 0;
+  Atomic.set skipped_static_total 0
 
 (* ------------------------------------------------------------------ *)
 
@@ -105,6 +109,8 @@ type pool_stats = {
   loops_run : int;
   retries : int; (* supervisor retry count (process-wide) *)
   faults_injected : int; (* chaos injections fired (process-wide) *)
+  speculation_skipped_static : int;
+  (* speculative runs that bypassed bookkeeping on a static proof *)
   domains : domain_stats list; (* by participant id, caller first *)
   recent_loops : loop_stats list; (* oldest first *)
 }
@@ -127,6 +133,7 @@ let snapshot ~participants ~jobs_submitted (cs : counters array) log =
   Mutex.unlock log.m;
   { participants; jobs_submitted; loops_run;
     retries = retries (); faults_injected = faults_injected ();
+    speculation_skipped_static = speculation_skipped_static ();
     domains; recent_loops }
 
 let total_tasks s =
@@ -147,8 +154,10 @@ let to_json s =
     s.participants s.jobs_submitted s.loops_run;
   add "\"tasks_executed\":%d,\"tasks_failed\":%d,\"steals_succeeded\":%d,"
     (total_tasks s) (total_failed s) (total_steals s);
-  add "\"retries\":%d,\"faults_injected\":%d,\"domains\":["
-    s.retries s.faults_injected;
+  add
+    "\"retries\":%d,\"faults_injected\":%d,\
+     \"speculation_skipped_static\":%d,\"domains\":["
+    s.retries s.faults_injected s.speculation_skipped_static;
   List.iteri
     (fun i d ->
        if i > 0 then add ",";

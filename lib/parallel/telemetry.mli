@@ -28,8 +28,14 @@ val reset_counters : counters -> unit
 
 val note_retry : unit -> unit
 val note_fault_injected : unit -> unit
+val note_speculation_skipped_static : unit -> unit
 val retries : unit -> int
 val faults_injected : unit -> int
+
+val speculation_skipped_static : unit -> int
+(** Speculative loop runs that skipped conflict bookkeeping because
+    the static analyzer proved the loop parallel. *)
+
 val reset_globals : unit -> unit
 
 (** {1 Per-loop records} *)
@@ -69,6 +75,8 @@ type pool_stats = {
   loops_run : int;
   retries : int; (** supervisor retries (process-wide counter) *)
   faults_injected : int; (** chaos injections fired (process-wide) *)
+  speculation_skipped_static : int;
+      (** speculative runs that bypassed bookkeeping on a static proof *)
   domains : domain_stats list; (** by participant id, caller first *)
   recent_loops : loop_stats list; (** oldest first; last 64 loops *)
 }

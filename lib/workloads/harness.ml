@@ -176,6 +176,7 @@ type nest_row = {
   dep_difficulty : Ceres.Classify.difficulty;
   par_difficulty : Ceres.Classify.difficulty;
   warning_count : int;
+  static_verdict : string; (* Analysis.Verdict.kind_name of the root *)
   advice : Ceres.Advice.recommendation list;
 }
 
@@ -186,6 +187,7 @@ type nest_row = {
 let inspect ?(fraction = 0.667) ?max_nests (w : Workload.t) : nest_row list =
   let ctx_lp, lp = run_loop_profile w in
   let _ctx_dep, rt = run_dependence w in
+  let static_report = Analysis.Driver.analyze ctx_lp.program in
   let total = Ceres.Loop_profile.total_root_time_ms lp ctx_lp.infos in
   ignore fraction;
   let wanted = Option.value ~default:w.hot_nest_count max_nests in
@@ -208,18 +210,7 @@ let inspect ?(fraction = 0.667) ?max_nests (w : Workload.t) : nest_row list =
        let recursion = Ceres.Runtime.is_tainted rt s.id in
        let ws = Ceres.Runtime.warnings_impeding rt ~root:s.id in
        let summary = Ceres.Classify.summarize_warnings ws in
-       let nest_ids =
-         Array.to_list ctx_lp.infos
-         |> List.filter_map (fun (i : Jsir.Loops.info) ->
-             let rec up j =
-               if j = s.id then true
-               else
-                 match (Jsir.Loops.find ctx_lp.infos j).parent with
-                 | Some p -> up p
-                 | None -> false
-             in
-             if up i.id then Some i.id else None)
-       in
+       let nest_ids = Jsir.Loops.descendants ctx_lp.infos s.id in
        let dom_count =
          List.fold_left
            (fun acc id -> acc + Ceres.Runtime.dom_accesses_in rt id)
@@ -259,8 +250,73 @@ let inspect ?(fraction = 0.667) ?max_nests (w : Workload.t) : nest_row list =
          dep_difficulty;
          par_difficulty;
          warning_count = List.fold_left (fun a (_, c) -> a + c) 0 ws;
+         static_verdict =
+           (match Analysis.Driver.verdict_of static_report s.id with
+            | Some v -> Analysis.Verdict.kind_name v
+            | None -> "-");
          advice })
     nests
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation of the static analyzer against the dynamic one.
+
+   Soundness obligation: a loop the static stage proves [Parallel]
+   must never be observed by the dynamic stage carrying an
+   inter-iteration dependence — an observed flow (Prop_read), output
+   (Prop_overwrite) or anti (Prop_war) triple, or a scalar
+   accumulation (Var_accum), whose carrier is that loop. A [Reduction]
+   verdict additionally tolerates Var_accum warnings over exactly the
+   accumulators it declared. Privatizable Var_write / disjoint-scatter
+   Prop_write / Induction_write warnings are advisory on both sides
+   and constrain neither verdict. *)
+
+type crossval_row = {
+  loop : Jsir.Loops.info;
+  static_verdict : Analysis.Verdict.t;
+  dynamic_carried : string list;
+  (* rendered dynamic warnings carried by this loop that the static
+     verdict does not account for *)
+  sound : bool; (* false = statically proven yet dynamically carried *)
+}
+
+let crossval (w : Workload.t) : crossval_row list =
+  let report = Analysis.Driver.analyze (Jsir.Parser.parse_program w.source) in
+  let ctx_dep, rt = run_dependence w in
+  let warnings = Ceres.Runtime.warnings rt in
+  let carried_kind (k : Ceres.Runtime.access_kind) =
+    match k with
+    | Ceres.Runtime.Prop_overwrite _ | Ceres.Runtime.Prop_read _
+    | Ceres.Runtime.Prop_war _ | Ceres.Runtime.Var_accum _ ->
+      true
+    | Ceres.Runtime.Var_write _ | Ceres.Runtime.Prop_write _
+    | Ceres.Runtime.Induction_write _ ->
+      false
+  in
+  List.map
+    (fun (r : Analysis.Driver.row) ->
+       let allowed (wn : Ceres.Runtime.warning) =
+         match (r.verdict, wn.kind) with
+         | Analysis.Verdict.Reduction accs, Ceres.Runtime.Var_accum n ->
+           List.mem n accs
+         | _ -> false
+       in
+       let offending =
+         List.filter
+           (fun ((wn : Ceres.Runtime.warning), _) ->
+              wn.carrier = Some r.info.Jsir.Loops.id
+              && carried_kind wn.kind
+              && not (allowed wn))
+           warnings
+       in
+       let dynamic_carried =
+         List.map (Ceres.Report.warning_to_string ctx_dep.infos) offending
+       in
+       let sound =
+         (not (Analysis.Verdict.is_proven r.verdict))
+         || dynamic_carried = []
+       in
+       { loop = r.info; static_verdict = r.verdict; dynamic_carried; sound })
+    report.rows
 
 (* ------------------------------------------------------------------ *)
 (* Report export (paper Fig. 5 steps 5-7): write the per-application

@@ -90,6 +90,8 @@ type nest_row = {
   dep_difficulty : Ceres.Classify.difficulty;
   par_difficulty : Ceres.Classify.difficulty;
   warning_count : int;
+  static_verdict : string;
+      (** {!Analysis.Verdict.kind_name} of the nest root *)
   advice : Ceres.Advice.recommendation list;
 }
 
@@ -100,6 +102,26 @@ val inspect :
     classification. Returns the application's paper row count by
     default; [max_nests] widens it (the Amdahl bench classifies every
     nest). *)
+
+(** One loop of the static-vs-dynamic cross-validation. *)
+type crossval_row = {
+  loop : Jsir.Loops.info;
+  static_verdict : Analysis.Verdict.t;
+  dynamic_carried : string list;
+      (** rendered dynamic warnings carried by this loop that the
+          static verdict does not account for *)
+  sound : bool;
+      (** [false] iff the loop is statically proven ([Parallel] or
+          [Reduction]) yet the dynamic analysis observed an
+          inter-iteration dependence it carries: a flow, output or
+          anti triple, or an accumulation over an undeclared scalar *)
+}
+
+val crossval : Workload.t -> crossval_row list
+(** Run both analyses on the workload — the static analyzer over its
+    source, the dynamic dependence stage over its scripted session —
+    and check the static verdicts against the observed carried
+    dependences, one row per loop. *)
 
 val export_report : ?dir:string -> Workload.t -> string
 (** Run all stages and write the markdown report (paper Fig. 5 steps

@@ -1,0 +1,395 @@
+(* Static loop-parallelizability analyzer: scope corner cases, effect
+   summaries, footprint/subscript rules, verdict semantics, golden
+   JSON reports, and the soundness obligation against the dynamic
+   JS-CERES dependence analysis. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let analyze src = Analysis.Driver.analyze (Jsir.Parser.parse_program src)
+
+(* Verdict kind of the first (or only) loop of a small program. *)
+let verdict_kind ?(nth = 0) src =
+  let rep = analyze src in
+  match List.nth_opt rep.Analysis.Driver.rows nth with
+  | Some r -> Analysis.Verdict.kind_name r.verdict
+  | None -> Alcotest.fail "program has no loop"
+
+let check_kind name expected ?nth src =
+  Alcotest.(check string) name expected (verdict_kind ?nth src)
+
+(* ------------------------------------------------------------------ *)
+(* Scope resolution corner cases *)
+
+let scope_of src = Analysis.Scope.resolve_program (Jsir.Parser.parse_program src)
+
+let func_named scope name =
+  match
+    List.find_opt
+      (fun (fr : Analysis.Scope.func_rec) -> fr.fname = Some name)
+      (Analysis.Scope.functions scope)
+  with
+  | Some fr -> fr
+  | None -> Alcotest.fail ("no function named " ^ name)
+
+let test_var_hoisting_out_of_blocks () =
+  (* [var] is function-scoped: declarations inside blocks, branches and
+     loop bodies all hoist to the enclosing function. *)
+  let scope =
+    scope_of
+      "function f(a) { if (a) { var h = 2; } for (var i = 0; i < 3; i++) \
+       { var t = i; } { var b = 7; } return h + t + b + i; }"
+  in
+  let f = func_named scope "f" in
+  List.iter
+    (fun n ->
+       match Analysis.Scope.classify scope f.fid n with
+       | Analysis.Scope.Local -> ()
+       | _ -> Alcotest.failf "%s should be local to f" n)
+    [ "h"; "t"; "b"; "i"; "a" ]
+
+let test_closure_capture_of_induction_var () =
+  let scope =
+    scope_of
+      "function mk() { var fns = []; for (var i = 0; i < 3; i++) { \
+       fns.push(function () { return i; }); } return fns; }"
+  in
+  let mk = func_named scope "mk" in
+  let anon =
+    match
+      List.find_opt
+        (fun (fr : Analysis.Scope.func_rec) ->
+           fr.fname = None && fr.parent = Some mk.fid)
+        (Analysis.Scope.functions scope)
+    with
+    | Some fr -> fr
+    | None -> Alcotest.fail "no closure inside mk"
+  in
+  (match Analysis.Scope.classify scope anon.fid "i" with
+   | Analysis.Scope.Captured owner ->
+     Alcotest.(check int) "captured from mk" mk.fid owner
+   | _ -> Alcotest.fail "i should be captured");
+  Alcotest.(check bool) "mk's capture set names i" true
+    (List.mem_assoc "i" (Analysis.Scope.captures scope anon.fid))
+
+let test_shadowing () =
+  (* A local [var x] shadows the global of the same name: reads and
+     writes inside the function must not register against the global. *)
+  let scope =
+    scope_of "var x = 1; function f() { var x = 2; x = x + 1; return x; }"
+  in
+  let f = func_named scope "f" in
+  (match Analysis.Scope.classify scope f.fid "x" with
+   | Analysis.Scope.Local -> ()
+   | _ -> Alcotest.fail "x should be the local");
+  Alcotest.(check bool) "no global x write" false
+    (List.mem "x" (Analysis.Scope.global_writes scope f.fid))
+
+let test_delete_on_globals () =
+  let scope = scope_of "var gd = 1; function f() { delete gd; }" in
+  let f = func_named scope "f" in
+  Alcotest.(check bool) "delete registers a global write" true
+    (List.mem "gd" (Analysis.Scope.global_writes scope f.fid));
+  (* ... and in a loop it is a privatizable-class plain write, like the
+     dynamic analyzer's Var_write advisory. *)
+  check_kind "delete in loop" "parallel"
+    "var gd = 1; for (var i = 0; i < 2; i++) { delete gd; }"
+
+(* ------------------------------------------------------------------ *)
+(* Effect summaries *)
+
+let effects_of src =
+  let scope = scope_of src in
+  (scope, Analysis.Effects.infer scope)
+
+let test_effect_fixpoint_recursion () =
+  (* Mutually recursive functions: the global write in [a] must reach
+     [b]'s summary through the call-graph fixpoint. *)
+  let scope, fx =
+    effects_of
+      "var g = 0; function a(n) { if (n) { return b(n - 1); } g = g + 1; \
+       return 0; } function b(n) { return a(n); }"
+  in
+  let b = func_named scope "b" in
+  let s = Analysis.Effects.summary fx b.fid in
+  Alcotest.(check bool) "b transitively writes g" true
+    (Analysis.Scope.RS.mem (Analysis.Scope.Rglobal "g")
+       s.Analysis.Effects.gwrites)
+
+let test_effect_purity () =
+  let scope, fx =
+    effects_of "function p(x) { return Math.sin(x) + parseInt(\"4\"); }"
+  in
+  let p = func_named scope "p" in
+  Alcotest.(check bool) "Math/parseInt callers are pure" true
+    (Analysis.Effects.is_pure (Analysis.Effects.summary fx p.fid))
+
+let test_effect_io_builtin () =
+  let scope, fx = effects_of "function l(x) { console.log(x); }" in
+  let l = func_named scope "l" in
+  Alcotest.(check bool) "console.log is I/O" true
+    (Analysis.Effects.summary fx l.fid).Analysis.Effects.io
+
+(* ------------------------------------------------------------------ *)
+(* Loop-carried dependence verdicts *)
+
+let test_footprints () =
+  check_kind "in-place elementwise" "parallel"
+    "var A = [1, 2, 3, 4]; for (var i = 0; i < 4; i++) { A[i] = A[i] + 1; }";
+  check_kind "stride 2 clears spread 1" "parallel"
+    "var A = [1, 2, 3, 4, 5, 6, 7, 8]; for (var i = 0; i < 4; i++) { \
+     A[2 * i] = A[2 * i + 1] + 1; }";
+  check_kind "shift reads the next slot" "needs-runtime-check"
+    "var A = [1, 2, 3, 4]; for (var i = 0; i < 3; i++) { A[i] = A[i + 1]; }";
+  check_kind "same slot rewritten" "sequential"
+    "var A = [1, 2, 3, 4]; for (var i = 0; i < 4; i++) { A[0] = i; }";
+  check_kind "for-in over distinct keys" "parallel"
+    "var o = { a: 1, b: 2 }; for (var k in o) { o[k] = o[k] * 2; }"
+
+let test_reduction_recognition () =
+  check_kind "sum is a reduction" "reduction"
+    "var A = [1, 2, 3, 4]; var s = 0; for (var i = 0; i < 4; i++) { \
+     s = s + A[i]; }";
+  (match
+     List.hd
+       (analyze
+          "var s = 0; for (var i = 0; i < 4; i++) { s += i; }")
+       .Analysis.Driver.rows
+   with
+   | { verdict = Analysis.Verdict.Reduction [ "s" ]; _ } -> ()
+   | _ -> Alcotest.fail "expected reduction over s");
+  (* Reading the running accumulator value makes the loop
+     order-dependent: not a reduction. *)
+  check_kind "stored running value" "sequential"
+    "var A = [1, 2, 3, 4]; var B = [0, 0, 0, 0]; var s = 0; \
+     for (var i = 0; i < 4; i++) { s = s + A[i]; B[i] = s; }";
+  check_kind "scalar flow across iterations" "sequential"
+    "var g = 0; var A = [1, 2, 3, 4]; for (var i = 0; i < 4; i++) { \
+     A[i] = g; g = A[i] + 1; }"
+
+let test_push_is_sequential () =
+  check_kind "push mutates shared storage" "sequential"
+    "var out = []; for (var i = 0; i < 4; i++) { out.push(i); }"
+
+(* ------------------------------------------------------------------ *)
+(* Loop-nest helpers *)
+
+let test_nest_helpers () =
+  let program =
+    Jsir.Parser.parse_program
+      "for (var i = 0; i < 2; i++) { for (var j = 0; j < 2; j++) { \
+       for (var k = 0; k < 2; k++) { } } } while (0) { }"
+  in
+  let infos = Jsir.Loops.index program in
+  Alcotest.(check bool) "k in nest of i" true
+    (Jsir.Loops.in_nest infos ~root:0 2);
+  Alcotest.(check bool) "while not in nest of i" false
+    (Jsir.Loops.in_nest infos ~root:0 3);
+  Alcotest.(check (list int)) "descendants of i" [ 0; 1; 2 ]
+    (Jsir.Loops.descendants infos 0);
+  Alcotest.(check (list int)) "descendants of the while" [ 3 ]
+    (Jsir.Loops.descendants infos 3)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic JSON reports and committed goldens *)
+
+let golden_name (w : Workloads.Workload.t) =
+  String.map (fun c -> if c = ' ' then '_' else c) w.name ^ ".json"
+
+let test_json_deterministic () =
+  let w =
+    List.find
+      (fun (w : Workloads.Workload.t) -> w.name = "CamanJS")
+      Workloads.Registry.all
+  in
+  let render () =
+    Analysis.Driver.to_json
+      (Analysis.Driver.analyze (Jsir.Parser.parse_program w.source))
+  in
+  Alcotest.(check string) "byte-identical across runs" (render ())
+    (render ())
+
+let test_goldens () =
+  (* One committed golden per workload; regenerate with [make analyze]
+     after an intentional analyzer change. *)
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+       let path =
+         (* cwd is [test/] under [dune runtest], the root under
+            [dune exec test/test_main.exe] *)
+         let p = Filename.concat "golden/analyze" (golden_name w) in
+         if Sys.file_exists p then p else Filename.concat "test" p
+       in
+       let expected =
+         let ic = open_in_bin path in
+         let n = in_channel_length ic in
+         let s = really_input_string ic n in
+         close_in ic;
+         s
+       in
+       let actual =
+         Analysis.Driver.to_json
+           (Analysis.Driver.analyze (Jsir.Parser.parse_program w.source))
+       in
+       Alcotest.(check string) (w.name ^ " matches golden") expected actual)
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the dynamic dependence analysis *)
+
+let test_crossval_all_workloads () =
+  let proven = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+       List.iter
+         (fun (r : Workloads.Harness.crossval_row) ->
+            if Analysis.Verdict.is_proven r.static_verdict then incr proven;
+            if not r.sound then
+              Alcotest.failf "%s %s proven %s but dynamically carried: %s"
+                w.name
+                (Jsir.Loops.label r.loop)
+                (Analysis.Verdict.to_string r.static_verdict)
+                (String.concat " | " r.dynamic_carried))
+         (Workloads.Harness.crossval w))
+    Workloads.Registry.all;
+  (* acceptance bar: several hot Table-3 nests are statically proven *)
+  Alcotest.(check bool) "at least 3 loops proven across the suite" true
+    (!proven >= 3)
+
+(* Soundness fuzz: random small loop bodies; whenever the static
+   analyzer proves the loop, the dynamic analyzer must observe no
+   inter-iteration dependence carried by it. The program is a pure
+   function of the case index, so failures reproduce by index. *)
+
+let gen_program idx =
+  let r = Ceres_util.Prng.of_int (0x5eed + idx) in
+  let pool =
+    [| "A[i] = i + 3;";
+       "A[i] = A[i] * 2;";
+       "B[i] = A[i] + g;";
+       "s = s + A[i];";
+       "A[i + 1] = i;";
+       "A[0] = i;";
+       "g = A[i];";
+       "var t = A[i] * 3; B[i] = t;";
+       "A[2 * i] = i;";
+       "C[i] = A[i] - B[i];";
+       "s += C[i];";
+       "B[i] = s;";
+       "g = g + 1;"
+    |]
+  in
+  let n = 1 + Ceres_util.Prng.int r 4 in
+  let body =
+    String.concat " " (List.init n (fun _ -> Ceres_util.Prng.pick r pool))
+  in
+  Printf.sprintf
+    "var A = [1, 2, 3, 4, 5, 6, 7, 8];\n\
+     var B = [0, 0, 0, 0, 0, 0, 0, 0];\n\
+     var C = [0, 0, 0, 0, 0, 0, 0, 0];\n\
+     var s = 0; var g = 1;\n\
+     for (var i = 0; i < 8; i++) { %s }"
+    body
+
+let dynamic_carried_for src ~loop_id ~allowed_accums =
+  let _, rt = Helpers.analyze src in
+  Ceres.Runtime.warnings rt
+  |> List.filter (fun ((w : Ceres.Runtime.warning), _) ->
+      w.carrier = Some loop_id
+      &&
+      match w.kind with
+      | Ceres.Runtime.Prop_overwrite _ | Ceres.Runtime.Prop_read _
+      | Ceres.Runtime.Prop_war _ ->
+        true
+      | Ceres.Runtime.Var_accum n -> not (List.mem n allowed_accums)
+      | Ceres.Runtime.Var_write _ | Ceres.Runtime.Prop_write _
+      | Ceres.Runtime.Induction_write _ ->
+        false)
+
+let fuzz_soundness =
+  QCheck.Test.make ~name:"static Parallel is dynamically conflict-free"
+    ~count:120
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun idx ->
+       let src = gen_program idx in
+       let rep = analyze src in
+       match rep.Analysis.Driver.rows with
+       | [ row ] -> (
+           let id = row.info.Jsir.Loops.id in
+           match row.verdict with
+           | Analysis.Verdict.Parallel ->
+             dynamic_carried_for src ~loop_id:id ~allowed_accums:[] = []
+           | Analysis.Verdict.Reduction accs ->
+             dynamic_carried_for src ~loop_id:id ~allowed_accums:accs = []
+           | Analysis.Verdict.Needs_runtime_check _
+           | Analysis.Verdict.Sequential _ ->
+             true)
+       | _ -> false (* the generator emits exactly one loop *))
+
+(* ------------------------------------------------------------------ *)
+(* Speculation fast path *)
+
+let test_speculative_static_skip () =
+  let iter_src = "function (i) { return i * 2; }" in
+  let rep = Js_parallel.Speculative.analyze_candidate ~iter_src in
+  Alcotest.(check bool) "harness loop statically proven" true
+    (Js_parallel.Speculative.statically_proven rep);
+  let before = Js_parallel.Telemetry.speculation_skipped_static () in
+  (match
+     Js_parallel.Speculative.run ~domains:2 ~static_verdicts:rep
+       ~setup_src:"" ~iter_src ~lo:0 ~hi:100 ()
+   with
+   | Js_parallel.Speculative.Committed { result; _ } ->
+     Alcotest.(check (float 1e-9)) "sum of 2i" 9900.0 result
+   | Js_parallel.Speculative.Aborted r ->
+     Alcotest.fail (Js_parallel.Speculative.abort_reason_to_string r));
+  Alcotest.(check int) "telemetry counted the skip" (before + 1)
+    (Js_parallel.Telemetry.speculation_skipped_static ())
+
+let test_speculative_unproven_still_validates () =
+  (* A candidate the static analyzer cannot prove must take the
+     validated path — and abort on its real conflict. *)
+  let setup_src = "var shared = [0];" in
+  let iter_src = "function (i) { shared[0] = i; return shared[0]; }" in
+  let rep = Js_parallel.Speculative.analyze_candidate ~iter_src in
+  Alcotest.(check bool) "not statically proven" false
+    (Js_parallel.Speculative.statically_proven rep);
+  match
+    Js_parallel.Speculative.run ~domains:2 ~static_verdicts:rep ~setup_src
+      ~iter_src ~lo:0 ~hi:8 ()
+  with
+  | Js_parallel.Speculative.Aborted
+      (Js_parallel.Speculative.Carried_dependence _) ->
+    ()
+  | Js_parallel.Speculative.Aborted r ->
+    Alcotest.fail (Js_parallel.Speculative.abort_reason_to_string r)
+  | Js_parallel.Speculative.Committed _ ->
+    Alcotest.fail "conflicting candidate must abort"
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "var hoists out of blocks" `Quick
+      test_var_hoisting_out_of_blocks;
+    Alcotest.test_case "closures capture induction vars" `Quick
+      test_closure_capture_of_induction_var;
+    Alcotest.test_case "locals shadow globals" `Quick test_shadowing;
+    Alcotest.test_case "delete on globals" `Quick test_delete_on_globals;
+    Alcotest.test_case "effects: recursion fixpoint" `Quick
+      test_effect_fixpoint_recursion;
+    Alcotest.test_case "effects: purity" `Quick test_effect_purity;
+    Alcotest.test_case "effects: io builtins" `Quick test_effect_io_builtin;
+    Alcotest.test_case "footprint disjointness" `Quick test_footprints;
+    Alcotest.test_case "reduction recognition" `Quick
+      test_reduction_recognition;
+    Alcotest.test_case "push is sequential" `Quick test_push_is_sequential;
+    Alcotest.test_case "loop nest helpers" `Quick test_nest_helpers;
+    Alcotest.test_case "json report is deterministic" `Quick
+      test_json_deterministic;
+    Alcotest.test_case "golden reports" `Quick test_goldens;
+    Alcotest.test_case "crossval: 12 workloads sound" `Slow
+      test_crossval_all_workloads;
+    qtest fuzz_soundness;
+    Alcotest.test_case "speculation skips on static proof" `Quick
+      test_speculative_static_skip;
+    Alcotest.test_case "speculation still validates unproven" `Quick
+      test_speculative_unproven_still_validates ]

@@ -13,4 +13,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("nbody", Test_nbody.suite);
       ("workloads", Test_workloads.suite);
-      ("behavior", Test_workload_behavior.suite) ]
+      ("behavior", Test_workload_behavior.suite);
+      ("analysis", Test_analysis.suite) ]
