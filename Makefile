@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos analyze bench examples reports clean
+.PHONY: all build test check chaos analyze serve-smoke bench examples reports clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	dune runtest
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
 	$(MAKE) analyze
+	$(MAKE) serve-smoke
 	$(MAKE) chaos
 
 # Static analyzer sweep: run `jsceres analyze --format=json` over every
@@ -44,6 +45,30 @@ analyze: build
 	      { echo "analyze $$name: report differs from golden"; exit 1; }; \
 	  fi; \
 	done; echo "analyze sweep OK ($(words $(ANALYZE_WORKLOADS)) workloads)"
+
+# Service-mode smoke test: pipe a fixed 6-request JSONL session (two
+# analyses, a repeated profile, a bad pass, a cache-stats probe)
+# through `jsceres serve` and byte-compare against the committed
+# golden — the responses are deterministic, and the final cache-stats
+# line pins the hit/miss counters, so the repeated request must have
+# been served from the cache. After an intentional protocol change,
+# regenerate with SERVE_REGEN=1.
+serve-smoke: build
+	@out=_build/serve-smoke.out; \
+	dune exec bin/jsceres.exe -- serve \
+	  < test/golden/serve/smoke.jsonl > $$out || \
+	  { echo "serve-smoke: serve exited nonzero"; exit 1; }; \
+	if [ -n "$(SERVE_REGEN)" ]; then \
+	  cp $$out test/golden/serve/smoke.expected; \
+	else \
+	  cmp -s $$out test/golden/serve/smoke.expected || \
+	    { echo "serve-smoke: output differs from golden"; \
+	      diff test/golden/serve/smoke.expected $$out | head -5; exit 1; }; \
+	fi; \
+	hits=$$(grep -o '"hits":[0-9]*' $$out | cut -d: -f2); \
+	test "$$hits" -gt 0 || \
+	  { echo "serve-smoke: expected cache hits > 0, got $$hits"; exit 1; }; \
+	echo "serve smoke OK (cache hits: $$hits)"
 
 # Deterministic fault-injection suite. Each fixed seed must (a) kill at
 # least one workload — the run exits 1 and prints a failure summary

@@ -17,25 +17,53 @@ let header name =
   Printf.printf "\n==================== %s ====================\n" name
 
 (* --jobs N: run the per-workload Table 2 / Table 3 pipelines
-   concurrently on the work-stealing pool. Each pipeline owns a fresh
-   interpreter state (share-nothing), so the printed tables are
-   byte-identical to the sequential run; the pool's scheduling
-   telemetry goes to stderr at exit. *)
-let analysis_pool : Js_parallel.Pool.t option ref = ref None
+   concurrently on the service core's work-stealing pool. Each
+   pipeline owns a fresh interpreter state (share-nothing), so the
+   printed tables are byte-identical to the sequential run; the pool's
+   scheduling telemetry goes to stderr at exit. *)
+let service : Service.t option ref = ref None
 
-(* Every pipeline pass runs supervised: a workload that crashes (or is
-   killed by a JSCERES_CHAOS injection) becomes a stderr warning and is
-   dropped from its table instead of aborting the whole bench run. *)
-let map_workloads f =
-  Workloads.Harness.map_workloads_supervised ?pool:!analysis_pool ~retries:1 f
-    Workloads.Registry.all
-  |> List.filter_map (fun ((w : Workloads.Workload.t), res) ->
-      match res with
-      | Ok v -> Some (w, v)
-      | Error fl ->
-        Printf.eprintf "bench: workload %s failed %s\n%!" w.name
-          (Js_parallel.Supervisor.failure_to_string fl);
-        None)
+let the_service () =
+  match !service with
+  | Some s -> s
+  | None ->
+    let s = Service.create () in
+    service := Some s;
+    s
+
+(* Every table pass is one batched wave of service requests — the same
+   supervised core behind `jsceres serve`, so a workload that crashes
+   (or is killed by a JSCERES_CHAOS injection) becomes a stderr
+   warning and is dropped from its table instead of aborting the whole
+   bench run. *)
+let batch ?max_nests pass extract =
+  let reqs =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+         Service.Request.make ?max_nests pass w.name)
+      Workloads.Registry.all
+  in
+  let resps = Service.run_batch (the_service ()) reqs in
+  List.filter_map
+    (fun ((w : Workloads.Workload.t), (r : Service.Response.t)) ->
+       match r.result with
+       | Ok body -> Some (w, extract body)
+       | Error e ->
+         Printf.eprintf "bench: workload %s failed %s\n%!" w.name e.message;
+         None)
+    (List.combine Workloads.Registry.all resps)
+
+let timing_of = function
+  | Service.Response.Profile t -> t
+  | _ -> assert false
+
+let rows_of = function
+  | Service.Response.Pipeline (_, rows) -> rows
+  | _ -> assert false
+
+let crossval_of = function
+  | Service.Response.Crossval rows -> rows
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 
@@ -95,8 +123,7 @@ let figure4 () =
 (* ------------------------------------------------------------------ *)
 
 (* Shared by table2/amdahl: one lightweight (Table 2) pass per app. *)
-let timings =
-  lazy (map_workloads (fun w -> Workloads.Harness.run_lightweight w))
+let timings = lazy (batch Service.Request.Profile timing_of)
 
 let table2 () =
   header "Table 2: running time (measured | paper)";
@@ -130,8 +157,7 @@ let table2 () =
   Ceres_util.Table.print tbl
 
 (* Shared by table3/amdahl: inspection is the expensive pass. *)
-let inspection =
-  lazy (map_workloads (fun w -> Workloads.Harness.inspect w))
+let inspection = lazy (batch Service.Request.Pipeline rows_of)
 
 let difficulty_rank = function
   | "very easy" -> 0
@@ -262,7 +288,7 @@ let crossval () =
               (Analysis.Verdict.to_string r.static_verdict)
               (String.concat " | " r.dynamic_carried))
          unsound)
-    (map_workloads (fun w -> Workloads.Harness.crossval w));
+    (batch Service.Request.Crossval crossval_of);
   Ceres_util.Table.print tbl;
   Printf.printf "statically proven: %d loops; soundness violations: %d\n"
     !total_proven !total_unsound
@@ -273,7 +299,7 @@ let crossval () =
    Table 3 rows (fluidSim spreads its loop time over many small solver
    nests, all of them parallelizable). *)
 let full_inspection =
-  lazy (map_workloads (fun w -> Workloads.Harness.inspect ~max_nests:16 w))
+  lazy (batch ~max_nests:16 Service.Request.Pipeline rows_of)
 
 let amdahl () =
   header "Amdahl bounds (Sec 4.2: '>3x for 5 of the 12 applications')";
@@ -687,16 +713,16 @@ let parse_jobs args =
        | Some j when j >= 1 -> go j acc rest
        | _ ->
          Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
-         exit 2)
+         exit 1)
     | [ "--jobs" ] ->
       Printf.eprintf "--jobs expects a positive integer\n";
-      exit 2
+      exit 1
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
       (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
        | Some j when j >= 1 -> go j acc rest
        | _ ->
          Printf.eprintf "bad --jobs value in %S\n" a;
-         exit 2)
+         exit 1)
     | a :: rest -> go jobs (a :: acc) rest
   in
   go 1 [] args
@@ -706,8 +732,7 @@ let () =
   if Js_parallel.Fault.enable_from_env () then
     Printf.eprintf "bench: chaos injection enabled (%s)\n%!"
       Js_parallel.Fault.env_var;
-  if jobs > 1 then
-    analysis_pool := Some (Js_parallel.Pool.create ~domains:jobs ());
+  service := Some (Service.create ~jobs ());
   let sections =
     [ ("table1", table1); ("figure1", figure1); ("figure2", figure2);
       ("figure3", figure3); ("figure4", figure4); ("table2", table2);
@@ -728,17 +753,20 @@ let () =
        if not (List.mem a known) then begin
          Printf.eprintf "unknown section %s; known sections: %s\n" a
            (String.concat " " known);
-         exit 2
+         exit 1
        end)
     args;
   List.iter
     (fun (name, f) -> if section_requested args name then f ())
     sections;
-  match !analysis_pool with
+  match !service with
   | None -> ()
-  | Some p ->
+  | Some s ->
     (* Telemetry goes to stderr so stdout stays byte-identical to the
        sequential run. *)
-    Printf.eprintf "analysis pool telemetry: %s\n"
-      (Js_parallel.Pool.stats_json p);
-    Js_parallel.Pool.shutdown p
+    (match Service.pool_stats s with
+     | Some st ->
+       Printf.eprintf "analysis pool telemetry: %s\n"
+         (Js_parallel.Telemetry.to_json st)
+     | None -> ());
+    Service.shutdown s

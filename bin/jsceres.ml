@@ -1,22 +1,109 @@
 (* jsceres — command-line front end for the JS-CERES reproduction.
 
-   Mirrors the workflow of the paper's tool (Fig. 5): pick an
-   application (bundled workload or a MiniJS file), run it under one of
-   the staged instrumentation modes, and print the reports the authors
-   uploaded to github.com.
-
-     jsceres list
-     jsceres run <workload>            # uninstrumented + console output
-     jsceres profile <workload>        # Sec 3.1 lightweight + sampler
-     jsceres loops <workload>          # Sec 3.2 per-loop statistics
-     jsceres deps <workload> [-f N]    # Sec 3.3 dynamic dependence analysis
-     jsceres analyze <workload>        # static loop-parallelizability analysis
-     jsceres inspect <workload>        # Table 3 row(s) for the app
-     jsceres pipeline [-j N] [w...]    # Table 2+3 for many apps, in parallel
-     jsceres report <workload> [-o D]  # write the markdown report (Fig 5)
-     jsceres file <path> [-m MODE]     # analyze an arbitrary script *)
+   Every analysis subcommand is a thin adapter over the service core
+   (lib/service): it builds a [Service.Request.t], hands it to
+   [Service.run] (or [run_batch]), and renders the [Service.Response.t]
+   — the same core that backs `jsceres serve` and bench/main, so all
+   surfaces produce identical results. Subcommand docs, flags and exit
+   codes live in the tables below and are rendered into `--help`; do
+   not duplicate them elsewhere. *)
 
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* The one subcommand table: name -> one-line doc. `jsceres --help`
+   and every sub-page are generated from it, so help cannot drift from
+   the command set. *)
+
+let subcommand_docs =
+  [ ("list", "List the bundled case-study workloads.");
+    ("run", "Run a workload without instrumentation.");
+    ("profile", "Lightweight profiling (Sec 3.1): session/active/in-loop time.");
+    ("loops", "Loop profiling (Sec 3.2): instances, times, trip counts.");
+    ( "deps",
+      "Dynamic dependence analysis (Sec 3.3): problematic memory accesses \
+       observed while the workload runs." );
+    ( "analyze",
+      "Static loop-parallelizability analysis: scope resolution, effect \
+       summaries, loop-carried dependence proofs. Exits 2 when any \
+       analyzed loop is sequential." );
+    ( "crossval",
+      "Cross-validate the static verdicts against the dynamic dependence \
+       run, one soundness line per loop." );
+    ( "inspect",
+      "Full Table 3 pipeline for one workload: profile, analyze, classify." );
+    ( "pipeline",
+      "Table 2 + Table 3 pipeline for many workloads, batched through the \
+       service core — optionally in parallel (--jobs N) and under \
+       per-workload supervision flags (--chaos-seed, --watchdog-ms)." );
+    ( "serve",
+      "Long-running service mode: one JSON request per line on stdin, one \
+       deterministic JSON response per line on stdout, with result \
+       caching and request batching. EOF ends the loop." );
+    ( "report",
+      "Run the full staged analysis and write a markdown report (the \
+       paper's Fig. 5 steps 5-7)." );
+    ("survey", "Regenerate the developer-survey analysis (paper Sec. 2).");
+    ("file", "Run or analyze an arbitrary MiniJS script.") ]
+
+(* The one exit-code convention (Service.Exit), rendered into every
+   subcommand's man page and asserted by the test suite. *)
+let exits =
+  [ Cmd.Exit.info Service.Exit.ok ~doc:"on success.";
+    Cmd.Exit.info Service.Exit.operational_error
+      ~doc:
+        "on operational errors: unknown workload, failed workload, bad \
+         request.";
+    Cmd.Exit.info Service.Exit.verdict
+      ~doc:
+        "analysis verdict: the static analyzer proved at least one \
+         analyzed loop sequential." ]
+
+let cmd_info name = Cmd.info name ~doc:(List.assoc name subcommand_docs) ~exits
+
+(* ------------------------------------------------------------------ *)
+(* Flags shared by every service-backed subcommand. *)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Bundled workload name (see `jsceres list`).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,text) or $(b,json).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the work-stealing pool that batched requests fan out \
+           over (1 = run in the calling domain).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a workload up to $(docv) times after a transient failure \
+           (injected faults, interrupted syscalls); permanent failures — \
+           parse errors, JS exceptions, watchdog overruns — are never \
+           retried.")
+
+let watchdog_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog-ms" ] ~docv:"MS"
+        ~doc:
+          "Watchdog budget in virtual milliseconds: a workload whose \
+           interpreter exceeds it fails with a budget-exhausted report \
+           instead of hanging the service.")
 
 let find_workload name =
   match Workloads.Registry.find name with
@@ -24,13 +111,32 @@ let find_workload name =
   | None ->
     Printf.eprintf "unknown workload %S; available:\n  %s\n" name
       (String.concat "\n  " Workloads.Registry.names);
-    exit 2
+    exit Service.Exit.operational_error
 
-let workload_arg =
-  Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"WORKLOAD" ~doc:"Bundled workload name (see `jsceres list`).")
+(* Render one service response the way the legacy subcommands printed
+   their output, honouring --format=json, and exit with the response's
+   code when it is not 0. [json] overrides the JSON rendering (analyze
+   keeps its golden-file report format). *)
+let emit ?(render = Service.Response.render_text) ?json format
+    (resp : Service.Response.t) =
+  (match (format, resp.result) with
+   | `Text, Ok _ -> print_string (render resp)
+   | `Text, Error e -> Printf.eprintf "jsceres: %s\n" e.message
+   | `Json, _ ->
+     (match (json, resp.result) with
+      | Some j, Ok _ -> print_string (j resp)
+      | _ ->
+        print_endline (Service.Json.to_string (Service.Response.to_json resp))));
+  let code = Service.Response.exit_code resp in
+  if code <> Service.Exit.ok then exit code
+
+(* One-request commands share this driver: resolve the workload early
+   (uniform error text), build the request, run it on a fresh service. *)
+let run_one ?scale ?focus ?max_nests ?render ?json ~pass name retries format =
+  let w = find_workload name in
+  let svc = Service.create ~retries () in
+  let req = Service.Request.make ?scale ?focus ?max_nests pass w.name in
+  emit ?render ?json format (Service.run svc req)
 
 (* ------------------------------------------------------------------ *)
 
@@ -44,8 +150,7 @@ let list_cmd =
            (List.length w.interactions))
       Workloads.Registry.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the bundled case-study workloads.")
-    Term.(const run $ const ())
+  Cmd.v (cmd_info "list") Term.(const run $ const ())
 
 let run_cmd =
   let run name =
@@ -57,36 +162,21 @@ let run_cmd =
       (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.now clock) /. 1000.)
       (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.busy clock) /. 1000.)
   in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Run a workload without instrumentation.")
-    Term.(const run $ workload_arg)
+  Cmd.v (cmd_info "run") Term.(const run $ workload_arg)
 
 let profile_cmd =
-  let run name =
-    let w = find_workload name in
-    let t = Workloads.Harness.run_lightweight w in
-    Printf.printf
-      "%s: total %.1f s, sampler-active %.2f s, busy %.2f s, in loops %.2f s\n"
-      w.name (t.total_ms /. 1000.) (t.active_ms /. 1000.)
-      (t.busy_ms /. 1000.) (t.in_loops_ms /. 1000.);
-    Printf.printf "DOM accesses: %d, canvas accesses: %d\n" t.dom_accesses
-      t.canvas_accesses
+  let run name retries format =
+    run_one ~pass:Service.Request.Profile name retries format
   in
-  Cmd.v
-    (Cmd.info "profile"
-       ~doc:"Lightweight profiling (Sec 3.1): session/active/in-loop time.")
-    Term.(const run $ workload_arg)
+  Cmd.v (cmd_info "profile")
+    Term.(const run $ workload_arg $ retries_arg $ format_arg)
 
 let loops_cmd =
-  let run name =
-    let w = find_workload name in
-    let ctx, lp = Workloads.Harness.run_loop_profile w in
-    print_string (Ceres.Report.loop_profile_report lp ctx.infos)
+  let run name retries format =
+    run_one ~pass:Service.Request.Loops name retries format
   in
-  Cmd.v
-    (Cmd.info "loops"
-       ~doc:"Loop profiling (Sec 3.2): instances, times, trip counts.")
-    Term.(const run $ workload_arg)
+  Cmd.v (cmd_info "loops")
+    Term.(const run $ workload_arg $ retries_arg $ format_arg)
 
 let focus_arg =
   Arg.(
@@ -96,77 +186,39 @@ let focus_arg =
         ~doc:"Restrict dependence recording to the nest of this loop id.")
 
 let deps_cmd =
-  let run name focus =
-    let w = find_workload name in
-    let focus = Option.map (fun id -> [ id ]) focus in
-    let ctx, rt = Workloads.Harness.run_dependence ?focus w in
-    print_string
-      (Ceres.Report.dependence_report
-         ~title:(Printf.sprintf "dependence analysis of %s" w.name)
-         rt ctx.infos)
+  let run name focus retries format =
+    run_one ?focus ~pass:Service.Request.Deps name retries format
   in
-  Cmd.v
-    (Cmd.info "deps"
-       ~doc:"Dynamic dependence analysis (Sec 3.3): problematic memory \
-             accesses observed while the workload runs.")
-    Term.(const run $ workload_arg $ focus_arg)
+  Cmd.v (cmd_info "deps")
+    Term.(const run $ workload_arg $ focus_arg $ retries_arg $ format_arg)
 
-(* Exit-code convention (documented in the README): 0 when no analyzed
-   loop is sequential, 2 when at least one demonstrably carries a
-   dependence, so operational errors must NOT use the other commands'
-   exit 2: an unknown workload exits 1 here. *)
-let static_analyze_cmd =
-  let run name format =
-    let w =
-      match Workloads.Registry.find name with
-      | Some w -> w
-      | None ->
-        Printf.eprintf "unknown workload %S; available:\n  %s\n" name
-          (String.concat "\n  " Workloads.Registry.names);
-        exit 1
-    in
-    let program = Jsir.Parser.parse_program w.source in
-    let report = Analysis.Driver.analyze program in
-    (match format with
-     | `Text -> print_string (Analysis.Driver.to_text report)
-     | `Json -> print_string (Analysis.Driver.to_json report));
-    if Analysis.Driver.any_sequential report then exit 2
+let analyze_cmd =
+  let run name retries format =
+    (* --format=json keeps printing the analyzer's report document
+       (the format committed under test/golden/analyze/), not the
+       service envelope; `serve` wraps the same document. *)
+    run_one
+      ~json:(fun resp ->
+          Option.get (Service.Response.render_analyze_json resp))
+      ~pass:Service.Request.Analyze name retries format
   in
-  let format_arg =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT"
-          ~doc:"Output format: $(b,text) or $(b,json).")
+  Cmd.v (cmd_info "analyze")
+    Term.(const run $ workload_arg $ retries_arg $ format_arg)
+
+let crossval_cmd =
+  let run name retries format =
+    run_one ~pass:Service.Request.Crossval name retries format
   in
-  Cmd.v
-    (Cmd.info "analyze"
-       ~doc:
-         "Static loop-parallelizability analysis: scope resolution, \
-          effect summaries, loop-carried dependence proofs. Exits 2 \
-          when any analyzed loop is sequential.")
-    Term.(const run $ workload_arg $ format_arg)
+  Cmd.v (cmd_info "crossval")
+    Term.(const run $ workload_arg $ retries_arg $ format_arg)
 
 let inspect_cmd =
-  let run name =
-    let w = find_workload name in
-    List.iter
-      (fun (r : Workloads.Harness.nest_row) ->
-         Printf.printf
-           "%s: %.0f%% of loop time, %d instances, trips %.1f±%.1f,\n\
-           \  divergence %s, DOM %b, breaking deps %s, parallelization %s\n"
-           r.label r.pct_loop_time r.instances r.trips_mean r.trips_sd
-           (Ceres.Classify.divergence_to_string r.divergence)
-           r.dom_access
-           (Ceres.Classify.difficulty_to_string r.dep_difficulty)
-           (Ceres.Classify.difficulty_to_string r.par_difficulty);
-         print_string (Ceres.Advice.render ~label:r.label r.advice))
-      (Workloads.Harness.inspect w)
+  let run name retries format =
+    run_one ~render:Service.Response.render_inspect
+      ~pass:Service.Request.Pipeline name retries format
   in
-  Cmd.v
-    (Cmd.info "inspect"
-       ~doc:"Full Table 3 pipeline for one workload: profile, analyze, classify.")
-    Term.(const run $ workload_arg)
+  Cmd.v (cmd_info "inspect")
+    Term.(const run $ workload_arg $ retries_arg $ format_arg)
 
 let survey_cmd =
   let run seed =
@@ -196,10 +248,7 @@ let survey_cmd =
       & info [ "s"; "seed" ] ~docv:"SEED"
           ~doc:"Seed for the synthetic respondent population.")
   in
-  Cmd.v
-    (Cmd.info "survey"
-       ~doc:"Regenerate the developer-survey analysis (paper Sec. 2).")
-    Term.(const run $ seed_arg)
+  Cmd.v (cmd_info "survey") Term.(const run $ seed_arg)
 
 let report_cmd =
   let run name dir =
@@ -214,48 +263,17 @@ let report_cmd =
       & info [ "o"; "output" ] ~docv:"DIR"
           ~doc:"Directory the markdown report is written into.")
   in
-  Cmd.v
-    (Cmd.info "report"
-       ~doc:
-         "Run the full staged analysis and write a markdown report (the \
-          paper's Fig. 5 steps 5-7).")
-    Term.(const run $ workload_arg $ dir_arg)
+  Cmd.v (cmd_info "report") Term.(const run $ workload_arg $ dir_arg)
 
-(* Parallel analysis driver: the full Table 2 + Table 3 pipeline for
-   many workloads at once, scheduled over the work-stealing pool with
-   --jobs N. Each pipeline owns a fresh interpreter (share-nothing),
-   so the per-workload output is identical to running the stages one
-   at a time; --stats additionally prints the pool's scheduling
-   telemetry as JSON.
-
-   With --keep-going, --chaos-seed or --watchdog-ms the pipeline runs
-   *supervised*: each workload's stages execute under
-   [Js_parallel.Supervisor.run], so a crashing workload — real bug,
-   watchdog budget overrun, injected chaos fault — becomes a reported
-   FAILED row (and a trailing failure summary) while every other
-   workload still prints its rows. The process then exits 1. All
-   stdout failure fields are deterministic (virtual time only), so a
-   chaos run with a fixed seed is byte-identical when repeated. *)
-let print_workload_rows (w : Workloads.Workload.t)
-    ((t : Workloads.Harness.timing), rows) =
-  Printf.printf
-    "%s: total %.1f s, sampler-active %.2f s, busy %.2f s, in loops %.2f s\n"
-    w.name (t.total_ms /. 1000.) (t.active_ms /. 1000.)
-    (t.busy_ms /. 1000.) (t.in_loops_ms /. 1000.);
-  List.iter
-    (fun (r : Workloads.Harness.nest_row) ->
-       Printf.printf
-         "  %s: %.0f%% of loop time, %d instances, trips %.1f±%.1f,\n\
-         \    divergence %s, DOM %b, breaking deps %s, parallelization %s\n"
-         r.label r.pct_loop_time r.instances r.trips_mean r.trips_sd
-         (Ceres.Classify.divergence_to_string r.divergence)
-         r.dom_access
-         (Ceres.Classify.difficulty_to_string r.dep_difficulty)
-         (Ceres.Classify.difficulty_to_string r.par_difficulty))
-    rows
-
+(* ------------------------------------------------------------------ *)
+(* Batched pipeline: one Pipeline request per workload, coalesced into
+   a single wave by the service (dedup + pool fan-out). Workload
+   crashes — real bugs, watchdog overruns, injected chaos faults —
+   come back as error responses and print as FAILED rows while the
+   survivors print their rows; stdout stays byte-identical per chaos
+   seed (all printed failure fields are virtual-time based). *)
 let pipeline_cmd =
-  let run names jobs stats keep_going chaos_seed retries watchdog_ms =
+  let run names jobs stats keep_going chaos_seed retries watchdog_ms format =
     let ws =
       match names with
       | [] -> Workloads.Registry.all
@@ -264,78 +282,66 @@ let pipeline_cmd =
     (match chaos_seed with
      | Some seed -> Js_parallel.Fault.enable ~seed
      | None -> ignore (Js_parallel.Fault.enable_from_env ()));
-    let chaos = Js_parallel.Fault.enabled () in
-    let supervised = keep_going || chaos || watchdog_ms <> None in
-    let pool =
-      if jobs > 1 then Some (Js_parallel.Pool.create ~domains:jobs ())
-      else None
+    (* The service core supervises every request, so --keep-going is
+       always in effect; the flag is kept for script compatibility. *)
+    ignore keep_going;
+    let svc = Service.create ~jobs ~retries ?watchdog_ms () in
+    let reqs =
+      List.map
+        (fun (w : Workloads.Workload.t) ->
+           Service.Request.make Service.Request.Pipeline w.name)
+        ws
     in
-    let stage w =
-      (Workloads.Harness.run_lightweight w, Workloads.Harness.inspect w)
-    in
+    let resps = Service.run_batch svc reqs in
+    (match format with
+     | `Json ->
+       List.iter
+         (fun r ->
+            print_endline
+              (Service.Json.to_string (Service.Response.to_json r)))
+         resps
+     | `Text ->
+       List.iter2
+         (fun (w : Workloads.Workload.t) (r : Service.Response.t) ->
+            print_string (Service.Response.render_text r);
+            match r.result with
+            | Ok _ -> ()
+            | Error { failure = Some fl; _ } ->
+              Printf.eprintf "jsceres: %s failed %s\n%!" w.name
+                (Js_parallel.Supervisor.failure_details fl)
+            | Error e ->
+              Printf.eprintf "jsceres: %s failed: %s\n%!" w.name e.message)
+         ws resps);
     let failed =
-      if not supervised then begin
-        List.iter
-          (fun (w, out) -> print_workload_rows w out)
-          (Workloads.Harness.map_workloads ?pool stage ws);
-        []
-      end
-      else begin
-        let budget =
-          Option.map
-            (fun ms -> Int64.of_int (ms * Workloads.Harness.ticks_per_ms))
-            watchdog_ms
-        in
-        let results =
-          Workloads.Harness.map_workloads_supervised ?pool ~retries ?budget
-            stage ws
-        in
-        List.filter_map
-          (fun ((w : Workloads.Workload.t), res) ->
-             match res with
-             | Ok out ->
-               print_workload_rows w out;
-               None
-             | Error fl ->
-               Printf.printf "%s: FAILED %s\n" w.name
-                 (Js_parallel.Supervisor.failure_to_string fl);
-               Printf.eprintf "jsceres: %s failed %s\n%!" w.name
-                 (Js_parallel.Supervisor.failure_details fl);
-               Some (w, fl))
-          results
-      end
+      List.filter_map
+        (fun ((w : Workloads.Workload.t), (r : Service.Response.t)) ->
+           match r.result with
+           | Ok _ -> None
+           | Error e -> Some (w, e))
+        (List.combine ws resps)
     in
-    if failed <> [] then begin
+    if failed <> [] && format = `Text then begin
       Printf.printf "\n%d of %d workload(s) failed:\n" (List.length failed)
         (List.length ws);
       List.iter
-        (fun ((w : Workloads.Workload.t), fl) ->
-           Printf.printf "  %-16s %s\n" w.name
-             (Js_parallel.Supervisor.failure_to_string fl))
+        (fun ((w : Workloads.Workload.t), (e : Service.Response.error)) ->
+           Printf.printf "  %-16s %s\n" w.name e.message)
         failed
     end;
-    (match pool with
-     | None -> ()
-     | Some p ->
-       if stats then
-         Printf.printf "pool telemetry: %s\n" (Js_parallel.Pool.stats_json p);
-       Js_parallel.Pool.shutdown p);
+    (if stats then
+       match Service.pool_stats svc with
+       | Some s ->
+         Printf.printf "pool telemetry: %s\n" (Js_parallel.Telemetry.to_json s)
+       | None -> ());
+    Service.shutdown svc;
     if chaos_seed <> None then Js_parallel.Fault.disable ();
-    if failed <> [] then exit 1
+    if failed <> [] then exit Service.Exit.operational_error
   in
   let names_arg =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"WORKLOAD"
           ~doc:"Workloads to analyze (default: all twelve).")
-  in
-  let jobs_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Run the per-workload pipelines concurrently on a \
-             work-stealing pool of $(docv) domains.")
   in
   let stats_arg =
     Arg.(
@@ -348,9 +354,9 @@ let pipeline_cmd =
       value & flag
       & info [ "k"; "keep-going" ]
           ~doc:
-            "Supervise each workload: a crashing workload becomes a FAILED \
-             row and a structured failure summary while the others \
-             complete; the exit status is nonzero if any workload failed.")
+            "Kept for compatibility: the service core always supervises \
+             each workload, so failures become FAILED rows and the exit \
+             status is nonzero if any workload failed.")
   in
   let chaos_seed_arg =
     Arg.(
@@ -359,39 +365,34 @@ let pipeline_cmd =
       & info [ "chaos-seed" ] ~docv:"SEED"
           ~doc:
             "Enable deterministic fault injection: the failure set is a \
-             pure function of $(docv), so repeated runs are byte-identical \
-             (implies supervision, as with $(b,--keep-going)). Also \
-             enabled by the JSCERES_CHAOS environment variable.")
+             pure function of $(docv), so repeated runs are byte-identical. \
+             Also enabled by the JSCERES_CHAOS environment variable.")
   in
-  let retries_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "retries" ] ~docv:"N"
-          ~doc:
-            "Retry a workload up to $(docv) times after a transient \
-             failure (injected faults, interrupted syscalls); permanent \
-             failures — parse errors, JS exceptions, watchdog overruns — \
-             are never retried.")
+  Cmd.v (cmd_info "pipeline")
+    Term.(
+      const run $ names_arg $ jobs_arg $ stats_arg $ keep_going_arg
+      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg $ format_arg)
+
+let serve_cmd =
+  let run jobs retries watchdog_ms cache_capacity =
+    let svc =
+      Service.create ~jobs ~retries ?watchdog_ms
+        ?cache_capacity ()
+    in
+    Service.serve_channels svc stdin stdout;
+    Service.shutdown svc
   in
-  let watchdog_ms_arg =
+  let cache_capacity_arg =
     Arg.(
       value
       & opt (some int) None
-      & info [ "watchdog-ms" ] ~docv:"MS"
-          ~doc:
-            "Watchdog budget in virtual milliseconds: a workload whose \
-             interpreter exceeds it fails with a budget-exhausted report \
-             instead of hanging the pipeline (implies supervision).")
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache entry bound (default 128; LRU eviction).")
   in
-  Cmd.v
-    (Cmd.info "pipeline"
-       ~doc:
-         "Table 2 + Table 3 pipeline for many workloads, optionally in \
-          parallel (--jobs N) and under per-workload supervision \
-          (--keep-going, --chaos-seed, --watchdog-ms).")
+  Cmd.v (cmd_info "serve")
     Term.(
-      const run $ names_arg $ jobs_arg $ stats_arg $ keep_going_arg
-      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg)
+      const run $ jobs_arg $ retries_arg $ watchdog_ms_arg
+      $ cache_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -449,14 +450,14 @@ let file_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"MiniJS source file.")
   in
-  Cmd.v
-    (Cmd.info "file" ~doc:"Run or analyze an arbitrary MiniJS script.")
-    Term.(const run $ path_arg $ mode_arg)
+  Cmd.v (cmd_info "file") Term.(const run $ path_arg $ mode_arg)
 
 let () =
   let doc = "JS-CERES: profiling and dependence analysis for MiniJS programs" in
-  let info = Cmd.info "jsceres" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-                    [ list_cmd; run_cmd; profile_cmd; loops_cmd; deps_cmd;
-                      static_analyze_cmd; inspect_cmd; pipeline_cmd;
-                      report_cmd; survey_cmd; file_cmd ]))
+  let info = Cmd.info "jsceres" ~version:"1.0.0" ~doc ~exits in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; profile_cmd; loops_cmd; deps_cmd; analyze_cmd;
+            crossval_cmd; inspect_cmd; pipeline_cmd; serve_cmd; report_cmd;
+            survey_cmd; file_cmd ]))

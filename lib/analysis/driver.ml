@@ -75,67 +75,52 @@ let to_text (rep : report) : string =
 
 (* Uniform row shape so goldens diff cleanly: every row carries
    [accumulators], [details] and [notes], empty when inapplicable. *)
-let to_json (rep : report) : string =
-  let buf = Buffer.create 1024 in
-  let strings xs =
-    String.concat ","
-      (List.map
-         (fun s -> Printf.sprintf "\"%s\"" (Verdict.json_escape s))
-         xs)
-  in
+let json_of_report (rep : report) : Ceres_util.Json.t =
+  let open Ceres_util.Json in
   let details (pairs : (string * int) list) =
-    String.concat ","
+    List
       (List.map
-         (fun (text, ln) ->
-            Printf.sprintf "{\"text\":\"%s\",\"line\":%d}"
-              (Verdict.json_escape text) ln)
+         (fun (text, ln) -> Obj [ ("text", Str text); ("line", Int ln) ])
          pairs)
   in
-  Buffer.add_string buf "{\n  \"loops\": [";
-  List.iteri
-    (fun i r ->
-       if i > 0 then Buffer.add_char buf ',';
-       let accs, dets =
-         match r.verdict with
-         | Verdict.Parallel -> ([], [])
-         | Verdict.Reduction accs -> (accs, [])
-         | Verdict.Needs_runtime_check rs ->
-           ( [],
-             List.map
-               (fun (x : Verdict.reason) -> (x.why, x.line))
-               (List.sort_uniq compare rs) )
-         | Verdict.Sequential ds ->
-           ( [],
-             List.map
-               (fun (x : Verdict.dep) -> (x.what, x.line))
-               (List.sort_uniq compare ds) )
-       in
-       Buffer.add_string buf
-         (Printf.sprintf
-            "\n    {\n\
-            \      \"id\": %d,\n\
-            \      \"kind\": \"%s\",\n\
-            \      \"line\": %d,\n\
-            \      \"depth\": %d,\n\
-            \      \"parent\": %s,\n\
-            \      \"function\": %s,\n\
-            \      \"verdict\": \"%s\",\n\
-            \      \"accumulators\": [%s],\n\
-            \      \"details\": [%s],\n\
-            \      \"notes\": [%s]\n\
-            \    }"
-            r.info.Loops.id
-            (Ast.loop_kind_name r.info.Loops.kind)
-            r.info.Loops.line r.info.Loops.depth
-            (match r.info.Loops.parent with
-             | Some p -> string_of_int p
-             | None -> "null")
-            (match r.info.Loops.in_function with
-             | Some f ->
-               Printf.sprintf "\"%s\"" (Verdict.json_escape f)
-             | None -> "null")
-            (Verdict.kind_name r.verdict)
-            (strings accs) (details dets) (strings r.notes)))
-    rep.rows;
-  Buffer.add_string buf "\n  ]\n}\n";
-  Buffer.contents buf
+  Obj
+    [ ( "loops",
+        List
+          (List.map
+             (fun r ->
+                let accs, dets =
+                  match r.verdict with
+                  | Verdict.Parallel -> ([], [])
+                  | Verdict.Reduction accs -> (accs, [])
+                  | Verdict.Needs_runtime_check rs ->
+                    ( [],
+                      List.map
+                        (fun (x : Verdict.reason) -> (x.why, x.line))
+                        (List.sort_uniq compare rs) )
+                  | Verdict.Sequential ds ->
+                    ( [],
+                      List.map
+                        (fun (x : Verdict.dep) -> (x.what, x.line))
+                        (List.sort_uniq compare ds) )
+                in
+                Obj
+                  [ ("id", Int r.info.Loops.id);
+                    ("kind", Str (Ast.loop_kind_name r.info.Loops.kind));
+                    ("line", Int r.info.Loops.line);
+                    ("depth", Int r.info.Loops.depth);
+                    ( "parent",
+                      match r.info.Loops.parent with
+                      | Some p -> Int p
+                      | None -> Null );
+                    ( "function",
+                      match r.info.Loops.in_function with
+                      | Some f -> Str f
+                      | None -> Null );
+                    ("verdict", Str (Verdict.kind_name r.verdict));
+                    ("accumulators", List (List.map (fun a -> Str a) accs));
+                    ("details", details dets);
+                    ("notes", List (List.map (fun n -> Str n) r.notes)) ])
+             rep.rows) ) ]
+
+let to_json (rep : report) : string =
+  Ceres_util.Json.to_string_pretty (json_of_report rep)

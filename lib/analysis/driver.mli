@@ -27,7 +27,11 @@ val row_header : row -> string
 val to_text : report -> string
 (** Nesting-indented human-readable report. *)
 
+val json_of_report : report -> Ceres_util.Json.t
+(** The report as a {!Ceres_util.Json} document (embedded verbatim by
+    the service layer's [analyze] responses); every row has the keys
+    [id kind line depth parent function verdict accumulators details
+    notes]. *)
+
 val to_json : report -> string
-(** Pretty-printed JSON, byte-identical across runs; every row has
-    the keys [id kind line depth parent function verdict accumulators
-    details notes]. *)
+(** {!json_of_report} pretty-printed; byte-identical across runs. *)

@@ -44,18 +44,30 @@ let reset_counters c =
 let retries_total = Atomic.make 0
 let faults_total = Atomic.make 0
 let skipped_static_total = Atomic.make 0
+let cache_hits_total = Atomic.make 0
+let cache_misses_total = Atomic.make 0
+let cache_evictions_total = Atomic.make 0
 
 let note_retry () = Atomic.incr retries_total
 let note_fault_injected () = Atomic.incr faults_total
 let note_speculation_skipped_static () = Atomic.incr skipped_static_total
+let note_cache_hit () = Atomic.incr cache_hits_total
+let note_cache_miss () = Atomic.incr cache_misses_total
+let note_cache_eviction () = Atomic.incr cache_evictions_total
 let retries () = Atomic.get retries_total
 let faults_injected () = Atomic.get faults_total
 let speculation_skipped_static () = Atomic.get skipped_static_total
+let cache_hits () = Atomic.get cache_hits_total
+let cache_misses () = Atomic.get cache_misses_total
+let cache_evictions () = Atomic.get cache_evictions_total
 
 let reset_globals () =
   Atomic.set retries_total 0;
   Atomic.set faults_total 0;
-  Atomic.set skipped_static_total 0
+  Atomic.set skipped_static_total 0;
+  Atomic.set cache_hits_total 0;
+  Atomic.set cache_misses_total 0;
+  Atomic.set cache_evictions_total 0
 
 (* ------------------------------------------------------------------ *)
 
@@ -111,6 +123,9 @@ type pool_stats = {
   faults_injected : int; (* chaos injections fired (process-wide) *)
   speculation_skipped_static : int;
   (* speculative runs that bypassed bookkeeping on a static proof *)
+  cache_hits : int; (* service result-cache hits (process-wide) *)
+  cache_misses : int; (* service result-cache misses (process-wide) *)
+  cache_evictions : int; (* service result-cache LRU evictions *)
   domains : domain_stats list; (* by participant id, caller first *)
   recent_loops : loop_stats list; (* oldest first *)
 }
@@ -134,6 +149,8 @@ let snapshot ~participants ~jobs_submitted (cs : counters array) log =
   { participants; jobs_submitted; loops_run;
     retries = retries (); faults_injected = faults_injected ();
     speculation_skipped_static = speculation_skipped_static ();
+    cache_hits = cache_hits (); cache_misses = cache_misses ();
+    cache_evictions = cache_evictions ();
     domains; recent_loops }
 
 let total_tasks s =
@@ -145,37 +162,45 @@ let total_failed s =
 let total_steals s =
   List.fold_left (fun a d -> a + d.steals_succeeded) 0 s.domains
 
-(* Hand-rolled JSON: the stats are flat records of ints and floats, no
-   escaping needed, and the repo deliberately avoids new dependencies. *)
-let to_json s =
-  let buf = Buffer.create 512 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\"participants\":%d,\"jobs_submitted\":%d,\"loops_run\":%d,"
-    s.participants s.jobs_submitted s.loops_run;
-  add "\"tasks_executed\":%d,\"tasks_failed\":%d,\"steals_succeeded\":%d,"
-    (total_tasks s) (total_failed s) (total_steals s);
-  add
-    "\"retries\":%d,\"faults_injected\":%d,\
-     \"speculation_skipped_static\":%d,\"domains\":["
-    s.retries s.faults_injected s.speculation_skipped_static;
-  List.iteri
-    (fun i d ->
-       if i > 0 then add ",";
-       add
-         "{\"domain\":%d,\"tasks_executed\":%d,\"tasks_failed\":%d,\
-          \"steals_attempted\":%d,\
-          \"steals_succeeded\":%d,\"idle_spins\":%d}"
-         d.domain d.tasks_executed d.tasks_failed d.steals_attempted
-         d.steals_succeeded d.idle_spins)
-    s.domains;
-  add "],\"loops\":[";
-  List.iteri
-    (fun i (l : loop_stats) ->
-       if i > 0 then add ",";
-       add
-         "{\"loop\":%d,\"chunks\":%d,\"wall_ms\":%.3f,\"fork_ms\":%.3f,\
-          \"join_ms\":%.3f}"
-         l.loop_index l.chunks l.wall_ms l.fork_ms l.join_ms)
-    s.recent_loops;
-  add "]}";
-  Buffer.contents buf
+(* Rendered through the repo-wide deterministic encoder so the pool's
+   stats serialize exactly like every other JSON surface. *)
+let json_of_stats s : Ceres_util.Json.t =
+  let open Ceres_util.Json in
+  Obj
+    [ ("participants", Int s.participants);
+      ("jobs_submitted", Int s.jobs_submitted);
+      ("loops_run", Int s.loops_run);
+      ("tasks_executed", Int (total_tasks s));
+      ("tasks_failed", Int (total_failed s));
+      ("steals_succeeded", Int (total_steals s));
+      ("retries", Int s.retries);
+      ("faults_injected", Int s.faults_injected);
+      ("speculation_skipped_static", Int s.speculation_skipped_static);
+      ("cache_hits", Int s.cache_hits);
+      ("cache_misses", Int s.cache_misses);
+      ("cache_evictions", Int s.cache_evictions);
+      ( "domains",
+        List
+          (List.map
+             (fun d ->
+                Obj
+                  [ ("domain", Int d.domain);
+                    ("tasks_executed", Int d.tasks_executed);
+                    ("tasks_failed", Int d.tasks_failed);
+                    ("steals_attempted", Int d.steals_attempted);
+                    ("steals_succeeded", Int d.steals_succeeded);
+                    ("idle_spins", Int d.idle_spins) ])
+             s.domains) );
+      ( "loops",
+        List
+          (List.map
+             (fun (l : loop_stats) ->
+                Obj
+                  [ ("loop", Int l.loop_index);
+                    ("chunks", Int l.chunks);
+                    ("wall_ms", Fixed (3, l.wall_ms));
+                    ("fork_ms", Fixed (3, l.fork_ms));
+                    ("join_ms", Fixed (3, l.join_ms)) ])
+             s.recent_loops) ) ]
+
+let to_json s = Ceres_util.Json.to_string (json_of_stats s)

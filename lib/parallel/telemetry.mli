@@ -36,6 +36,17 @@ val speculation_skipped_static : unit -> int
 (** Speculative loop runs that skipped conflict bookkeeping because
     the static analyzer proved the loop parallel. *)
 
+val note_cache_hit : unit -> unit
+val note_cache_miss : unit -> unit
+val note_cache_eviction : unit -> unit
+val cache_hits : unit -> int
+val cache_misses : unit -> int
+
+val cache_evictions : unit -> int
+(** Service result-cache counters (the cache lives in [lib/service],
+    which does not own a pool, so like retries they are process-wide
+    and ride along in every snapshot). *)
+
 val reset_globals : unit -> unit
 
 (** {1 Per-loop records} *)
@@ -77,6 +88,9 @@ type pool_stats = {
   faults_injected : int; (** chaos injections fired (process-wide) *)
   speculation_skipped_static : int;
       (** speculative runs that bypassed bookkeeping on a static proof *)
+  cache_hits : int; (** service result-cache hits (process-wide) *)
+  cache_misses : int; (** service result-cache misses (process-wide) *)
+  cache_evictions : int; (** service result-cache LRU evictions *)
   domains : domain_stats list; (** by participant id, caller first *)
   recent_loops : loop_stats list; (** oldest first; last 64 loops *)
 }
@@ -89,5 +103,9 @@ val total_tasks : pool_stats -> int
 val total_failed : pool_stats -> int
 val total_steals : pool_stats -> int
 
+val json_of_stats : pool_stats -> Ceres_util.Json.t
+(** The snapshot as a document of the repo-wide {!Ceres_util.Json}
+    encoder (embedded by the service layer's responses). *)
+
 val to_json : pool_stats -> string
-(** One-line JSON export of the snapshot (no external dependencies). *)
+(** {!json_of_stats} rendered as one line. *)

@@ -1,0 +1,31 @@
+(* Dedup + fan-out. First occurrence order decides execution order so
+   a batch is deterministic regardless of scheduling (the pool only
+   changes *when* each distinct request runs, not which ones run). *)
+
+let run ?pool ~key ~exec reqs =
+  let slot_of_key : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let distinct = ref [] and n = ref 0 in
+  let slots =
+    List.map
+      (fun req ->
+         let k = key req in
+         match Hashtbl.find_opt slot_of_key k with
+         | Some slot -> slot
+         | None ->
+           let slot = !n in
+           Hashtbl.add slot_of_key k slot;
+           distinct := req :: !distinct;
+           incr n;
+           slot)
+      reqs
+  in
+  let distinct = Array.of_list (List.rev !distinct) in
+  let results = Array.make (Array.length distinct) None in
+  (match pool with
+   | Some p when Array.length distinct > 1 ->
+     Js_parallel.Pool.parallel_for p ~lo:0 ~hi:(Array.length distinct)
+       ~chunk:1
+       (fun i -> results.(i) <- Some (exec distinct.(i)))
+   | _ ->
+     Array.iteri (fun i req -> results.(i) <- Some (exec req)) distinct);
+  List.map (fun slot -> Option.get results.(slot)) slots

@@ -1,0 +1,18 @@
+(** Request coalescing: run a list of requests as one pool-scheduled
+    wave.
+
+    Identical requests (same [key]) are deduplicated — executed once,
+    with every occurrence sharing the one response — and the distinct
+    ones fan out over the pool's work-stealing deques (chunk size 1,
+    like the parallel analysis driver), or run sequentially without a
+    pool. Response order always follows request order. *)
+
+val run :
+  ?pool:Js_parallel.Pool.t ->
+  key:('req -> string) ->
+  exec:('req -> 'resp) ->
+  'req list ->
+  'resp list
+(** [exec] must confine its own failures (the service core runs every
+    request under {!Js_parallel.Supervisor.run}, so an error becomes
+    an error response, never an exception unwinding the wave). *)

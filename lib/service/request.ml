@@ -1,0 +1,93 @@
+type pass = Profile | Loops | Deps | Analyze | Crossval | Pipeline
+
+type config = {
+  scale : float option;
+  focus : int option;
+  max_nests : int option;
+}
+
+type t = { pass : pass; workload : string; config : config }
+
+let default_config = { scale = None; focus = None; max_nests = None }
+
+let make ?scale ?focus ?max_nests pass workload =
+  { pass; workload; config = { scale; focus; max_nests } }
+
+let all_passes =
+  [ ("profile", Profile); ("loops", Loops); ("deps", Deps);
+    ("analyze", Analyze); ("crossval", Crossval); ("pipeline", Pipeline) ]
+
+let pass_name p =
+  fst (List.find (fun (_, p') -> p' = p) all_passes)
+
+let pass_of_name n = List.assoc_opt (String.lowercase_ascii n) all_passes
+
+(* The fingerprint spells out every config field, absent ones
+   included, so adding a field later cannot alias old keys. *)
+let config_fingerprint (c : config) =
+  let opt f = function None -> "-" | Some v -> f v in
+  Printf.sprintf "scale=%s;focus=%s;max_nests=%s"
+    (opt (Printf.sprintf "%.17g") c.scale)
+    (opt string_of_int c.focus)
+    (opt string_of_int c.max_nests)
+
+let key ~source (t : t) =
+  Printf.sprintf "%s:%s:%s"
+    (Digest.to_hex (Digest.string source))
+    (pass_name t.pass)
+    (config_fingerprint t.config)
+
+(* ------------------------------------------------------------------ *)
+
+let to_json (t : t) : Ceres_util.Json.t =
+  let open Ceres_util.Json in
+  let opt k f v rest =
+    match v with None -> rest | Some v -> (k, f v) :: rest
+  in
+  Obj
+    (("pass", Str (pass_name t.pass))
+     :: ("workload", Str t.workload)
+     :: opt "scale" (fun s -> Float s) t.config.scale
+          (opt "focus" (fun i -> Int i) t.config.focus
+             (opt "max_nests" (fun i -> Int i) t.config.max_nests [])))
+
+let of_json (doc : Ceres_util.Json.t) : (t, string) result =
+  let open Ceres_util.Json in
+  match doc with
+  | Obj kvs ->
+    let known =
+      [ "pass"; "workload"; "scale"; "focus"; "max_nests" ]
+    in
+    (match List.find_opt (fun (k, _) -> not (List.mem k known)) kvs with
+     | Some (k, _) -> Error (Printf.sprintf "unknown member %S" k)
+     | None ->
+       (match member "pass" doc, member "workload" doc with
+        | None, _ -> Error "missing \"pass\""
+        | _, None -> Error "missing \"workload\""
+        | Some p, Some w ->
+          (match string_opt p, string_opt w with
+           | None, _ -> Error "\"pass\" must be a string"
+           | _, None -> Error "\"workload\" must be a string"
+           | Some p, Some w ->
+             (match pass_of_name p with
+              | None ->
+                Error
+                  (Printf.sprintf "unknown pass %S (expected one of %s)" p
+                     (String.concat ", " (List.map fst all_passes)))
+              | Some pass ->
+                let num k conv what =
+                  match member k doc with
+                  | None -> Ok None
+                  | Some v ->
+                    (match conv v with
+                     | Some x -> Ok (Some x)
+                     | None ->
+                       Error (Printf.sprintf "%S must be %s" k what))
+                in
+                let ( let* ) = Result.bind in
+                let* scale = num "scale" float_opt "a number" in
+                let* focus = num "focus" int_opt "an integer" in
+                let* max_nests = num "max_nests" int_opt "an integer" in
+                Ok { pass; workload = w;
+                     config = { scale; focus; max_nests } }))))
+  | _ -> Error "request must be a JSON object"

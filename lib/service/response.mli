@@ -1,0 +1,63 @@
+(** Typed responses of the service core, with every rendering the
+    consumers need: the deterministic protocol JSON that [jsceres
+    serve] emits, and the exact text formats the CLI subcommands have
+    always printed (the CLI is a thin adapter over these, so serve and
+    the subcommands cannot drift apart). *)
+
+type error_code = Bad_request | Unknown_workload | Workload_failed
+
+val error_code_name : error_code -> string
+
+type error = {
+  code : error_code;
+  message : string;  (** deterministic (virtual-time fields only) *)
+  failure : Js_parallel.Supervisor.failure option;
+      (** present for [Workload_failed] *)
+}
+
+type body =
+  | Profile of Workloads.Harness.timing
+  | Loops of string  (** rendered Sec. 3.2 loop-profile report *)
+  | Deps of string  (** rendered Sec. 3.3 dependence report *)
+  | Analyze of Analysis.Driver.report
+  | Crossval of Workloads.Harness.crossval_row list
+  | Pipeline of Workloads.Harness.timing * Workloads.Harness.nest_row list
+
+type t = {
+  request : Request.t option;
+      (** echo of the request, workload name normalized; [None] only
+          for protocol-level errors with no parsed request *)
+  result : (body, error) result;
+}
+
+val ok : Request.t -> body -> t
+val error : ?request:Request.t -> error_code -> string -> t
+val of_failure : Request.t -> Js_parallel.Supervisor.failure -> t
+
+val exit_code : t -> int
+(** The repo-wide CLI convention (documented in the [jsceres] man
+    page and README): {b 0} success, {b 1} operational error (unknown
+    workload, failed workload, bad request), {b 2} analysis verdict —
+    an [Analyze] response whose report proves some loop sequential. *)
+
+val to_json : t -> Ceres_util.Json.t
+(** Protocol form: [{"workload":..,"pass":..,"result":{..}}] on
+    success, [{"error":{"code":..,"message":..},..}] on error.
+    Deterministic: rendering the same response twice (or a cached
+    copy of it) is byte-identical. *)
+
+(** {1 CLI text renderings (legacy byte formats)} *)
+
+val render_text : t -> string
+(** The historical stdout of the corresponding subcommand: timing
+    lines for [profile], the report for [loops]/[deps], the verdict
+    listing for [analyze] (text form), per-loop soundness lines for
+    [crossval], and the indented two-line nest rows for [pipeline].
+    Errors render as the [FAILED] row format of supervised runs. *)
+
+val render_inspect : t -> string
+(** [Pipeline] bodies only: the [jsceres inspect] format — unindented
+    nest rows, each followed by its advice block. *)
+
+val render_analyze_json : t -> string option
+(** [Analyze] bodies: the pretty report for [--format=json]. *)

@@ -1,0 +1,91 @@
+(* JSONL request/response loop. Kept independent of the service core
+   (it receives the exec functions in a [handler] record) so the
+   protocol layer is testable line-by-line without a process. *)
+
+type handler = {
+  exec : Request.t -> Response.t;
+  exec_batch : Request.t list -> Response.t list;
+  cache_stats : unit -> Cache.stats;
+  telemetry : unit -> Ceres_util.Json.t option;
+}
+
+let error_line code message =
+  Ceres_util.Json.to_string (Response.to_json (Response.error code message))
+
+let response_line resp = Ceres_util.Json.to_string (Response.to_json resp)
+
+let cache_stats_line (s : Cache.stats) =
+  Ceres_util.Json.to_string
+    (Obj
+       [ ( "cache",
+           Ceres_util.Json.Obj
+             [ ("hits", Int s.hits);
+               ("misses", Int s.misses);
+               ("evictions", Int s.evictions);
+               ("entries", Int s.entries) ] ) ])
+
+let handle_doc h (doc : Ceres_util.Json.t) =
+  match doc with
+  | Obj _ when Ceres_util.Json.member "op" doc <> None ->
+    (match Option.bind (Ceres_util.Json.member "op" doc)
+             Ceres_util.Json.string_opt
+     with
+     | Some "cache-stats" -> cache_stats_line (h.cache_stats ())
+     | Some "telemetry" ->
+       Ceres_util.Json.to_string
+         (Obj
+            [ ( "telemetry",
+                match h.telemetry () with
+                | Some doc -> doc
+                | None -> Ceres_util.Json.Null ) ])
+     | Some "ping" -> Ceres_util.Json.to_string (Obj [ ("ok", Bool true) ])
+     | Some op ->
+       error_line Response.Bad_request (Printf.sprintf "unknown op %S" op)
+     | None -> error_line Response.Bad_request "\"op\" must be a string")
+  | Obj _ ->
+    (match Request.of_json doc with
+     | Ok req -> response_line (h.exec req)
+     | Error msg -> error_line Response.Bad_request msg)
+  | List items ->
+    let parsed = List.map Request.of_json items in
+    (match
+       List.find_map (function Error m -> Some m | Ok _ -> None) parsed
+     with
+     | Some msg ->
+       error_line Response.Bad_request ("in batch: " ^ msg)
+     | None ->
+       let reqs =
+         List.filter_map (function Ok r -> Some r | Error _ -> None) parsed
+       in
+       Ceres_util.Json.to_string
+         (List (List.map Response.to_json (h.exec_batch reqs))))
+  | _ -> error_line Response.Bad_request "request must be an object or array"
+
+let handle_line h line =
+  let line = String.trim line in
+  if line = "" then None
+  else
+    Some
+      (match Ceres_util.Json.of_string line with
+       | Error msg ->
+         error_line Response.Bad_request ("invalid JSON: " ^ msg)
+       | Ok doc -> (
+           try handle_doc h doc
+           with exn ->
+             (* Last-ditch confinement: a serve loop must answer with
+                an error line, never die on a request. *)
+             error_line Response.Bad_request
+               ("internal error: " ^ Printexc.to_string exn)))
+
+let serve h ic oc =
+  try
+    while true do
+      let line = input_line ic in
+      match handle_line h line with
+      | None -> ()
+      | Some out ->
+        output_string oc out;
+        output_char oc '\n';
+        flush oc
+    done
+  with End_of_file -> ()

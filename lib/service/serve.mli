@@ -1,0 +1,32 @@
+(** The long-running JSONL protocol: one request per line on input,
+    one deterministic JSON response per line on output.
+
+    Protocol, one JSON document per line:
+    - an object with ["pass"]/["workload"] (see {!Request.of_json})
+      → one response line;
+    - an array of such objects → batched through the service's
+      {!Batcher} (dedup + pool fan-out), one JSON array line back,
+      responses in request order;
+    - [{"op": "cache-stats"}] → the result cache's deterministic
+      counters ([hits]/[misses]/[evictions]/[entries]);
+    - [{"op": "telemetry"}] → the pool's scheduling telemetry (or
+      [null] without a pool);
+    - [{"op": "ping"}] → [{"ok": true}];
+    - anything else (bad JSON, unknown pass, unknown op) → one
+      [{"error": {...}}] line. The loop never crashes on input.
+
+    Blank lines are ignored. EOF ends the loop. *)
+
+type handler = {
+  exec : Request.t -> Response.t;
+  exec_batch : Request.t list -> Response.t list;
+  cache_stats : unit -> Cache.stats;
+  telemetry : unit -> Ceres_util.Json.t option;
+}
+
+val handle_line : handler -> string -> string option
+(** One protocol step: [None] for blank input, otherwise the response
+    line (no trailing newline). Never raises. *)
+
+val serve : handler -> in_channel -> out_channel -> unit
+(** Run the loop until EOF, flushing after every response line. *)

@@ -14,4 +14,5 @@ let () =
       ("nbody", Test_nbody.suite);
       ("workloads", Test_workloads.suite);
       ("behavior", Test_workload_behavior.suite);
-      ("analysis", Test_analysis.suite) ]
+      ("analysis", Test_analysis.suite);
+      ("service", Test_service.suite) ]

@@ -1,0 +1,246 @@
+(* The service core: request parsing, cache behaviour (hit-after-miss
+   byte identity, LRU eviction, config keying), batch/sequential
+   equivalence, the JSONL protocol, and the CLI exit-code convention
+   (asserted against the installed executable). *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let render (r : Service.Response.t) =
+  Service.Json.to_string (Service.Response.to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Request JSON round trip *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+       match Service.Request.of_json (Service.Request.to_json req) with
+       | Ok req' ->
+         Alcotest.(check bool) "round trip" true (req = req')
+       | Error msg -> Alcotest.failf "round trip failed: %s" msg)
+    [ Service.Request.make Service.Request.Profile "MyScript";
+      Service.Request.make ~scale:0.5 Service.Request.Profile "Ace";
+      Service.Request.make ~focus:3 Service.Request.Deps "Ace";
+      Service.Request.make ~max_nests:16 Service.Request.Pipeline "D3.js" ]
+
+let test_request_rejects_junk () =
+  let bad json =
+    match Service.Request.of_json json with
+    | Ok _ -> Alcotest.fail "accepted a bad request"
+    | Error _ -> ()
+  in
+  bad (Service.Json.Obj [ ("pass", Str "profile") ]);
+  bad (Service.Json.Obj [ ("pass", Str "nosuch"); ("workload", Str "Ace") ]);
+  bad
+    (Service.Json.Obj
+       [ ("pass", Str "profile"); ("workload", Str "Ace");
+         ("mystery", Int 1) ]);
+  bad (Service.Json.Obj [ ("pass", Int 3); ("workload", Str "Ace") ])
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_hit_after_miss () =
+  let svc = Service.create () in
+  let req = Service.Request.make Service.Request.Profile "MyScript" in
+  let a = Service.run svc req in
+  let b = Service.run svc req in
+  Alcotest.(check string) "byte-identical rendering" (render a) (render b);
+  let s = Service.cache_stats svc in
+  Alcotest.(check int) "one miss" 1 s.misses;
+  Alcotest.(check int) "one hit" 1 s.hits;
+  Alcotest.(check int) "one entry" 1 s.entries
+
+let test_cache_lru_eviction () =
+  let c : int Service.Cache.t = Service.Cache.create ~capacity:2 () in
+  Service.Cache.add c "a" 1;
+  Service.Cache.add c "b" 2;
+  (* Touch "a" so "b" becomes the least recently used entry. *)
+  Alcotest.(check (option int)) "a cached" (Some 1) (Service.Cache.find c "a");
+  Service.Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Service.Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1)
+    (Service.Cache.find c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Service.Cache.find c "c");
+  let s = Service.Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.evictions;
+  Alcotest.(check int) "two entries" 2 s.entries
+
+let test_cache_keyed_on_config () =
+  let svc = Service.create () in
+  let plain = Service.Request.make Service.Request.Profile "MyScript" in
+  let scaled =
+    Service.Request.make ~scale:0.5 Service.Request.Profile "MyScript"
+  in
+  ignore (Service.run svc plain);
+  ignore (Service.run svc scaled);
+  let s = Service.cache_stats svc in
+  Alcotest.(check int) "distinct configs miss separately" 2 s.misses;
+  Alcotest.(check int) "no false hit" 0 s.hits;
+  Alcotest.(check int) "two entries" 2 s.entries
+
+let test_failures_not_cached () =
+  let svc = Service.create ~watchdog_ms:1 () in
+  let req = Service.Request.make Service.Request.Profile "MyScript" in
+  (match (Service.run svc req).result with
+   | Ok _ -> Alcotest.fail "1ms budget must kill the workload"
+   | Error e ->
+     Alcotest.(check string) "failure code" "workload-failed"
+       (Service.Response.error_code_name e.code));
+  let s = Service.cache_stats svc in
+  Alcotest.(check int) "failure not cached" 0 s.entries
+
+(* ------------------------------------------------------------------ *)
+(* Batching *)
+
+let test_batch_dedups_identical () =
+  let svc = Service.create () in
+  let req = Service.Request.make Service.Request.Analyze "MyScript" in
+  let resps = Service.run_batch svc [ req; req; req ] in
+  Alcotest.(check int) "three responses" 3 (List.length resps);
+  (match resps with
+   | [ a; b; c ] ->
+     Alcotest.(check string) "identical" (render a) (render b);
+     Alcotest.(check string) "identical" (render a) (render c)
+   | _ -> assert false);
+  (* Every probe of the empty cache counts a miss, but the batcher
+     dedups the three identical requests into one execution — hence a
+     single cached entry, and a follow-up run is a hit. *)
+  let s = Service.cache_stats svc in
+  Alcotest.(check int) "three probes" 3 s.misses;
+  Alcotest.(check int) "one execution cached" 1 s.entries;
+  ignore (Service.run svc req);
+  Alcotest.(check int) "follow-up run hits" 1 (Service.cache_stats svc).hits
+
+let batch_equals_sequential =
+  QCheck.Test.make ~name:"run_batch = List.map run" ~count:12
+    QCheck.(
+      list_of_size (Gen.int_range 0 5)
+        (pair (oneofl [ `Profile; `Analyze ])
+           (oneofl [ "MyScript"; "Ace"; "nosuch" ])))
+    (fun spec ->
+       let reqs =
+         List.map
+           (fun (p, w) ->
+              let pass =
+                match p with
+                | `Profile -> Service.Request.Profile
+                | `Analyze -> Service.Request.Analyze
+              in
+              Service.Request.make pass w)
+           spec
+       in
+       let batched = List.map render (Service.run_batch (Service.create ()) reqs) in
+       let sequential =
+         let svc = Service.create () in
+         List.map (fun r -> render (Service.run svc r)) reqs
+       in
+       batched = sequential)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL protocol *)
+
+let test_serve_protocol () =
+  let svc = Service.create () in
+  let h = Service.handler svc in
+  Alcotest.(check (option string)) "blank line ignored" None
+    (Service.Serve.handle_line h "   ");
+  (match Service.Serve.handle_line h "{\"op\":\"ping\"}" with
+   | Some l -> Alcotest.(check string) "ping" "{\"ok\":true}" l
+   | None -> Alcotest.fail "ping got no response");
+  (match Service.Serve.handle_line h "not json at all" with
+   | Some l ->
+     Alcotest.(check bool) "bad JSON is an error line" true
+       (Helpers.contains ~sub:"\"error\"" l)
+   | None -> Alcotest.fail "bad JSON got no response");
+  (match
+     Service.Serve.handle_line h
+       "{\"pass\":\"nosuch\",\"workload\":\"Ace\"}"
+   with
+   | Some l ->
+     Alcotest.(check bool) "unknown pass is bad-request" true
+       (Helpers.contains ~sub:"bad-request" l)
+   | None -> Alcotest.fail "unknown pass got no response");
+  let req = "{\"pass\":\"analyze\",\"workload\":\"MyScript\"}" in
+  ignore (Service.Serve.handle_line h req);
+  ignore (Service.Serve.handle_line h req);
+  match Service.Serve.handle_line h "{\"op\":\"cache-stats\"}" with
+  | Some l ->
+    Alcotest.(check bool) "repeat served from cache" true
+      (Helpers.contains ~sub:"\"hits\":1" l)
+  | None -> Alcotest.fail "cache-stats got no response"
+
+(* Acceptance: every workload answered over the serve protocol is
+   byte-identical to the direct service call the CLI subcommands make. *)
+let test_serve_matches_direct () =
+  let direct = Service.create () in
+  let served = Service.create () in
+  let h = Service.handler served in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+       let req = Service.Request.make Service.Request.Analyze w.name in
+       let line =
+         Service.Serve.handle_line h
+           (Service.Json.to_string (Service.Request.to_json req))
+       in
+       match line with
+       | Some l ->
+         Alcotest.(check string)
+           (Printf.sprintf "serve = direct for %s" w.name)
+           (render (Service.run direct req))
+           l
+       | None -> Alcotest.failf "no serve response for %s" w.name)
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code convention, both on the typed response and end to end
+   against the built executable. *)
+
+let test_exit_codes_unit () =
+  let svc = Service.create () in
+  let ok = Service.run svc (Service.Request.make Service.Request.Profile "Ace") in
+  Alcotest.(check int) "success" Service.Exit.ok
+    (Service.Response.exit_code ok);
+  let unknown =
+    Service.run svc (Service.Request.make Service.Request.Profile "nosuch")
+  in
+  Alcotest.(check int) "unknown workload" Service.Exit.operational_error
+    (Service.Response.exit_code unknown);
+  let seq =
+    Service.run svc (Service.Request.make Service.Request.Analyze "MyScript")
+  in
+  Alcotest.(check int) "sequential verdict" Service.Exit.verdict
+    (Service.Response.exit_code seq)
+
+let jsceres = "../bin/jsceres.exe"
+
+let test_exit_codes_cli () =
+  if not (Sys.file_exists jsceres) then
+    Alcotest.skip ()
+  else begin
+    let run args = Sys.command (jsceres ^ " " ^ args ^ " >/dev/null 2>&1") in
+    Alcotest.(check int) "list exits 0" 0 (run "list");
+    Alcotest.(check int) "unknown workload exits 1" 1 (run "profile nosuch");
+    Alcotest.(check int) "sequential verdict exits 2" 2 (run "analyze MyScript")
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "request JSON round trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request rejects junk" `Quick test_request_rejects_junk;
+    Alcotest.test_case "cache hit after miss is byte-identical" `Quick
+      test_cache_hit_after_miss;
+    Alcotest.test_case "LRU eviction order" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache keyed on config" `Quick
+      test_cache_keyed_on_config;
+    Alcotest.test_case "failures are not cached" `Quick
+      test_failures_not_cached;
+    Alcotest.test_case "batch dedups identical requests" `Quick
+      test_batch_dedups_identical;
+    qtest batch_equals_sequential;
+    Alcotest.test_case "serve protocol" `Quick test_serve_protocol;
+    Alcotest.test_case "serve matches direct calls (12 workloads)" `Quick
+      test_serve_matches_direct;
+    Alcotest.test_case "exit codes (unit)" `Quick test_exit_codes_unit;
+    Alcotest.test_case "exit codes (executable)" `Quick test_exit_codes_cli ]
