@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos analyze serve-smoke bench examples reports clean
+.PHONY: all build test check chaos analyze serve-smoke bench bench-smoke examples reports clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
 	$(MAKE) analyze
 	$(MAKE) serve-smoke
+	$(MAKE) bench-smoke
 	$(MAKE) chaos
 
 # Static analyzer sweep: run `jsceres analyze --format=json` over every
@@ -46,17 +47,22 @@ analyze: build
 	  fi; \
 	done; echo "analyze sweep OK ($(words $(ANALYZE_WORKLOADS)) workloads)"
 
-# Service-mode smoke test: pipe a fixed 6-request JSONL session (two
-# analyses, a repeated profile, a bad pass, a cache-stats probe)
-# through `jsceres serve` and byte-compare against the committed
-# golden — the responses are deterministic, and the final cache-stats
-# line pins the hit/miss counters, so the repeated request must have
-# been served from the cache. After an intentional protocol change,
-# regenerate with SERVE_REGEN=1.
+# Service-mode smoke test: pipe a fixed 7-request JSONL session (two
+# analyses, a repeated profile, a bad pass, a cache-stats probe, a
+# telemetry probe) through `jsceres serve` and byte-compare against
+# the committed golden — the responses are deterministic, and the
+# final cache-stats line pins the hit/miss counters, so the repeated
+# request must have been served from the cache. The telemetry line's
+# GC word counts move with every interpreter change, so they are
+# normalised to 0 before the compare (the field names and the
+# deterministic cache/pool parts are still pinned byte-for-byte).
+# After an intentional protocol change, regenerate with SERVE_REGEN=1.
 serve-smoke: build
 	@out=_build/serve-smoke.out; \
 	dune exec bin/jsceres.exe -- serve \
-	  < test/golden/serve/smoke.jsonl > $$out || \
+	  < test/golden/serve/smoke.jsonl \
+	  | sed -E 's/("minor_words"|"promoted_words"|"major_words"|"minor_collections"|"major_collections"):[0-9]+/\1:0/g' \
+	  > $$out || \
 	  { echo "serve-smoke: serve exited nonzero"; exit 1; }; \
 	if [ -n "$(SERVE_REGEN)" ]; then \
 	  cp $$out test/golden/serve/smoke.expected; \
@@ -65,7 +71,7 @@ serve-smoke: build
 	    { echo "serve-smoke: output differs from golden"; \
 	      diff test/golden/serve/smoke.expected $$out | head -5; exit 1; }; \
 	fi; \
-	hits=$$(grep -o '"hits":[0-9]*' $$out | cut -d: -f2); \
+	hits=$$(grep -o '"hits":[0-9]*' $$out | head -1 | cut -d: -f2); \
 	test "$$hits" -gt 0 || \
 	  { echo "serve-smoke: expected cache hits > 0, got $$hits"; exit 1; }; \
 	echo "serve smoke OK (cache hits: $$hits)"
@@ -98,6 +104,25 @@ chaos: build
 # Regenerate every table and figure of the paper's evaluation.
 bench:
 	dune exec bench/main.exe
+
+# Perf regression gate: re-measure the two heaviest workloads cold and
+# compare their total pass wall time against the committed
+# BENCH_baseline.json. A workload only fails the gate when it is both
+# >25% and >25 ms over its baseline, so timer noise cannot trip it.
+# After an intentional perf change, refresh the whole baseline with
+# BENCH_REGEN=1 (re-measures all 12 workloads).
+BENCH_SMOKE_WORKLOADS = HAAR.js fluidSim
+
+bench-smoke: build
+	@if [ -n "$(BENCH_REGEN)" ]; then \
+	  dune exec bench/main.exe -- --json > BENCH_baseline.json; \
+	  echo "bench baseline regenerated"; \
+	else \
+	  dune exec bench/main.exe -- --json \
+	    --check-against BENCH_baseline.json $(BENCH_SMOKE_WORKLOADS) \
+	    > _build/bench-smoke.json; \
+	  echo "bench smoke OK"; \
+	fi
 
 examples:
 	dune exec examples/quickstart.exe

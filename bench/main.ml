@@ -703,6 +703,175 @@ let nbody () =
   header "Sec 3.3 walkthrough: the N-body example";
   print_string (Examples_support.Nbody.report ())
 
+(* ------------------------------------------------------------------ *)
+(* `--json`: the machine-readable perf baseline behind
+   BENCH_baseline.json and `make bench-smoke`. Runs each requested
+   workload (default: all) cold through the four analysis passes on a
+   fresh interpreter state, single-job, fixed scale, and prints
+   per-pass wall milliseconds plus GC minor/major words. With
+   `--check-against FILE` the run additionally compares itself against
+   a committed baseline and exits 1 on a wall-time regression. *)
+
+let bench_passes : (string * (Workloads.Workload.t -> unit)) list =
+  [ ("profile", fun w -> ignore (Workloads.Harness.run_lightweight w));
+    ("loops", fun w -> ignore (Workloads.Harness.run_loop_profile w));
+    ("deps", fun w -> ignore (Workloads.Harness.run_dependence w));
+    ("pipeline", fun w -> ignore (Workloads.Harness.inspect w)) ]
+
+let measure f =
+  let m0, _, j0 = Gc.counters () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = 1000. *. (Unix.gettimeofday () -. t0) in
+  let m1, _, j1 = Gc.counters () in
+  (wall, m1 -. m0, j1 -. j0)
+
+let json_bench names : Ceres_util.Json.t =
+  let open Ceres_util.Json in
+  let ws =
+    match names with
+    | [] -> Workloads.Registry.all
+    | names ->
+      List.map
+        (fun n ->
+           match Workloads.Registry.find n with
+           | Some w -> w
+           | None ->
+             Printf.eprintf "bench --json: unknown workload %S\n" n;
+             exit 1)
+        names
+  in
+  Obj
+    [ ("schema", Str "jsceres-bench-1");
+      ("jobs", Int 1);
+      ( "workloads",
+        List
+          (List.map
+             (fun (w : Workloads.Workload.t) ->
+                Obj
+                  [ ("name", Str w.name);
+                    ( "passes",
+                      List
+                        (List.map
+                           (fun (pass, run) ->
+                              let wall, minor, major =
+                                measure (fun () -> run w)
+                              in
+                              Obj
+                                [ ("pass", Str pass);
+                                  ("wall_ms", Fixed (3, wall));
+                                  ("minor_words", Fixed (0, minor));
+                                  ("major_words", Fixed (0, major)) ])
+                           bench_passes) ) ])
+             ws) ) ]
+
+(* Wall time of one workload across all passes in a bench document. *)
+let bench_workload_wall doc name =
+  let open Ceres_util.Json in
+  match member "workloads" doc with
+  | Some (List ws) ->
+    List.find_map
+      (fun w ->
+         match member "name" w with
+         | Some (Str n) when String.equal n name ->
+           (match member "passes" w with
+            | Some (List ps) ->
+              Some
+                (List.fold_left
+                   (fun acc p ->
+                      match
+                        Option.bind (member "wall_ms" p) float_opt
+                      with
+                      | Some ms -> acc +. ms
+                      | None -> acc)
+                   0. ps)
+            | _ -> None)
+         | _ -> None)
+      ws
+  | _ -> None
+
+(* Regression gate for `make bench-smoke`: a workload regresses when
+   its total pass wall time exceeds the committed baseline by more
+   than 25% *and* by more than 25 ms (the absolute floor keeps timer
+   noise on sub-100ms passes from tripping the relative gate). *)
+let json_check ~baseline_file (doc : Ceres_util.Json.t) =
+  let baseline =
+    let text =
+      try
+        let ic = open_in_bin baseline_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error m ->
+        Printf.eprintf "bench --json: cannot read %s: %s\n" baseline_file m;
+        exit 1
+    in
+    match Ceres_util.Json.of_string text with
+    | Ok doc -> doc
+    | Error m ->
+      Printf.eprintf "bench --json: %s does not parse: %s\n" baseline_file m;
+      exit 1
+  in
+  let failed = ref false in
+  (match doc with
+   | Ceres_util.Json.Obj _ ->
+     (match Ceres_util.Json.member "workloads" doc with
+      | Some (Ceres_util.Json.List ws) ->
+        List.iter
+          (fun w ->
+             match Ceres_util.Json.member "name" w with
+             | Some (Ceres_util.Json.Str name) ->
+               (match
+                  ( bench_workload_wall doc name,
+                    bench_workload_wall baseline name )
+                with
+                | Some cur, Some base ->
+                  if cur > (base *. 1.25) +. 0.0 && cur -. base > 25. then begin
+                    Printf.eprintf
+                      "bench --json: %s regressed: %.1f ms vs baseline \
+                       %.1f ms (>25%%)\n"
+                      name cur base;
+                    failed := true
+                  end
+                  else
+                    Printf.eprintf "bench --json: %s ok: %.1f ms vs %.1f ms\n"
+                      name cur base
+                | _, None ->
+                  Printf.eprintf
+                    "bench --json: %s not in baseline; skipping gate\n" name
+                | None, _ -> ())
+             | _ -> ())
+          ws
+      | _ -> ())
+   | _ -> ());
+  if !failed then exit 1
+
+let json_main rest =
+  let check, names =
+    let rec go check acc = function
+      | [] -> (check, List.rev acc)
+      | "--check-against" :: file :: rest -> go (Some file) acc rest
+      | [ "--check-against" ] ->
+        Printf.eprintf "--check-against expects a file\n";
+        exit 1
+      | a :: rest -> go check (a :: acc) rest
+    in
+    go None [] rest
+  in
+  let doc = json_bench names in
+  let rendered = Ceres_util.Json.to_string_pretty doc in
+  (* self-check: the document we print must re-parse *)
+  (match Ceres_util.Json.of_string rendered with
+   | Ok _ -> ()
+   | Error m ->
+     Printf.eprintf "bench --json: emitted JSON does not parse: %s\n" m;
+     exit 1);
+  print_string rendered;
+  (match check with
+   | Some file -> json_check ~baseline_file:file doc
+   | None -> ())
+
 (* Pull `--jobs N` (or `--jobs=N`) out of argv; everything else is a
    section name. *)
 let parse_jobs args =
@@ -727,8 +896,8 @@ let parse_jobs args =
   in
   go 1 [] args
 
-let () =
-  let jobs, args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+let bench_main argv =
+  let jobs, args = parse_jobs argv in
   if Js_parallel.Fault.enable_from_env () then
     Printf.eprintf "bench: chaos injection enabled (%s)\n%!"
       Js_parallel.Fault.env_var;
@@ -770,3 +939,8 @@ let () =
          (Js_parallel.Telemetry.to_json st)
      | None -> ());
     Service.shutdown s
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "--json" :: rest -> json_main rest
+  | argv -> bench_main argv

@@ -6,9 +6,23 @@
    once and in the original order — compound assignments and update
    expressions keep their single-evaluation semantics. One analysis
    mode is attached per interpreter state, mirroring the paper's
-   separate staged runs. *)
+   separate staged runs.
+
+   Dependence-mode handlers lean on the front-end resolver: variable
+   name arguments arrive as [Ident] nodes whose [lex] stamp carries
+   the packed (depth, slot) address, so variable reads/writes and the
+   owner-scope lookup skip the scope-chain string search; property
+   names use their interned symbols as runtime keys. A literal name
+   argument is a constant the original program would not have
+   evaluated, so skipping its evaluation is compensated with the one
+   [cost_node] tick the evaluation would have charged — the virtual
+   clock (and with it every golden and chaos schedule) is unchanged.
+   Unresolved names ([lex = -1]: catch variables, wrapper bindings,
+   implicit globals, or a program run without resolution) take the
+   original dynamic path. *)
 
 open Interp.Value
+module Symbol = Ceres_util.Symbol
 
 let ev st scope this e = Interp.Eval.eval st scope this e
 
@@ -22,7 +36,30 @@ let expect_str st scope this e =
   | Str s -> s
   | v -> type_error st ("intrinsic expected a string, got " ^ type_of v)
 
-let register st name handler = Hashtbl.replace st.intrinsics name handler
+let register st name handler = register_intrinsic st name handler
+
+(* The name argument of a variable-write intrinsic, without evaluating
+   it as a variable reference: an [Ident] is a constant here, charged
+   the [cost_node] tick its evaluation would have cost. *)
+let constant_name st scope this (name_e : Jsir.Ast.expr) =
+  match name_e.Jsir.Ast.e with
+  | Jsir.Ast.Ident x ->
+    Interp.Eval.tick st 1 (* cost_node for the skipped literal eval *);
+    x
+  | _ -> expect_str st scope this name_e
+
+(* The packed lexical address of a name argument; only an [Ident]'s
+   [lex] is an address (a string literal's is its symbol). *)
+let name_lex (name_e : Jsir.Ast.expr) =
+  match name_e.Jsir.Ast.e with
+  | Jsir.Ast.Ident _ -> name_e.Jsir.Ast.lex
+  | _ -> -1
+
+let lex_global_depth = 0xFFF
+
+let owner_of_lex st scope lex =
+  if lex land 0xFFF = lex_global_depth then st.global_scope
+  else frame_up scope (lex land 0xFFF)
 
 (* Type tag for the polymorphism monitor: distinguishes null from real
    objects (the paper excludes defined/undefined/null flips). *)
@@ -78,7 +115,7 @@ let loop_profile st (infos : Jsir.Loops.info array) : Loop_profile.t =
 (* ------------------------------------------------------------------ *)
 
 let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
-  let rt = Runtime.create ?focus infos in
+  let rt = Runtime.create ?focus ~symtab:st.symtab infos in
   let loop_event f =
     fun st scope this args ->
       (match args with
@@ -102,29 +139,40 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
         v
       | _ -> type_error st "__ceres_created arity");
   (* --- variables --- *)
-  let owner_sid scope name =
-    Option.map (fun (s : scope) -> s.sid) (owner_scope scope name)
+  let owner_sid_dyn scope name =
+    match owner_scope scope name with Some s -> s.sid | None -> -1
   in
   let var_write_handler ~induction =
     fun st scope this args ->
       match args with
       | [ name_e; line_e; op_e; rhs_e ] ->
-        let name = expect_str st scope this name_e in
+        let name = constant_name st scope this name_e in
         let line = expect_num st scope this line_e in
         let op = expect_str st scope this op_e in
+        let lex = name_lex name_e in
         let v =
           if String.equal op "=" then ev st scope this rhs_e
           else begin
-            let old_v = get_var st scope name in
+            let old_v =
+              if lex >= 0 then get_lex st scope lex
+              else get_var st scope name
+            in
             let rhs_v = ev st scope this rhs_e in
             Interp.Eval.eval_binop st (binop_of_name op) old_v rhs_v
           end
         in
+        let sym, owner_sid =
+          if lex >= 0 then begin
+            let owner = owner_of_lex st scope lex in
+            (Array.unsafe_get owner.syms (lex lsr 12), owner.sid)
+          end
+          else (Symbol.intern st.symtab name, owner_sid_dyn scope name)
+        in
         Runtime.on_var_write ~induction
           ~accum:(not (String.equal op "="))
-          rt ~name ~owner_sid:(owner_sid scope name) ~line;
+          rt ~sym ~owner_sid ~line;
         Runtime.note_type rt ~name ~line ~type_tag:(type_tag_of v);
-        set_var st scope name v;
+        if lex >= 0 then set_lex st scope lex v else set_var st scope name v;
         v
       | _ -> type_error st "__ceres_var_write arity"
   in
@@ -134,18 +182,30 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
     fun st scope this args ->
       match args with
       | [ name_e; line_e; kind_e; prefix_e ] ->
-        let name = expect_str st scope this name_e in
+        let name = constant_name st scope this name_e in
         let line = expect_num st scope this line_e in
         let kind = expect_str st scope this kind_e in
         let prefix = to_boolean (ev st scope this prefix_e) in
-        let old_n = to_number st (get_var st scope name) in
+        let lex = name_lex name_e in
+        let old_n =
+          to_number st
+            (if lex >= 0 then get_lex st scope lex
+             else get_var st scope name)
+        in
         let new_n =
           if String.equal kind "++" then old_n +. 1. else old_n -. 1.
         in
-        Runtime.on_var_write ~induction ~accum:true rt ~name
-          ~owner_sid:(owner_sid scope name) ~line;
+        let sym, owner_sid =
+          if lex >= 0 then begin
+            let owner = owner_of_lex st scope lex in
+            (Array.unsafe_get owner.syms (lex lsr 12), owner.sid)
+          end
+          else (Symbol.intern st.symtab name, owner_sid_dyn scope name)
+        in
+        Runtime.on_var_write ~induction ~accum:true rt ~sym ~owner_sid ~line;
         Runtime.note_type rt ~name ~line ~type_tag:"number";
-        set_var st scope name (Num new_n);
+        if lex >= 0 then set_lex st scope lex (Num new_n)
+        else set_var st scope name (Num new_n);
         Num (if prefix then new_n else old_n)
       | _ -> type_error st "__ceres_var_update arity"
   in
@@ -156,36 +216,61 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
      [p.vX = ...] with [p] a plain variable is characterized through
      the binding [p] (the paper's N-body discussion), while receivers
      from arbitrary expressions use the object's creation stamp. *)
-  let basis_of scope (obj_e : Jsir.Ast.expr) : Runtime.basis =
-    match obj_e.e with
+  let basis_of st scope (obj_e : Jsir.Ast.expr) : Runtime.basis =
+    match obj_e.Jsir.Ast.e with
     | Jsir.Ast.Ident x ->
-      Runtime.Via_binding
-        (Option.map (fun (s : scope) -> s.sid) (owner_scope scope x))
+      let lex = obj_e.Jsir.Ast.lex in
+      if lex >= 0 then Runtime.Via_binding (owner_of_lex st scope lex).sid
+      else Runtime.Via_binding (owner_sid_dyn scope x)
     | _ -> Runtime.Via_object
   in
-  let record_read base prop line =
+  (* The interned symbol of a property-name literal (stamped by the
+     resolver; interned here only on the unresolved path). *)
+  let prop_sym st (prop_e : Jsir.Ast.expr) prop =
+    match prop_e.Jsir.Ast.e with
+    | Jsir.Ast.String _ when prop_e.Jsir.Ast.lex >= 0 ->
+      prop_e.Jsir.Ast.lex
+    | _ -> Symbol.intern st.symtab prop
+  in
+  (* The interned symbol of a computed index. Integer indices reuse
+     the symbol cache instead of printing a fresh string per access;
+     anything else goes through [to_string] exactly as an ordinary
+     index expression would (including user [toString] calls). *)
+  let index_sym st v =
+    match v with
+    | Num f
+      when Float.is_integer f
+           && (not (Float.sign_bit f))
+           && f < 1073741824. ->
+      Symbol.of_index st.symtab (int_of_float f)
+    | Str s -> Symbol.intern st.symtab s
+    | v -> Symbol.intern st.symtab (to_string st v)
+  in
+  let record_read base psym line =
     match base with
-    | Obj o -> Runtime.on_prop_read rt ~oid:o.oid ~prop ~line
+    | Obj o -> Runtime.on_prop_read rt ~oid:o.oid ~prop:psym ~line
     | _ -> ()
   in
-  let record_write ~basis base prop line =
+  let record_write ~basis base psym line =
     match base with
-    | Obj o -> Runtime.on_prop_write rt ~basis ~oid:o.oid ~prop ~line
+    | Obj o -> Runtime.on_prop_write rt ~basis ~oid:o.oid ~prop:psym ~line
     | _ -> ()
   in
-  let do_prop_write st scope this ~basis base prop line op rhs_e =
+  let do_prop_write st scope this ~basis base psym line op rhs_e =
+    let prop = Symbol.name st.symtab psym in
     let v =
       if String.equal op "=" then ev st scope this rhs_e
       else begin
-        record_read base prop line;
+        record_read base psym line;
         let old_v = Interp.Eval.get_prop st base prop in
         let rhs_v = ev st scope this rhs_e in
         Interp.Eval.eval_binop st (binop_of_name op) old_v rhs_v
       end
     in
-    record_write ~basis base prop line;
-    Runtime.note_type rt ~name:(Runtime.canonical_prop prop) ~line
-      ~type_tag:(type_tag_of v);
+    record_write ~basis base psym line;
+    Runtime.note_type rt
+      ~name:(Symbol.canonical st.symtab psym)
+      ~line ~type_tag:(type_tag_of v);
     Interp.Eval.set_prop st base prop v;
     v
   in
@@ -196,24 +281,26 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
         let prop = expect_str st scope this prop_e in
         let line = expect_num st scope this line_e in
         let op = expect_str st scope this op_e in
-        let basis = basis_of scope obj_e in
-        do_prop_write st scope this ~basis base prop line op rhs_e
+        let basis = basis_of st scope obj_e in
+        do_prop_write st scope this ~basis base (prop_sym st prop_e prop) line
+          op rhs_e
       | _ -> type_error st "__ceres_prop_write arity");
   register st "__ceres_index_write" (fun st scope this args ->
       match args with
       | [ obj_e; idx_e; line_e; op_e; rhs_e ] ->
         let base = ev st scope this obj_e in
-        let prop = to_string st (ev st scope this idx_e) in
+        let psym = index_sym st (ev st scope this idx_e) in
         let line = expect_num st scope this line_e in
         let op = expect_str st scope this op_e in
-        let basis = basis_of scope obj_e in
-        do_prop_write st scope this ~basis base prop line op rhs_e
+        let basis = basis_of st scope obj_e in
+        do_prop_write st scope this ~basis base psym line op rhs_e
       | _ -> type_error st "__ceres_index_write arity");
-  let do_prop_update st ~basis base prop line kind prefix =
-    record_read base prop line;
+  let do_prop_update st ~basis base psym line kind prefix =
+    let prop = Symbol.name st.symtab psym in
+    record_read base psym line;
     let old_n = to_number st (Interp.Eval.get_prop st base prop) in
     let new_n = if String.equal kind "++" then old_n +. 1. else old_n -. 1. in
-    record_write ~basis base prop line;
+    record_write ~basis base psym line;
     Interp.Eval.set_prop st base prop (Num new_n);
     Num (if prefix then new_n else old_n)
   in
@@ -225,18 +312,19 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
         let line = expect_num st scope this line_e in
         let kind = expect_str st scope this kind_e in
         let prefix = to_boolean (ev st scope this prefix_e) in
-        do_prop_update st ~basis:(basis_of scope obj_e) base prop line kind
-          prefix
+        do_prop_update st ~basis:(basis_of st scope obj_e) base
+          (prop_sym st prop_e prop)
+          line kind prefix
       | _ -> type_error st "__ceres_prop_update arity");
   register st "__ceres_index_update" (fun st scope this args ->
       match args with
       | [ obj_e; idx_e; line_e; kind_e; prefix_e ] ->
         let base = ev st scope this obj_e in
-        let prop = to_string st (ev st scope this idx_e) in
+        let psym = index_sym st (ev st scope this idx_e) in
         let line = expect_num st scope this line_e in
         let kind = expect_str st scope this kind_e in
         let prefix = to_boolean (ev st scope this prefix_e) in
-        do_prop_update st ~basis:(basis_of scope obj_e) base prop line kind
+        do_prop_update st ~basis:(basis_of st scope obj_e) base psym line kind
           prefix
       | _ -> type_error st "__ceres_index_update arity");
   register st "__ceres_prop_read" (fun st scope this args ->
@@ -245,21 +333,21 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
         let base = ev st scope this obj_e in
         let prop = expect_str st scope this prop_e in
         let line = expect_num st scope this line_e in
-        record_read base prop line;
+        record_read base (prop_sym st prop_e prop) line;
         Interp.Eval.get_prop st base prop
       | _ -> type_error st "__ceres_prop_read arity");
   register st "__ceres_index_read" (fun st scope this args ->
       match args with
       | [ obj_e; idx_e; line_e ] ->
         let base = ev st scope this obj_e in
-        let prop = to_string st (ev st scope this idx_e) in
+        let psym = index_sym st (ev st scope this idx_e) in
         let line = expect_num st scope this line_e in
-        record_read base prop line;
-        Interp.Eval.get_prop st base prop
+        record_read base psym line;
+        Interp.Eval.get_prop st base (Symbol.name st.symtab psym)
       | _ -> type_error st "__ceres_index_read arity");
-  let method_call st scope this base prop line arg_es =
-    record_read base prop line;
-    let fn = Interp.Eval.get_prop st base prop in
+  let method_call st scope this base psym line arg_es =
+    record_read base psym line;
+    let fn = Interp.Eval.get_prop st base (Symbol.name st.symtab psym) in
     let args = List.map (ev st scope this) arg_es in
     Interp.Eval.call st fn base args
   in
@@ -269,15 +357,15 @@ let dependence ?focus st (infos : Jsir.Loops.info array) : Runtime.t =
         let base = ev st scope this obj_e in
         let prop = expect_str st scope this prop_e in
         let line = expect_num st scope this line_e in
-        method_call st scope this base prop line arg_es
+        method_call st scope this base (prop_sym st prop_e prop) line arg_es
       | _ -> type_error st "__ceres_method_call arity");
   register st "__ceres_index_method_call" (fun st scope this args ->
       match args with
       | obj_e :: idx_e :: line_e :: arg_es ->
         let base = ev st scope this obj_e in
-        let prop = to_string st (ev st scope this idx_e) in
+        let psym = index_sym st (ev st scope this idx_e) in
         let line = expect_num st scope this line_e in
-        method_call st scope this base prop line arg_es
+        method_call st scope this base psym line arg_es
       | _ -> type_error st "__ceres_index_method_call arity");
   (* DOM/canvas attribution: chain any existing host-access listener. *)
   let previous = st.on_host_access in

@@ -70,7 +70,7 @@ let rec tx_stmt mode (s : stmt) : stmt =
              Some
                (expr_stmt
                   (intrinsic "__ceres_var_write"
-                     [ string_lit name; line_arg e.at; string_lit "=";
+                     [ ident name; line_arg e.at; string_lit "=";
                        tx_expr mode e ])))
         decls
     in
@@ -140,7 +140,7 @@ let rec tx_stmt mode (s : stmt) : stmt =
                | Some e ->
                  Some
                    (intrinsic "__ceres_induction_write"
-                      [ string_lit name; line_arg e.at; string_lit "=";
+                      [ ident name; line_arg e.at; string_lit "=";
                         tx_expr mode e ]))
             decls
         in
@@ -258,7 +258,9 @@ and tx_func mode (f : func) : func =
     | Dependence -> call0 "__ceres_fn_scope" :: body
     | Lightweight | Loop_profile -> body
   in
-  { f with body }
+  (* the rewritten body invalidates any slot layout computed for the
+     original function *)
+  { f with body; layout = None }
 
 and tx_expr mode (e : expr) : expr =
   match mode with
@@ -348,7 +350,7 @@ and tx_expr_dep (e : expr) : expr =
     (match tgt with
      | Tgt_ident x ->
        intrinsic "__ceres_var_write"
-         [ string_lit x; line; string_lit op_name; tx rhs ]
+         [ ident x; line; string_lit op_name; tx rhs ]
      | Tgt_member (o, f) ->
        intrinsic "__ceres_prop_write"
          [ tx o; string_lit f; line; string_lit op_name; tx rhs ]
@@ -361,7 +363,7 @@ and tx_expr_dep (e : expr) : expr =
     (match tgt with
      | Tgt_ident x ->
        intrinsic "__ceres_var_update"
-         [ string_lit x; line; string_lit kind_name; prefix_arg ]
+         [ ident x; line; string_lit kind_name; prefix_arg ]
      | Tgt_member (o, f) ->
        intrinsic "__ceres_prop_update"
          [ tx o; string_lit f; line; string_lit kind_name; prefix_arg ]
@@ -380,15 +382,21 @@ and tx_induction (e : expr) : expr =
   | Assign (Tgt_ident x, op, rhs) ->
     let op_name = match op with None -> "=" | Some b -> binop_name b in
     intrinsic "__ceres_induction_write"
-      [ string_lit x; line_arg e.at; string_lit op_name; tx_expr_dep rhs ]
+      [ ident x; line_arg e.at; string_lit op_name; tx_expr_dep rhs ]
   | Update (kind, prefix, Tgt_ident x) ->
     let kind_name = match kind with Incr -> "++" | Decr -> "--" in
     intrinsic "__ceres_induction_update"
-      [ string_lit x; line_arg e.at; string_lit kind_name; mk (Bool prefix) ]
+      [ ident x; line_arg e.at; string_lit kind_name; mk (Bool prefix) ]
   | _ -> tx_expr_dep e
 
 let program mode (p : program) : program =
-  { p with stmts = List.map (tx_stmt mode) p.stmts }
+  (* the rewrite introduces new nodes (and shares untouched subtrees
+     with the input), so any prior resolution is void: the driver
+     re-resolves the instrumented program from scratch *)
+  { p with
+    stmts = List.map (tx_stmt mode) p.stmts;
+    glayout = None;
+    resolved_for = None }
 
 let mode_name = function
   | Lightweight -> "lightweight"

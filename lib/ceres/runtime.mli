@@ -1,10 +1,18 @@
 (** The dependence-analysis engine (paper Sec. 3.3).
 
     Value-free core of JS-CERES's most expensive mode: it receives loop
-    events and memory accesses keyed by scope ids and object ids,
-    maintains the characterization stack and the creation/last-write
-    stamps, and aggregates warnings. The glue evaluating operands and
-    performing the actual reads/writes lives in {!Install}. *)
+    events and memory accesses keyed by scope ids, object ids and
+    interned name symbols ({!Ceres_util.Symbol}), maintains the
+    characterization stack and the creation/last-write stamps, and
+    aggregates warnings. The glue evaluating operands and performing
+    the actual reads/writes lives in {!Install}.
+
+    The hot path — one or more stamp checks per intercepted access —
+    runs entirely on packed int arrays and open-addressing int-keyed
+    snapshot tables ({!Snaptab}); it allocates nothing and hashes no
+    strings. Names reappear only in warning records, which are built
+    by the original list-based {!Triple.characterize} when a check
+    actually fires. *)
 
 (** What kind of problematic access a warning describes. *)
 type access_kind =
@@ -50,16 +58,21 @@ type basis =
   | Via_object
       (** characterize through the receiver object's creation stamp
           (the paper's proxy wrap) *)
-  | Via_binding of int option
+  | Via_binding of int
       (** the receiver was a plain variable: characterize through the
-          binding's owner scope ([None] = global) — this is why
-          extracting a loop body into a per-iteration callback silences
-          the warnings, as the paper describes *)
+          binding's owner scope sid ([-1] = unbound/global) — this is
+          why extracting a loop body into a per-iteration callback
+          silences the warnings, as the paper describes *)
 
 type t
 
-val create : ?focus:Jsir.Ast.loop_id list -> Jsir.Loops.info array -> t
-(** Fresh runtime over the program's static loop index. With [focus],
+val create :
+  ?focus:Jsir.Ast.loop_id list ->
+  symtab:Ceres_util.Symbol.table ->
+  Jsir.Loops.info array ->
+  t
+(** Fresh runtime over the program's static loop index, resolving
+    symbols against the interpreter state's table. With [focus],
     accesses are only recorded while one of the focused loops is open
     (the paper's mitigation for the mode's very high overhead). *)
 
@@ -82,18 +95,21 @@ val on_var_write :
   ?induction:bool ->
   ?accum:bool ->
   t ->
-  name:string ->
-  owner_sid:int option ->
+  sym:int ->
+  owner_sid:int ->
   line:int ->
   unit
+(** [sym] is the variable name's interned symbol; [owner_sid] is the
+    owning scope's sid, or [-1] for implicit/global variables. *)
 
 val on_prop_write :
-  t -> basis:basis -> oid:int -> prop:string -> line:int -> unit
+  t -> basis:basis -> oid:int -> prop:int -> line:int -> unit
 (** Checks WAW (against the last write) and WAR (against the last
     read), then the sharing advisory against [basis], then snapshots
-    the write for flow detection. *)
+    the write for flow detection. [prop] is the property name's
+    interned symbol. *)
 
-val on_prop_read : t -> oid:int -> prop:string -> line:int -> unit
+val on_prop_read : t -> oid:int -> prop:int -> line:int -> unit
 (** Checks for an iteration-carried flow from the last write and
     snapshots the read for WAR detection. *)
 

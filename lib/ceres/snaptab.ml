@@ -1,0 +1,79 @@
+(* Open-addressing snapshot table for the dependence runtime.
+
+   Keys are packed non-negative ints — [(oid lsl Symbol.bits) lor sym]
+   for property snapshots, [((owner_sid + 2) lsl Symbol.bits) lor sym]
+   for variable snapshots — and values are write/read stamps: a frozen
+   flat mark array (shared between every snapshot taken in the same
+   loop-stack configuration) plus the event sequence number.
+
+   A sequence of 0 encodes logical absence (live snapshots always
+   carry seq >= 2), which is how the WAR path "consumes" pending reads
+   without tombstone churn: the slot stays, the next [set] of the same
+   key revives it in place. Dead slots are dropped on resize. *)
+
+type t = {
+  mutable keys : int array; (* -1 = empty slot; stored keys are >= 0 *)
+  mutable marks : int array array;
+  mutable seqs : int array; (* 0 = logically absent *)
+  mutable mask : int;
+  mutable used : int; (* occupied slots, live or consumed *)
+}
+
+let create n =
+  let cap = ref 16 in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  {
+    keys = Array.make cap (-1);
+    marks = Array.make cap [||];
+    seqs = Array.make cap 0;
+    mask = cap - 1;
+    used = 0;
+  }
+
+(* Multiplicative mixing; the packed keys are dense in the low (symbol)
+   bits and sparse above, so grab the high half of the product. *)
+let home mask key = ((key * 0x2545F4914F6CDD1D) lsr 32) land mask
+
+let rec probe keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = -1 then i else probe keys mask key ((i + 1) land mask)
+
+let find t key =
+  let i = probe t.keys t.mask key (home t.mask key) in
+  if Array.unsafe_get t.keys i = key then i else -1
+
+let seq t slot = Array.unsafe_get t.seqs slot
+let marks t slot = Array.unsafe_get t.marks slot
+let consume t slot = Array.unsafe_set t.seqs slot 0
+
+let grow t =
+  let old_keys = t.keys and old_marks = t.marks and old_seqs = t.seqs in
+  let cap = 2 * (t.mask + 1) in
+  t.keys <- Array.make cap (-1);
+  t.marks <- Array.make cap [||];
+  t.seqs <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.used <- 0;
+  Array.iteri
+    (fun i k ->
+       if k >= 0 && old_seqs.(i) > 0 then begin
+         let j = probe t.keys t.mask k (home t.mask k) in
+         t.keys.(j) <- k;
+         t.marks.(j) <- old_marks.(i);
+         t.seqs.(j) <- old_seqs.(i);
+         t.used <- t.used + 1
+       end)
+    old_keys
+
+let set t key marks seq =
+  let i = probe t.keys t.mask key (home t.mask key) in
+  if Array.unsafe_get t.keys i = -1 then begin
+    Array.unsafe_set t.keys i key;
+    t.used <- t.used + 1
+  end;
+  Array.unsafe_set t.marks i marks;
+  Array.unsafe_set t.seqs i seq;
+  if 3 * t.used >= 2 * (t.mask + 1) then grow t

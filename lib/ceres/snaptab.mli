@@ -1,0 +1,28 @@
+(** Open-addressing snapshot table for the dependence runtime.
+
+    Maps packed non-negative int keys to last-access stamps — a frozen
+    flat mark array plus an event sequence number — without boxing
+    keys or values. A stored sequence of 0 marks a logically absent
+    (consumed) entry; live snapshots always carry sequences >= 2. *)
+
+type t
+
+val create : int -> t
+(** Capacity hint (rounded up to a power of two). *)
+
+val find : t -> int -> int
+(** Slot of the key, or -1. A found slot may still hold a consumed
+    entry: check [seq] > 0. *)
+
+val seq : t -> int -> int
+(** Sequence stored at a slot returned by [find] (0 = consumed). *)
+
+val marks : t -> int -> int array
+(** Frozen mark array stored at a slot returned by [find]. *)
+
+val consume : t -> int -> unit
+(** Logically remove the entry at a slot (sets its sequence to 0). *)
+
+val set : t -> int -> int array -> int -> unit
+(** [set t key marks seq] inserts or overwrites, reviving a consumed
+    slot in place; resizes (dropping consumed entries) past 2/3 load. *)

@@ -110,6 +110,52 @@ let hoist_into st scope stmts =
        | None -> ())
     decls
 
+(* Attach a resolved program's global layout onto the state's global
+   scope: grow the shared slot store to the symbol table's global
+   registry, enter this program's names, and initialise its function
+   declarations — same closure-creation order as [hoist_into], so
+   object ids line up with the dynamic path. Bindings made dynamically
+   (implicit globals, unresolved programs) migrate into their slot the
+   first time a program hoists the name. *)
+let attach_global st (p : program) =
+  match p.glayout with
+  | None -> hoist_into st st.global_scope p.stmts
+  | Some glay ->
+    let g = st.global_scope in
+    let gl =
+      match g.ltab with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 64 in
+        g.ltab <- Some t;
+        t
+    in
+    let cap = Ceres_util.Symbol.global_slot_count st.symtab in
+    let len = Array.length g.slots in
+    if len < cap then begin
+      let slots = Array.make cap Undefined in
+      Array.blit g.slots 0 slots 0 len;
+      g.slots <- slots;
+      let syms = Array.make cap (-1) in
+      Array.blit g.syms 0 syms 0 len;
+      g.syms <- syms
+    end;
+    Hashtbl.iter
+      (fun name slot ->
+         if not (Hashtbl.mem gl name) then begin
+           Hashtbl.replace gl name slot;
+           g.syms.(slot) <- glay.l_syms.(slot);
+           match Hashtbl.find_opt g.vars name with
+           | Some cell ->
+             g.slots.(slot) <- cell.v;
+             Hashtbl.remove g.vars name
+           | None -> ()
+         end)
+      glay.l_table;
+    List.iter
+      (fun (slot, f) -> g.slots.(slot) <- Obj (make_closure st g f))
+      glay.l_decls
+
 (* Property access on arbitrary values. *)
 let get_prop st v key =
   tick st cost_prop;
@@ -173,10 +219,67 @@ let rec call st (callee : value) (this : value) (args : value list) : value =
   | _ -> type_error st (type_of callee ^ " is not a function")
 
 and call_closure st fo (fn : func) captured this args =
+  match fn.layout with
+  | Some lay -> call_closure_fast st fo fn lay captured this args
+  | None -> call_closure_dyn st fo fn captured this args
+
+(* Resolved path: the frame is a slot array; parameters, [arguments],
+   hoisted names and function declarations all have fixed slots. The
+   wrapper scope for a named function expression is only tested for
+   when the resolver could not prove the name statically bound. Object
+   ids line up with the dynamic path (same closure-creation order); the
+   [arguments] array is only allocated when it is observable. *)
+and call_closure_fast st fo (fn : func) (lay : layout) captured this args =
+  let base =
+    match fn.fname with
+    | Some name when (not lay.l_fname_static) && not (var_exists captured name)
+      ->
+      let wrapper = fresh_scope st (Some captured) in
+      declare wrapper name;
+      (match Hashtbl.find_opt wrapper.vars name with
+       | Some cell -> cell.v <- Obj fo
+       | None -> ());
+      wrapper
+    | _ -> captured
+  in
+  let scope = fresh_scope st (Some base) in
+  scope.ltab <- Some lay.l_table;
+  scope.syms <- lay.l_syms;
+  scope.slots <- Array.make lay.l_size Undefined;
+  scope.fup <-
+    (let rec enclosing s =
+       if s.ltab != None then Some s
+       else match s.parent with Some p -> enclosing p | None -> None
+     in
+     enclosing captured);
+  let slots = scope.slots in
+  let param_slots = lay.l_param_slots in
+  let nparams = Array.length param_slots in
+  let rec bind i = function
+    | [] -> ()
+    | a :: rest ->
+      if i < nparams then begin
+        Array.unsafe_set slots (Array.unsafe_get param_slots i) a;
+        bind (i + 1) rest
+      end
+  in
+  bind 0 args;
+  if lay.l_uses_arguments then
+    slots.(lay.l_arguments) <- Obj (make_array st (Array.of_list args));
+  List.iter
+    (fun (slot, f) -> slots.(slot) <- Obj (make_closure st scope f))
+    lay.l_decls;
+  match exec_stmts st scope this fn.body with
+  | Creturn v -> v
+  | Cnormal -> Undefined
+  | Cbreak _ | Ccontinue _ ->
+    type_error st "break/continue escaped function body"
+
+and call_closure_dyn st fo (fn : func) captured this args =
   (* A named function expression sees its own name. *)
   let base =
     match fn.fname with
-    | Some name when lookup_cell captured name = None ->
+    | Some name when not (var_exists captured name) ->
       let wrapper = fresh_scope st (Some captured) in
       declare wrapper name;
       (match Hashtbl.find_opt wrapper.vars name with
@@ -239,7 +342,9 @@ and eval st scope this (e : expr) : value =
   | Null -> Null
   | Undefined -> Undefined
   | This -> this
-  | Ident name -> get_var st scope name
+  | Ident name ->
+    let lex = e.lex in
+    if lex >= 0 then get_lex st scope lex else get_var st scope name
   | Array_lit elems ->
     tick st cost_alloc;
     let values = List.map (eval st scope this) elems in
@@ -260,7 +365,17 @@ and eval st scope this (e : expr) : value =
   | Index (oe, ie) ->
     let base = eval st scope this oe in
     let idx = eval st scope this ie in
-    get_prop st base (to_string st idx)
+    (* Dense-array hot path: integer index, no string ever built.
+       [-0.] must fall through (its key is "-0", not an index). *)
+    (match base, idx with
+     | Obj ({ arr = Some a; _ } as o), Num f
+       when Float.is_integer f && (not (Float.sign_bit f))
+            && f < 1073741824. ->
+       tick st cost_prop;
+       let i = int_of_float f in
+       if i < a.len then Array.unsafe_get a.elems i
+       else get_prop_obj o (string_of_int i)
+     | _ -> get_prop st base (to_string st idx))
   | Call (callee_e, arg_es) ->
     (* Method calls bind [this] to the receiver. *)
     (match callee_e.e with
@@ -301,19 +416,19 @@ and eval st scope this (e : expr) : value =
     if to_boolean (eval st scope this c) then eval st scope this t
     else eval st scope this f
   | Assign (tgt, None, rhs) ->
-    let r = eval_ref st scope this tgt in
+    let r = eval_ref st scope this e.lex tgt in
     let v = eval st scope this rhs in
     write_ref st scope r v;
     v
   | Assign (tgt, Some op, rhs) ->
-    let r = eval_ref st scope this tgt in
+    let r = eval_ref st scope this e.lex tgt in
     let old_v = read_ref st scope r in
     let rhs_v = eval st scope this rhs in
     let v = eval_binop st op old_v rhs_v in
     write_ref st scope r v;
     v
   | Update (kind, prefix, tgt) ->
-    let r = eval_ref st scope this tgt in
+    let r = eval_ref st scope this e.lex tgt in
     let old_n = to_number st (read_ref st scope r) in
     let new_n = match kind with Incr -> old_n +. 1. | Decr -> old_n -. 1. in
     write_ref st scope r (Num new_n);
@@ -322,32 +437,71 @@ and eval st scope this (e : expr) : value =
     ignore (eval st scope this l);
     eval st scope this r
   | Intrinsic (name, args) ->
-    (match Hashtbl.find_opt st.intrinsics name with
-     | Some handler -> handler st scope this args
-     | None ->
-       type_error st (Printf.sprintf "unknown intrinsic %s" name))
+    (* Dispatch cache keyed on the interned intrinsic name ([e.lex]):
+       the per-node string hash is paid once, then it's an array load. *)
+    let sym = e.lex in
+    let cache = st.intrinsic_fast in
+    if sym >= 0 && sym < Array.length cache then
+      match Array.unsafe_get cache sym with
+      | Some handler -> handler st scope this args
+      | None -> dispatch_intrinsic st scope this sym name args
+    else dispatch_intrinsic st scope this sym name args
+
+and dispatch_intrinsic st scope this sym name args =
+  match Hashtbl.find_opt st.intrinsics name with
+  | Some handler ->
+    if sym >= 0 then begin
+      let cache = st.intrinsic_fast in
+      let len = Array.length cache in
+      if sym >= len then begin
+        let grown = Array.make (max (sym + 1) (max 64 (2 * len))) None in
+        Array.blit cache 0 grown 0 len;
+        st.intrinsic_fast <- grown
+      end;
+      st.intrinsic_fast.(sym) <- Some handler
+    end;
+    handler st scope this args
+  | None -> type_error st (Printf.sprintf "unknown intrinsic %s" name)
 
 (* A reference: either a variable or an (object, key) slot. Evaluating
    the reference once and reusing it gives compound assignments and
    updates single-evaluation semantics. *)
-and eval_ref st scope this (tgt : target) =
+and eval_ref st scope this lex (tgt : target) =
   match tgt with
-  | Tgt_ident name -> `Var name
+  | Tgt_ident name -> if lex >= 0 then `Lex lex else `Var name
   | Tgt_member (oe, field) ->
     let base = eval st scope this oe in
     `Slot (base, field)
   | Tgt_index (oe, ie) ->
     let base = eval st scope this oe in
     let idx = eval st scope this ie in
-    `Slot (base, to_string st idx)
+    (match base, idx with
+     | Obj ({ arr = Some _; host_tag = None; _ } as o), Num f
+       when Float.is_integer f && (not (Float.sign_bit f))
+            && f < 1073741824. ->
+       `Elem (o, int_of_float f)
+     | _ -> `Slot (base, to_string st idx))
 
 and read_ref st scope = function
   | `Var name -> get_var st scope name
+  | `Lex lex -> get_lex st scope lex
   | `Slot (base, key) -> get_prop st base key
+  | `Elem (o, i) ->
+    tick st cost_prop;
+    (match o.arr with
+     | Some a when i < a.len -> Array.unsafe_get a.elems i
+     | _ -> get_prop_obj o (string_of_int i))
 
 and write_ref st scope = function
   | `Var name -> fun v -> set_var st scope name v
+  | `Lex lex -> fun v -> set_lex st scope lex v
   | `Slot (base, key) -> fun v -> set_prop st base key v
+  | `Elem (o, i) ->
+    fun v ->
+      tick st cost_prop;
+      (match o.arr with
+       | Some a -> array_store_set a i v
+       | None -> set_prop_obj o (string_of_int i) v)
 
 and eval_unop st scope this op operand =
   match op with
@@ -355,12 +509,14 @@ and eval_unop st scope this op operand =
     (* typeof of an undeclared variable must not throw. *)
     (match operand.e with
      | Ident name ->
-       (match lookup_cell scope name with
-        | Some cell -> Str (type_of cell.v)
-        | None ->
-          if has_prop_obj st.global_obj name then
-            Str (type_of (get_prop_obj st.global_obj name))
-          else Str "undefined")
+       if operand.lex >= 0 then Str (type_of (get_lex st scope operand.lex))
+       else (
+         match var_home scope name with
+         | Some (s, slot) -> Str (type_of (scope_read s slot name))
+         | None ->
+           if has_prop_obj st.global_obj name then
+             Str (type_of (get_prop_obj st.global_obj name))
+           else Str "undefined")
      | _ -> Str (type_of (eval st scope this operand)))
   | Delete ->
     (match operand.e with
@@ -685,7 +841,10 @@ let create ?(seed = 20150207) ?(budget = default_budget)
   let st =
     { clock;
       prng;
-      global_scope = { sid = 0; vars = Hashtbl.create 64; parent = None };
+      symtab = Ceres_util.Symbol.create ();
+      global_scope =
+        { sid = 0; vars = Hashtbl.create 64; parent = None;
+          ltab = None; slots = [||]; syms = [||]; fup = None };
       global_obj = dummy_obj;
       object_proto = dummy_obj;
       array_proto = dummy_obj;
@@ -701,6 +860,7 @@ let create ?(seed = 20150207) ?(budget = default_budget)
       console = [];
       echo_console = false;
       intrinsics = Hashtbl.create 32;
+      intrinsic_fast = [||];
       on_scope_create = (fun _ -> ());
       on_call_enter = (fun _ -> ());
       on_call_exit = (fun () -> ());
@@ -725,8 +885,11 @@ let create ?(seed = 20150207) ?(budget = default_budget)
   st.apply <- (fun st fn this args -> call st fn this args);
   st
 
-let run_program st (p : program) : unit =
-  hoist_into st st.global_scope p.stmts;
+let run_program ?(resolve = true) st (p : program) : unit =
+  if resolve then Jsir.Resolve.ensure st.symtab p;
+  (match p.resolved_for with
+   | Some t when t == st.symtab -> attach_global st p
+   | _ -> hoist_into st st.global_scope p.stmts);
   match exec_stmts st st.global_scope (Obj st.global_obj) p.stmts with
   | Cnormal | Creturn _ -> ()
   | Cbreak _ | Ccontinue _ -> type_error st "break/continue at top level"

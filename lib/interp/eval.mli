@@ -22,9 +22,11 @@ val create :
     installed; builtins are installed separately
     ({!Builtins.install}). *)
 
-val run_program : state -> Jsir.Ast.program -> unit
-(** Hoist into the global scope and execute; a [Js_throw] escaping the
-    program propagates to the caller. *)
+val run_program : ?resolve:bool -> state -> Jsir.Ast.program -> unit
+(** Resolve the program against the state's symbol table (unless
+    [~resolve:false] — kept for differential testing of the dynamic
+    path), hoist into the global scope and execute; a [Js_throw]
+    escaping the program propagates to the caller. *)
 
 val eval_in_global : state -> Jsir.Ast.expr -> value
 (** Evaluate one expression in the global scope (tests, REPL-ish

@@ -47,7 +47,20 @@ and host_fn = state -> value -> value list -> value
 and scope = {
   sid : int;
   vars : (string, cell) Hashtbl.t;
+      (* dynamic side table: catch parameters, wrapper bindings,
+         implicit globals, and every binding of an unresolved frame *)
   parent : scope option;
+  mutable ltab : (string, int) Hashtbl.t option;
+      (* slot layout of this frame: name -> slot. Function frames share
+         their layout's table read-only; the global scope owns a
+         mutable one accumulated across programs. [None] = dynamic
+         scope (wrapper, or frame of an unresolved function). A name is
+         either slotted or in [vars], never both. *)
+  mutable slots : value array; (* slot-indexed activation record *)
+  mutable syms : int array; (* slot -> interned symbol, for the runtime *)
+  mutable fup : scope option;
+      (* enclosing slotted frame (wrapper scopes skipped); the lexical
+         [depth] in a resolved address counts [fup] hops *)
 }
 
 and cell = { mutable v : value }
@@ -55,6 +68,9 @@ and cell = { mutable v : value }
 and state = {
   clock : Ceres_util.Vclock.t;
   prng : Ceres_util.Prng.t;
+  symtab : Ceres_util.Symbol.table;
+      (* the state's interned names; programs are resolved against it
+         by [Eval.run_program] *)
   mutable global_scope : scope;
   mutable global_obj : obj;
   mutable object_proto : obj;
@@ -71,6 +87,9 @@ and state = {
   mutable console : string list; (* reversed log of console output *)
   mutable echo_console : bool;
   intrinsics : (string, intrinsic) Hashtbl.t;
+  mutable intrinsic_fast : intrinsic option array;
+      (* dispatch cache indexed by the intrinsic name's symbol
+         ([expr.lex]); cleared whenever a handler is (re)registered *)
   (* instrumentation and embedding hooks *)
   mutable on_scope_create : scope -> unit;
   mutable on_call_enter : string option -> unit;
@@ -155,10 +174,22 @@ let make_host_fn st name fn = make_function st (Host (name, fn))
 
 let is_array o = o.arr <> None
 
+(* Canonical array index of a property key, allocation- and
+   exception-free. Matches the round-trip check
+   [int_of_string_opt key = Some i && string_of_int i = key]: plain
+   decimal digits, no leading zero (except "0" itself), no sign. *)
 let array_index_of_key key =
-  match int_of_string_opt key with
-  | Some i when i >= 0 && string_of_int i = key -> Some i
-  | _ -> None
+  let n = String.length key in
+  if n = 0 || n > 18 || (n > 1 && String.unsafe_get key 0 = '0') then None
+  else begin
+    let rec go i acc =
+      if i = n then Some acc
+      else
+        let c = Char.code (String.unsafe_get key i) - Char.code '0' in
+        if c >= 0 && c <= 9 then go (i + 1) ((acc * 10) + c) else None
+    in
+    go 0 0
+  end
 
 let raw_set_prop o key v =
   if not (Hashtbl.mem o.props key) then o.key_order <- key :: o.key_order;
@@ -205,14 +236,17 @@ let array_set_length a n =
     a.len <- n
   end
 
-(* Prototype-chain property lookup on a bare object. *)
+(* Prototype-chain property lookup on a bare object. The index parse
+   runs only for actual arrays. *)
 let rec get_prop_obj o key =
-  match o.arr, array_index_of_key key with
-  | Some a, Some i ->
-    if i < a.len then a.elems.(i)
-    else lookup_chain o key
-  | Some a, None when String.equal key "length" -> Num (float_of_int a.len)
-  | _ -> lookup_chain o key
+  match o.arr with
+  | Some a ->
+    (match array_index_of_key key with
+     | Some i -> if i < a.len then a.elems.(i) else lookup_chain o key
+     | None ->
+       if String.equal key "length" then Num (float_of_int a.len)
+       else lookup_chain o key)
+  | None -> lookup_chain o key
 
 and lookup_chain o key =
   match raw_get_own o key with
@@ -222,28 +256,36 @@ and lookup_chain o key =
      | Some p -> get_prop_obj p key
      | None -> Undefined)
 
+let array_store_set a i v =
+  ensure_capacity a i;
+  a.elems.(i) <- v;
+  if i >= a.len then a.len <- i + 1
+
 let set_prop_obj o key v =
-  match o.arr, array_index_of_key key with
-  | Some a, Some i ->
-    ensure_capacity a i;
-    a.elems.(i) <- v;
-    if i >= a.len then a.len <- i + 1
-  | Some a, None when String.equal key "length" ->
-    (match v with
-     | Num f when Float.is_integer f && f >= 0. ->
-       array_set_length a (int_of_float f)
-     | _ -> raise (Js_throw (Str "Invalid array length")))
-  | _ -> raw_set_prop o key v
+  match o.arr with
+  | Some a ->
+    (match array_index_of_key key with
+     | Some i -> array_store_set a i v
+     | None ->
+       if String.equal key "length" then
+         match v with
+         | Num f when Float.is_integer f && f >= 0. ->
+           array_set_length a (int_of_float f)
+         | _ -> raise (Js_throw (Str "Invalid array length"))
+       else raw_set_prop o key v)
+  | None -> raw_set_prop o key v
 
 let has_prop_obj o key =
   let rec chain o =
     Hashtbl.mem o.props key
     || (match o.proto with Some p -> chain p | None -> false)
   in
-  (match o.arr, array_index_of_key key with
-   | Some a, Some i -> i < a.len
-   | Some _, None when String.equal key "length" -> true
-   | _ -> false)
+  (match o.arr with
+   | Some a ->
+     (match array_index_of_key key with
+      | Some i -> i < a.len
+      | None -> String.equal key "length")
+   | None -> false)
   || chain o
 
 (* ------------------------------------------------------------------ *)
@@ -364,32 +406,52 @@ let strict_eq a b =
 let fresh_scope st parent =
   let sid = st.next_sid in
   st.next_sid <- st.next_sid + 1;
-  let scope = { sid; vars = Hashtbl.create 8; parent } in
+  let scope =
+    { sid; vars = Hashtbl.create 8; parent;
+      ltab = None; slots = [||]; syms = [||]; fup = None }
+  in
   st.on_scope_create scope;
   scope
 
+(* Slot of [name] at this level only, or -1. *)
+let scope_slot scope name =
+  match scope.ltab with
+  | None -> -1
+  | Some t -> (match Hashtbl.find_opt t name with Some s -> s | None -> -1)
+
 let declare scope name =
-  if not (Hashtbl.mem scope.vars name) then
+  if scope_slot scope name < 0 && not (Hashtbl.mem scope.vars name) then
     Hashtbl.replace scope.vars name { v = Undefined }
 
-let rec owner_scope scope name =
-  if Hashtbl.mem scope.vars name then Some scope
+(* Where [name] lives, walking out from [scope]: the owning scope and
+   its slot there (-1 = a dynamic cell in that scope's [vars]). *)
+let rec var_home scope name =
+  if Hashtbl.length scope.vars > 0 && Hashtbl.mem scope.vars name then
+    Some (scope, -1)
   else
-    match scope.parent with
-    | Some p -> owner_scope p name
-    | None -> None
+    let s = scope_slot scope name in
+    if s >= 0 then Some (scope, s)
+    else
+      match scope.parent with
+      | Some p -> var_home p name
+      | None -> None
 
-let rec lookup_cell scope name =
-  match Hashtbl.find_opt scope.vars name with
-  | Some cell -> Some cell
-  | None ->
-    (match scope.parent with
-     | Some p -> lookup_cell p name
-     | None -> None)
+let var_exists scope name = var_home scope name <> None
+
+let owner_scope scope name =
+  match var_home scope name with Some (s, _) -> Some s | None -> None
+
+let scope_read scope slot name =
+  if slot >= 0 then scope.slots.(slot)
+  else (Hashtbl.find scope.vars name).v
+
+let scope_write scope slot name v =
+  if slot >= 0 then scope.slots.(slot) <- v
+  else (Hashtbl.find scope.vars name).v <- v
 
 let get_var st scope name =
-  match lookup_cell scope name with
-  | Some cell -> cell.v
+  match var_home scope name with
+  | Some (s, slot) -> scope_read s slot name
   | None ->
     (* Fall back to global-object properties (host globals live there). *)
     if has_prop_obj st.global_obj name then get_prop_obj st.global_obj name
@@ -398,14 +460,42 @@ let get_var st scope name =
         (Js_throw (Str (Printf.sprintf "ReferenceError: %s is not defined" name)))
 
 let set_var st scope name v =
-  match lookup_cell scope name with
-  | Some cell -> cell.v <- v
+  match var_home scope name with
+  | Some (s, slot) -> scope_write s slot name v
   | None ->
     (* Implicit global, as in sloppy-mode JS. *)
     declare st.global_scope name;
     (match Hashtbl.find_opt st.global_scope.vars name with
      | Some cell -> cell.v <- v
      | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Resolved (lexically addressed) variable access: no string hashing.
+   [lex] packs [(depth, slot)]; the resolver only emits addresses whose
+   frame provably exists, so the walk cannot fail. *)
+
+let rec frame_up scope n =
+  if n = 0 then scope
+  else
+    match scope.fup with
+    | Some s -> frame_up s (n - 1)
+    | None -> invalid_arg "frame_up: unresolved frame chain"
+
+let get_lex st scope lex =
+  let depth = lex land 0xFFF in
+  let slot = lex lsr 12 in
+  if depth = 0xFFF then Array.unsafe_get st.global_scope.slots slot
+  else (frame_up scope depth).slots.(slot)
+
+let set_lex st scope lex v =
+  let depth = lex land 0xFFF in
+  let slot = lex lsr 12 in
+  if depth = 0xFFF then Array.unsafe_set st.global_scope.slots slot v
+  else (frame_up scope depth).slots.(slot) <- v
+
+let register_intrinsic st name fn =
+  Hashtbl.replace st.intrinsics name fn;
+  st.intrinsic_fast <- [||]
 
 (* ------------------------------------------------------------------ *)
 (* Error helpers                                                       *)

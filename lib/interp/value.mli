@@ -46,7 +46,17 @@ and host_fn = state -> value -> value list -> value
 and scope = {
   sid : int; (** unique scope identity, stamped by the analysis *)
   vars : (string, cell) Hashtbl.t;
+      (** dynamic side table: catch parameters, wrapper bindings,
+          implicit globals, bindings of unresolved frames *)
   parent : scope option;
+  mutable ltab : (string, int) Hashtbl.t option;
+      (** name -> slot of this frame's layout; [None] = dynamic scope.
+          A name is either slotted or in [vars], never both. *)
+  mutable slots : value array; (** slot-indexed activation record *)
+  mutable syms : int array; (** slot -> interned symbol *)
+  mutable fup : scope option;
+      (** enclosing slotted frame (wrappers skipped); resolved [depth]
+          counts [fup] hops *)
 }
 
 and cell = { mutable v : value }
@@ -54,6 +64,9 @@ and cell = { mutable v : value }
 and state = {
   clock : Ceres_util.Vclock.t;
   prng : Ceres_util.Prng.t; (** backs [Math.random]; seeded *)
+  symtab : Ceres_util.Symbol.table;
+      (** the state's interned names; programs are resolved against it
+          by [Eval.run_program] *)
   mutable global_scope : scope;
   mutable global_obj : obj;
   mutable object_proto : obj;
@@ -72,6 +85,9 @@ and state = {
   intrinsics : (string, intrinsic) Hashtbl.t;
       (** handlers for {!Jsir.Ast.Intrinsic} nodes, registered by
           {!Ceres.Install} *)
+  mutable intrinsic_fast : intrinsic option array;
+      (** dispatch cache indexed by the intrinsic name's symbol;
+          cleared by {!register_intrinsic} *)
   mutable on_scope_create : scope -> unit;
   mutable on_call_enter : string option -> unit;
   mutable on_call_exit : unit -> unit;
@@ -127,6 +143,10 @@ val own_keys : obj -> string list
 val ensure_capacity : arr_data -> int -> unit
 val array_set_length : arr_data -> int -> unit
 
+val array_store_set : arr_data -> int -> value -> unit
+(** Element write: grow, store, bump [len] — the [set_prop_obj] index
+    branch without the key parse. *)
+
 val get_prop_obj : obj -> string -> value
 (** Prototype-chain lookup, array-index aware. *)
 
@@ -157,17 +177,44 @@ val fresh_scope : state -> scope option -> scope
 (** New scope (fires [on_scope_create]). *)
 
 val declare : scope -> string -> unit
-(** Bind the name to [Undefined] if not already bound here. *)
+(** Bind the name to [Undefined] if not already bound here (slotted
+    names count as bound). *)
+
+val scope_slot : scope -> string -> int
+(** Slot of the name at this level only, or -1. *)
+
+val var_home : scope -> string -> (scope * int) option
+(** Where the name lives, walking out from [scope]: the owning scope
+    and its slot there (-1 = a dynamic cell in that scope's [vars]). *)
+
+val var_exists : scope -> string -> bool
 
 val owner_scope : scope -> string -> scope option
 (** The scope in the chain that owns the binding. *)
 
-val lookup_cell : scope -> string -> cell option
+val scope_read : scope -> int -> string -> value
+(** Read slot/cell located by {!var_home}. *)
+
+val scope_write : scope -> int -> string -> value -> unit
+
 val get_var : state -> scope -> string -> value
 (** Falls back to global-object properties; ReferenceError if absent. *)
 
 val set_var : state -> scope -> string -> value -> unit
 (** Sloppy-mode semantics: unbound names become implicit globals. *)
+
+(** {2 Resolved access}
+
+    No string hashing: [lex] packs [(depth, slot)] as produced by the
+    resolver, whose addresses provably exist at runtime. *)
+
+val frame_up : scope -> int -> scope
+val get_lex : state -> scope -> int -> value
+val set_lex : state -> scope -> int -> value -> unit
+
+val register_intrinsic : state -> string -> intrinsic -> unit
+(** Register an {!Jsir.Ast.Intrinsic} handler (invalidates the
+    dispatch cache). *)
 
 (** {1 Errors} *)
 

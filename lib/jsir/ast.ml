@@ -57,7 +57,14 @@ type logop = And | Or
    plain [=] is [None]. *)
 type assign_op = binop option
 
-type expr = { e : expr_desc; at : span }
+(* [lex] is the resolver's stamp (Resolve.program); -1 = unresolved,
+   take the dynamic path. Its meaning depends on the node:
+   - [Ident], [Assign]/[Update] with a [Tgt_ident]: a packed lexical
+     address, [slot lsl 12 lor depth], where depth counts enclosing
+     function frames and depth = 0xFFF means the global frame;
+   - [String]: the interned symbol of the literal;
+   - [Intrinsic]: the interned symbol of the intrinsic's name. *)
+type expr = { e : expr_desc; at : span; mutable lex : int }
 
 and expr_desc =
   | Number of float
@@ -95,6 +102,30 @@ and func = {
   params : string list;
   body : stmt list;
   fspan : span;
+  mutable layout : layout option;
+      (* slot layout of this function's frame, attached by the
+         resolver; [None] runs on the dynamic string-keyed path *)
+}
+
+(* Frame layout: every [var]-hoisted name, parameter and function
+   declaration of one function gets a fixed slot, so activation
+   records become value arrays instead of string-keyed tables. Catch
+   parameters stay dynamic (they are declared at catch-entry, not
+   hoisted) and live in the scope's side table. *)
+and layout = {
+  l_size : int; (* slot count of the frame *)
+  l_names : string array; (* slot -> name *)
+  l_syms : int array; (* slot -> interned symbol *)
+  l_table : (string, int) Hashtbl.t; (* name -> slot, for dynamic refs *)
+  l_param_slots : int array; (* positional parameter -> slot *)
+  l_arguments : int; (* slot of [arguments]; -1 for the global frame *)
+  l_uses_arguments : bool;
+      (* whether the frame's [arguments] array can be observed; when
+         false the per-call array allocation is skipped *)
+  l_decls : (int * func) list; (* named function decls, source order *)
+  l_fname_static : bool;
+      (* named function expression whose name is statically bound (or
+         no name at all): the runtime wrapper-scope test is skipped *)
 }
 
 and stmt = { s : stmt_desc; sat : span }
@@ -126,12 +157,31 @@ and for_in_binder =
   | Binder_var of string   (* for (var k in o) *)
   | Binder_ident of string (* for (k in o) *)
 
-type program = { stmts : stmt list; loop_count : int }
+type program = {
+  stmts : stmt list;
+  loop_count : int;
+  mutable glayout : layout option;
+      (* global-frame layout (slots allocated from the symbol table's
+         global registry), attached by the resolver *)
+  mutable resolved_for : Ceres_util.Symbol.table option;
+      (* the table the program was last resolved against; re-running
+         on a different interpreter state re-resolves *)
+}
+
+let lex_unresolved = -1
+let lex_global_depth = 0xFFF
+let lex_make ~depth ~slot = (slot lsl 12) lor depth
+let lex_depth lex = lex land 0xFFF
+let lex_slot lex = lex lsr 12
 
 (* Constructors used by the instrumenter, which synthesises nodes with
    no meaningful source location. *)
 
-let mk ?(at = no_span) e = { e; at }
+let mk ?(at = no_span) e = { e; at; lex = lex_unresolved }
+let mk_func ?(fname = None) ~params ~body fspan =
+  { fname; params; body; fspan; layout = None }
+let mk_program ~stmts ~loop_count =
+  { stmts; loop_count; glayout = None; resolved_for = None }
 let mk_stmt ?(at = no_span) s = { s; sat = at }
 let number f = mk (Number f)
 let string_lit s = mk (String s)

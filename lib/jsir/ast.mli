@@ -47,7 +47,12 @@ type assign_op = binop option
 (** Compound assignment carries the underlying operator; plain [=] is
     [None]. *)
 
-type expr = { e : expr_desc; at : span }
+type expr = { e : expr_desc; at : span; mutable lex : int }
+(** [lex] is the resolver's stamp ({!Resolve.program}); [-1] means
+    unresolved (dynamic path). For [Ident] and [Assign]/[Update] with
+    a [Tgt_ident] it packs a lexical address; for [String] it is the
+    literal's interned symbol; for [Intrinsic] the symbol of the
+    intrinsic's name. *)
 
 and expr_desc =
   | Number of float
@@ -87,6 +92,29 @@ and func = {
   params : string list;
   body : stmt list;
   fspan : span;
+  mutable layout : layout option;
+      (** slot layout of the frame, attached by the resolver; [None]
+          runs on the dynamic string-keyed path *)
+}
+
+(** Frame layout: fixed slots for every parameter, [var]-hoisted name
+    and function declaration of one function, so activation records
+    become value arrays. Catch parameters are not hoisted and stay in
+    the scope's dynamic side table. *)
+and layout = {
+  l_size : int;
+  l_names : string array; (** slot -> name *)
+  l_syms : int array; (** slot -> interned symbol *)
+  l_table : (string, int) Hashtbl.t; (** name -> slot (dynamic refs) *)
+  l_param_slots : int array;
+  l_arguments : int; (** slot of [arguments]; -1 for the global frame *)
+  l_uses_arguments : bool;
+      (** false = the per-call [arguments] array is unobservable and
+          its allocation is skipped *)
+  l_decls : (int * func) list; (** named function decls, source order *)
+  l_fname_static : bool;
+      (** no runtime wrapper-scope test needed for the function
+          expression's own name *)
 }
 
 and stmt = { s : stmt_desc; sat : span }
@@ -120,12 +148,33 @@ and for_in_binder =
   | Binder_var of string (** [for (var k in o)] *)
   | Binder_ident of string (** [for (k in o)] *)
 
-type program = { stmts : stmt list; loop_count : int }
+type program = {
+  stmts : stmt list;
+  loop_count : int;
+  mutable glayout : layout option; (** attached by the resolver *)
+  mutable resolved_for : Ceres_util.Symbol.table option;
+}
 (** [loop_count] is the number of {!loop_id}s the parser assigned. *)
+
+(** {1 Lexical addresses} (packed into [expr.lex]) *)
+
+val lex_unresolved : int (** -1 *)
+
+val lex_global_depth : int
+(** Depth value marking the global frame. *)
+
+val lex_make : depth:int -> slot:int -> int
+val lex_depth : int -> int
+val lex_slot : int -> int
 
 (** {1 Constructors} (used by the instrumenter) *)
 
 val mk : ?at:span -> expr_desc -> expr
+
+val mk_func :
+  ?fname:string option -> params:string list -> body:stmt list -> span -> func
+
+val mk_program : stmts:stmt list -> loop_count:int -> program
 val mk_stmt : ?at:span -> stmt_desc -> stmt
 val number : float -> expr
 val string_lit : string -> expr

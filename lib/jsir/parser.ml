@@ -114,7 +114,7 @@ let rec parse_assign ?(allow_in = true) st : expr =
     advance st;
     let tgt = target_of_expr st left in
     let rhs = parse_assign ~allow_in st in
-    { e = Assign (tgt, op, rhs); at }
+    { e = Assign (tgt, op, rhs); at; lex = lex_unresolved }
   | None -> left
 
 and parse_conditional ~allow_in st : expr =
@@ -125,7 +125,7 @@ and parse_conditional ~allow_in st : expr =
     let then_e = parse_assign ~allow_in:true st in
     expect st Lexer.COLON;
     let else_e = parse_assign ~allow_in st in
-    { e = Cond (cond, then_e, else_e); at }
+    { e = Cond (cond, then_e, else_e); at; lex = lex_unresolved }
   end
   else cond
 
@@ -138,7 +138,7 @@ and parse_binary ~allow_in st min_prec : expr =
       let at = peek_span st in
       advance st;
       let right = parse_binary ~allow_in st (prec + 1) in
-      left := { e = Logical (op, !left, right); at }
+      left := { e = Logical (op, !left, right); at; lex = lex_unresolved }
     | Some _ -> continue := false
     | None ->
       (match binop_of_token ~allow_in (peek st) with
@@ -146,7 +146,7 @@ and parse_binary ~allow_in st min_prec : expr =
          let at = peek_span st in
          advance st;
          let right = parse_binary ~allow_in st (prec + 1) in
-         left := { e = Binop (op, !left, right); at }
+         left := { e = Binop (op, !left, right); at; lex = lex_unresolved }
        | Some _ | None -> continue := false)
   done;
   !left
@@ -156,33 +156,33 @@ and parse_unary ~allow_in st : expr =
   match peek st with
   | Lexer.MINUS ->
     advance st;
-    { e = Unop (Neg, parse_unary ~allow_in st); at }
+    { e = Unop (Neg, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.PLUS ->
     advance st;
-    { e = Unop (Positive, parse_unary ~allow_in st); at }
+    { e = Unop (Positive, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.BANG ->
     advance st;
-    { e = Unop (Not, parse_unary ~allow_in st); at }
+    { e = Unop (Not, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.TILDE ->
     advance st;
-    { e = Unop (Bitnot, parse_unary ~allow_in st); at }
+    { e = Unop (Bitnot, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.KW_typeof ->
     advance st;
-    { e = Unop (Typeof, parse_unary ~allow_in st); at }
+    { e = Unop (Typeof, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.KW_void ->
     advance st;
-    { e = Unop (Void, parse_unary ~allow_in st); at }
+    { e = Unop (Void, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.KW_delete ->
     advance st;
-    { e = Unop (Delete, parse_unary ~allow_in st); at }
+    { e = Unop (Delete, parse_unary ~allow_in st); at; lex = lex_unresolved }
   | Lexer.PLUSPLUS ->
     advance st;
     let operand = parse_unary ~allow_in st in
-    { e = Update (Incr, true, target_of_expr st operand); at }
+    { e = Update (Incr, true, target_of_expr st operand); at; lex = lex_unresolved }
   | Lexer.MINUSMINUS ->
     advance st;
     let operand = parse_unary ~allow_in st in
-    { e = Update (Decr, true, target_of_expr st operand); at }
+    { e = Update (Decr, true, target_of_expr st operand); at; lex = lex_unresolved }
   | _ -> parse_postfix ~allow_in st
 
 and parse_postfix ~allow_in st : expr =
@@ -191,11 +191,11 @@ and parse_postfix ~allow_in st : expr =
   | Lexer.PLUSPLUS ->
     let at = peek_span st in
     advance st;
-    { e = Update (Incr, false, target_of_expr st e); at }
+    { e = Update (Incr, false, target_of_expr st e); at; lex = lex_unresolved }
   | Lexer.MINUSMINUS ->
     let at = peek_span st in
     advance st;
-    { e = Update (Decr, false, target_of_expr st e); at }
+    { e = Update (Decr, false, target_of_expr st e); at; lex = lex_unresolved }
   | _ -> e
 
 and parse_call ~allow_in st : expr =
@@ -208,17 +208,17 @@ and parse_call_tail st base : expr =
     let at = peek_span st in
     advance st;
     let field = ident_name st in
-    parse_call_tail st { e = Member (base, field); at }
+    parse_call_tail st { e = Member (base, field); at; lex = lex_unresolved }
   | Lexer.LBRACKET ->
     let at = peek_span st in
     advance st;
     let index = parse_assign st in
     expect st Lexer.RBRACKET;
-    parse_call_tail st { e = Index (base, index); at }
+    parse_call_tail st { e = Index (base, index); at; lex = lex_unresolved }
   | Lexer.LPAREN ->
     let at = peek_span st in
     let args = parse_args st in
-    parse_call_tail st { e = Call (base, args); at }
+    parse_call_tail st { e = Call (base, args); at; lex = lex_unresolved }
   | _ -> base
 
 and parse_args st : expr list =
@@ -258,26 +258,26 @@ and parse_new st : expr =
         let mat = peek_span st in
         advance st;
         let field = ident_name st in
-        members { e = Member (acc, field); at = mat }
+        members { e = Member (acc, field); at = mat; lex = lex_unresolved }
       | Lexer.LBRACKET ->
         let mat = peek_span st in
         advance st;
         let index = parse_assign st in
         expect st Lexer.RBRACKET;
-        members { e = Index (acc, index); at = mat }
+        members { e = Index (acc, index); at = mat; lex = lex_unresolved }
       | _ -> acc
     in
     members base
   in
   let args = if peek st = Lexer.LPAREN then parse_args st else [] in
-  { e = New (callee, args); at }
+  { e = New (callee, args); at; lex = lex_unresolved }
 
 and parse_primary_nocall st : expr =
   let at = peek_span st in
   match peek st with
   | Lexer.IDENT name ->
     advance st;
-    { e = Ident name; at }
+    { e = Ident name; at; lex = lex_unresolved }
   | Lexer.LPAREN ->
     advance st;
     let e = parse_expr_seq st in
@@ -285,7 +285,7 @@ and parse_primary_nocall st : expr =
     e
   | Lexer.KW_this ->
     advance st;
-    { e = This; at }
+    { e = This; at; lex = lex_unresolved }
   | tok ->
     error st
       (Printf.sprintf "expected constructor expression but found %s"
@@ -296,28 +296,28 @@ and parse_primary ~allow_in st : expr =
   match peek st with
   | Lexer.NUMBER f ->
     advance st;
-    { e = Number f; at }
+    { e = Number f; at; lex = lex_unresolved }
   | Lexer.STRING s ->
     advance st;
-    { e = String s; at }
+    { e = String s; at; lex = lex_unresolved }
   | Lexer.KW_true ->
     advance st;
-    { e = Bool true; at }
+    { e = Bool true; at; lex = lex_unresolved }
   | Lexer.KW_false ->
     advance st;
-    { e = Bool false; at }
+    { e = Bool false; at; lex = lex_unresolved }
   | Lexer.KW_null ->
     advance st;
-    { e = Null; at }
+    { e = Null; at; lex = lex_unresolved }
   | Lexer.KW_undefined ->
     advance st;
-    { e = Undefined; at }
+    { e = Undefined; at; lex = lex_unresolved }
   | Lexer.KW_this ->
     advance st;
-    { e = This; at }
+    { e = This; at; lex = lex_unresolved }
   | Lexer.IDENT name ->
     advance st;
-    { e = Ident name; at }
+    { e = Ident name; at; lex = lex_unresolved }
   | Lexer.LPAREN ->
     advance st;
     let e = parse_expr_seq st in
@@ -347,7 +347,7 @@ and parse_primary ~allow_in st : expr =
         end
       end
     in
-    { e = Array_lit (elems []); at }
+    { e = Array_lit (elems []); at; lex = lex_unresolved }
   | Lexer.LBRACE ->
     advance st;
     let rec props acc =
@@ -389,10 +389,10 @@ and parse_primary ~allow_in st : expr =
         end
       end
     in
-    { e = Object_lit (props []); at }
+    { e = Object_lit (props []); at; lex = lex_unresolved }
   | Lexer.KW_function ->
     let f = parse_function st in
-    { e = Function_expr f; at }
+    { e = Function_expr f; at; lex = lex_unresolved }
   | Lexer.KW_new -> parse_new st
   | tok ->
     ignore allow_in;
@@ -434,7 +434,7 @@ and parse_function st : func =
   expect st Lexer.LBRACE;
   let body = parse_stmts_until st Lexer.RBRACE in
   expect st Lexer.RBRACE;
-  { fname; params; body; fspan }
+  { fname; params; body; fspan; layout = None }
 
 and parse_var_decls st : (string * expr option) list =
   let rec go acc =
@@ -462,7 +462,7 @@ and parse_expr_seq st : expr =
     let at = peek_span st in
     advance st;
     let rest = parse_expr_seq st in
-    { e = Seq (e, rest); at }
+    { e = Seq (e, rest); at; lex = lex_unresolved }
   end
   else e
 
@@ -710,7 +710,7 @@ let parse_program src =
   in
   let stmts = parse_stmts_until st Lexer.EOF in
   expect st Lexer.EOF;
-  { stmts; loop_count = st.loops }
+  { stmts; loop_count = st.loops; glayout = None; resolved_for = None }
 
 let parse_expression src =
   let st =

@@ -1,0 +1,24 @@
+(** Front-end resolution: symbol interning + lexical addressing.
+
+    Runs once per program against an interpreter state's symbol table,
+    before execution. Interns every identifier / property-name literal
+    / intrinsic name, computes a slot {!Ast.layout} for every function
+    frame and for the global frame (mirroring the evaluator's hoisting
+    semantics exactly — catch parameters are {e not} hoisted), and
+    stamps every variable reference with a packed [(depth, slot)]
+    address in [expr.lex].
+
+    References that cannot be proven static — names bound by a catch
+    clause somewhere in the function, names a named-function-expression
+    wrapper scope may bind, names not statically bound anywhere
+    (possible implicit globals) — are left unresolved ([-1]) and take
+    the evaluator's dynamic path, which preserves the old semantics
+    byte for byte. *)
+
+val program : Ceres_util.Symbol.table -> Ast.program -> unit
+(** Resolve (or re-resolve) the program against [tab]. Overwrites every
+    [lex] stamp and every attached layout; sets [p.resolved_for]. *)
+
+val ensure : Ceres_util.Symbol.table -> Ast.program -> unit
+(** [program] unless [p] is already resolved against this very table
+    (physical equality). *)

@@ -32,12 +32,35 @@ let handle_doc h (doc : Ceres_util.Json.t) =
      with
      | Some "cache-stats" -> cache_stats_line (h.cache_stats ())
      | Some "telemetry" ->
+       (* One health snapshot: pool scheduling stats (null when the
+          service runs single-job), the result cache's counters, and
+          the process GC totals — enough to see from the outside
+          whether a long-lived server is reusing results or churning
+          the heap. *)
+       let s = h.cache_stats () in
+       let gc = Gc.quick_stat () in
        Ceres_util.Json.to_string
          (Obj
             [ ( "telemetry",
-                match h.telemetry () with
-                | Some doc -> doc
-                | None -> Ceres_util.Json.Null ) ])
+                Ceres_util.Json.Obj
+                  [ ( "pool",
+                      match h.telemetry () with
+                      | Some doc -> doc
+                      | None -> Ceres_util.Json.Null );
+                    ( "cache",
+                      Obj
+                        [ ("hits", Int s.hits);
+                          ("misses", Int s.misses);
+                          ("evictions", Int s.evictions);
+                          ("entries", Int s.entries) ] );
+                    ( "gc",
+                      Obj
+                        [ ("minor_words", Fixed (0, gc.Gc.minor_words));
+                          ("promoted_words", Fixed (0, gc.Gc.promoted_words));
+                          ("major_words", Fixed (0, gc.Gc.major_words));
+                          ("minor_collections", Int gc.Gc.minor_collections);
+                          ("major_collections", Int gc.Gc.major_collections) ]
+                    ) ] ) ])
      | Some "ping" -> Ceres_util.Json.to_string (Obj [ ("ok", Bool true) ])
      | Some op ->
        error_line Response.Bad_request (Printf.sprintf "unknown op %S" op)

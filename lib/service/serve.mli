@@ -9,8 +9,11 @@
       responses in request order;
     - [{"op": "cache-stats"}] → the result cache's deterministic
       counters ([hits]/[misses]/[evictions]/[entries]);
-    - [{"op": "telemetry"}] → the pool's scheduling telemetry (or
-      [null] without a pool);
+    - [{"op": "telemetry"}] → a health snapshot: the pool's
+      scheduling telemetry under ["pool"] ([null] without a pool),
+      the result cache's counters under ["cache"], and the process
+      GC totals (minor/promoted/major words, collection counts)
+      under ["gc"];
     - [{"op": "ping"}] → [{"ok": true}];
     - anything else (bad JSON, unknown pass, unknown op) → one
       [{"error": {...}}] line. The loop never crashes on input.

@@ -333,7 +333,7 @@ let arb_program =
     ~print:(fun (p : Jsir.Ast.program) -> Jsir.Printer.program_to_string p)
     QCheck.Gen.(
       map
-        (fun stmts : Jsir.Ast.program -> { stmts; loop_count = 0 })
+        (fun stmts : Jsir.Ast.program -> Jsir.Ast.mk_program ~stmts ~loop_count:0)
         (list_size (int_range 1 6) gen_stmt))
 
 let prop_program_roundtrip =

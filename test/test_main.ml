@@ -3,6 +3,7 @@ let () =
     [ ("util", Test_util.suite);
       ("jsir", Test_jsir.suite);
       ("interp", Test_interp.suite);
+      ("resolve", Test_resolve.suite);
       ("dom", Test_dom.suite);
       ("profiler", Test_profiler.suite);
       ("ceres", Test_ceres.suite);

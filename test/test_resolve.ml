@@ -1,0 +1,243 @@
+(* Differential tests for the front-end resolution pass: a program run
+   with slot-resolved environments must be observably identical to the
+   same program on the dynamic name-lookup path
+   ([Interp.Eval.run_program ~resolve:false], kept for exactly this
+   purpose) — same console output, same virtual-clock schedule, same
+   dependence warnings. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let run_mode ~resolve src =
+  let st = Interp.Eval.create () in
+  Interp.Builtins.install st;
+  let outcome =
+    try
+      Interp.Eval.run_program ~resolve st (Jsir.Parser.parse_program src);
+      []
+    with Interp.Value.Js_throw v -> [ "THROWN " ^ Interp.Value.to_string st v ]
+  in
+  (List.rev st.Interp.Value.console @ outcome, Ceres_util.Vclock.busy st.clock)
+
+let check_equiv msg src =
+  let resolved, ticks_r = run_mode ~resolve:true src in
+  let dynamic, ticks_d = run_mode ~resolve:false src in
+  Alcotest.(check (list string)) (msg ^ ": console") dynamic resolved;
+  Alcotest.(check int64) (msg ^ ": vclock") ticks_d ticks_r
+
+(* ------------------------------------------------------------------ *)
+(* Directed cases: the scoping corners where slot addressing could
+   plausibly diverge from the dynamic scope walk. *)
+
+let test_named_function_expr () =
+  check_equiv "named fn expr sees itself"
+    {|
+var f = function fact(n) { return n < 2 ? 1 : n * fact(n - 1); };
+console.log(f(6));
+console.log(typeof fact);
+|}
+
+let test_catch_shadowing () =
+  check_equiv "catch variable shadows"
+    {|
+var e = "outer";
+try { throw "inner"; } catch (e) {
+  console.log(e);
+  e = "mutated";
+  console.log(e);
+}
+console.log(e);
+var i;
+for (i = 0; i < 2; i++) {
+  try { throw i; } catch (err) { console.log(err + ":" + e); }
+}
+|}
+
+let test_implicit_globals () =
+  check_equiv "implicit global created in a function"
+    {|
+function leak() { impl = 7; return impl + 1; }
+console.log(typeof impl);
+console.log(leak());
+console.log(impl);
+impl = impl * 2;
+console.log(impl);
+|}
+
+let test_arguments_object () =
+  check_equiv "arguments"
+    {|
+function h(a) { return arguments.length + "/" + arguments[0] + "/" + a; }
+console.log(h(10, 2));
+console.log(h());
+|}
+
+let test_typeof_and_delete () =
+  check_equiv "typeof unbound, delete of globals"
+    {|
+console.log(typeof never_declared);
+g1 = 5;
+var g2 = 6;
+console.log(delete g1);
+console.log(typeof g1);
+console.log(g2);
+|}
+
+let test_closures_and_shadowing () =
+  check_equiv "closures capture frames, params shadow globals"
+    {|
+var x = 1;
+function counter() { var n = 0; return function () { n++; return n; }; }
+var c1 = counter();
+var c2 = counter();
+console.log(c1() + "," + c1() + "," + c2() + "," + x);
+function s(x) { x = x + 1; return x; }
+console.log(s(5) + "," + x);
+|}
+
+let test_hoisting () =
+  check_equiv "var hoisting and redeclaration"
+    {|
+console.log(typeof v);
+var v = 1;
+function f() {
+  console.log(typeof v);
+  var v = 2;
+  console.log(v);
+}
+f();
+console.log(v);
+var v;
+console.log(v);
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Property: random straight-line/looping/shadowing programs agree. *)
+
+let names = [| "a"; "b"; "c"; "d"; "e" |]
+
+let gen_expr : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_range 0 3)
+  @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [ map string_of_int (int_range 0 99); oneofa names ]
+      in
+      if n = 0 then leaf
+      else
+        let sub = self (n - 1) in
+        let bin op =
+          map2 (fun a b -> "(" ^ a ^ " " ^ op ^ " " ^ b ^ ")") sub sub
+        in
+        oneof [ leaf; bin "+"; bin "*"; bin "-"; bin "%" ])
+
+let rec gen_stmt n : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let assign =
+    map2 (fun x e -> x ^ " = " ^ e ^ ";") (oneofa names) gen_expr
+  in
+  let compound =
+    map2 (fun x e -> x ^ " += " ^ e ^ ";") (oneofa names) gen_expr
+  in
+  let update = map (fun x -> x ^ "++;") (oneofa names) in
+  let redecl =
+    map2 (fun x e -> "var " ^ x ^ " = " ^ e ^ ";") (oneofa names) gen_expr
+  in
+  if n = 0 then oneof [ assign; compound; update; redecl ]
+  else
+    let sub = gen_stmt (n - 1) in
+    let if_else =
+      map3
+        (fun e s1 s2 ->
+           "if ((" ^ e ^ ") % 2) { " ^ s1 ^ " } else { " ^ s2 ^ " }")
+        gen_expr sub sub
+    in
+    let for_loop =
+      map2
+        (fun s k ->
+           let i = "i" ^ string_of_int k in
+           "for (var " ^ i ^ " = 0; " ^ i ^ " < 3; " ^ i ^ "++) { " ^ s
+           ^ " }")
+        sub (int_range 0 9)
+    in
+    let fn_wrap =
+      map3
+        (fun x e s ->
+           "(function () { var " ^ x ^ " = " ^ e ^ "; " ^ s ^ " " ^ x ^ " = "
+           ^ x ^ " + 1; })();")
+        (oneofa names) gen_expr sub
+    in
+    oneof [ assign; compound; update; redecl; if_else; for_loop; fn_wrap ]
+
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  map
+    (fun stmts ->
+       "var a = 1, b = 2, c = 3, d = 4, e = 5;\n"
+       ^ String.concat "\n" stmts
+       ^ "\nconsole.log(a + \",\" + b + \",\" + c + \",\" + d + \",\" + e);")
+    (list_size (int_range 1 8) (gen_stmt 2))
+
+let prop_resolved_equals_dynamic =
+  QCheck.Test.make ~name:"slot-resolved run = name-lookup run" ~count:120
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun src ->
+       let resolved, ticks_r = run_mode ~resolve:true src in
+       let dynamic, ticks_d = run_mode ~resolve:false src in
+       resolved = dynamic && Int64.equal ticks_r ticks_d)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: across the whole corpus, the dependence analysis must
+   report byte-identical warnings whether the instrumented program runs
+   slot-resolved or on the dynamic path, and the lightweight pass must
+   tick the virtual clock identically. *)
+
+let dep_report ~resolve (w : Workloads.Workload.t) =
+  let ctx = Workloads.Harness.prepare ~scale:w.dep_scale w in
+  let rt = Ceres.Install.dependence ctx.st ctx.infos in
+  Interp.Eval.run_program ~resolve ctx.st
+    (Ceres.Instrument.program Ceres.Instrument.Dependence ctx.program);
+  Workloads.Harness.drive ctx w;
+  List.map
+    (Ceres.Report.warning_to_string ctx.infos)
+    (Ceres.Runtime.warnings rt)
+
+let test_dependence_identical_all_workloads () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+       Alcotest.(check (list string))
+         (Printf.sprintf "deps warnings for %s" w.name)
+         (dep_report ~resolve:false w)
+         (dep_report ~resolve:true w))
+    Workloads.Registry.all
+
+let light_ticks ~resolve (w : Workloads.Workload.t) =
+  let ctx = Workloads.Harness.prepare w in
+  ignore (Ceres.Install.lightweight ctx.st);
+  Interp.Eval.run_program ~resolve ctx.st
+    (Ceres.Instrument.program Ceres.Instrument.Lightweight ctx.program);
+  Workloads.Harness.drive ctx w;
+  Ceres_util.Vclock.busy ctx.st.Interp.Value.clock
+
+let test_vclock_identical_all_workloads () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+       Alcotest.(check int64)
+         (Printf.sprintf "busy ticks for %s" w.name)
+         (light_ticks ~resolve:false w)
+         (light_ticks ~resolve:true w))
+    Workloads.Registry.all
+
+let suite =
+  [ ("named function expression", `Quick, test_named_function_expr);
+    ("catch shadowing", `Quick, test_catch_shadowing);
+    ("implicit globals", `Quick, test_implicit_globals);
+    ("arguments object", `Quick, test_arguments_object);
+    ("typeof unbound / delete", `Quick, test_typeof_and_delete);
+    ("closures and shadowing", `Quick, test_closures_and_shadowing);
+    ("hoisting", `Quick, test_hoisting);
+    qtest prop_resolved_equals_dynamic;
+    ("dependence identical across corpus", `Slow,
+     test_dependence_identical_all_workloads);
+    ("vclock identical across corpus", `Slow,
+     test_vclock_identical_all_workloads) ]

@@ -225,6 +225,74 @@ let test_bar_chart () =
   Alcotest.(check bool) "y clamped to 100%" true
     (Helpers.contains ~sub:"100.0%" s)
 
+(* ------------------------------------------------------------------ *)
+(* Symbol interning *)
+
+let test_symbol_intern_idempotent () =
+  let t = Ceres_util.Symbol.create () in
+  let a = Ceres_util.Symbol.intern t "foo" in
+  let b = Ceres_util.Symbol.intern t "bar" in
+  Alcotest.(check bool) "distinct names, distinct syms" true (a <> b);
+  Alcotest.(check int) "re-intern returns same sym" a
+    (Ceres_util.Symbol.intern t "foo");
+  Alcotest.(check string) "name round-trips" "foo"
+    (Ceres_util.Symbol.name t a);
+  Alcotest.(check (option int)) "find" (Some b)
+    (Ceres_util.Symbol.find t "bar");
+  Alcotest.(check (option int)) "find miss" None
+    (Ceres_util.Symbol.find t "baz")
+
+(* The whole point of interning the canonicalization: the
+   [int_of_string_opt] probe runs once per distinct name, never per
+   access. Pinned so a refactor cannot quietly move it back onto the
+   hot path. *)
+let test_symbol_parse_count () =
+  let t = Ceres_util.Symbol.create () in
+  for i = 0 to 9999 do
+    ignore (Ceres_util.Symbol.intern t (string_of_int i))
+  done;
+  Alcotest.(check int) "one parse per distinct name" 10000
+    (Ceres_util.Symbol.parse_count t);
+  (* hot-path operations must not re-parse *)
+  for i = 0 to 9999 do
+    let s = Ceres_util.Symbol.intern t (string_of_int i) in
+    ignore (Ceres_util.Symbol.canonical t s);
+    ignore (Ceres_util.Symbol.array_index t s);
+    ignore (Ceres_util.Symbol.of_index t i)
+  done;
+  Alcotest.(check int) "re-intern/canonical/of_index do not re-parse" 10000
+    (Ceres_util.Symbol.parse_count t)
+
+let test_symbol_canonical_rule () =
+  let t = Ceres_util.Symbol.create () in
+  let canon s = Ceres_util.Symbol.canonical t (Ceres_util.Symbol.intern t s) in
+  (* anything int_of_string_opt accepts aggregates as an element... *)
+  List.iter
+    (fun s -> Alcotest.(check string) ("canon " ^ s) "[elem]" (canon s))
+    [ "0"; "7"; "42"; "007"; "0x10"; "-1" ];
+  List.iter
+    (fun s -> Alcotest.(check string) ("canon " ^ s) s (canon s))
+    [ "x"; "length"; "1.5"; ""; "10e3" ];
+  (* ...but only canonical non-negative decimals are array indices *)
+  let idx s = Ceres_util.Symbol.array_index t (Ceres_util.Symbol.intern t s) in
+  Alcotest.(check int) "7 is index 7" 7 (idx "7");
+  Alcotest.(check int) "007 is not an index" (-1) (idx "007");
+  Alcotest.(check int) "-1 is not an index" (-1) (idx "-1");
+  Alcotest.(check int) "0x10 is not an index" (-1) (idx "0x10");
+  Alcotest.(check int) "of_index = intern of decimal" (idx "123")
+    (Ceres_util.Symbol.array_index t (Ceres_util.Symbol.of_index t 123))
+
+let prop_symbol_of_index_consistent =
+  QCheck.Test.make ~name:"of_index i = intern (string_of_int i)" ~count:200
+    QCheck.(int_range 0 100000)
+    (fun i ->
+       let t = Ceres_util.Symbol.create () in
+       let a = Ceres_util.Symbol.of_index t i in
+       let b = Ceres_util.Symbol.intern t (string_of_int i) in
+       a = b
+       && Ceres_util.Symbol.array_index t a = i
+       && String.equal (Ceres_util.Symbol.name t a) (string_of_int i))
+
 let suite =
   [ ("welford basic", `Quick, test_welford_basic);
     ("welford single sample", `Quick, test_welford_single);
@@ -244,4 +312,8 @@ let suite =
     ("stats histogram", `Quick, test_histogram);
     ("stats jaccard", `Quick, test_jaccard);
     ("table render", `Quick, test_table_render);
-    ("table bar chart", `Quick, test_bar_chart) ]
+    ("table bar chart", `Quick, test_bar_chart);
+    ("symbol interning", `Quick, test_symbol_intern_idempotent);
+    ("symbol parse count pinned", `Quick, test_symbol_parse_count);
+    ("symbol canonical rule", `Quick, test_symbol_canonical_rule);
+    qtest prop_symbol_of_index_consistent ]
