@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos analyze serve-smoke bench bench-smoke examples reports clean
+.PHONY: all build test check chaos analyze serve-smoke par-exec-smoke bench bench-smoke examples reports clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
 	$(MAKE) analyze
 	$(MAKE) serve-smoke
+	$(MAKE) par-exec-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) chaos
 
@@ -75,6 +76,35 @@ serve-smoke: build
 	test "$$hits" -gt 0 || \
 	  { echo "serve-smoke: expected cache hits > 0, got $$hits"; exit 1; }; \
 	echo "serve smoke OK (cache hits: $$hits)"
+
+# Parallel-execution smoke test: the two workloads whose proven nests
+# are big enough to fork must produce byte-identical stdout with
+# `--par-exec -j 2`, and the stderr telemetry must show nests really
+# executing through the pool (nests > 0, pool tasks_executed > 0) —
+# guarding against the silent regression where every instance falls
+# back to the sequential path and the byte-compare passes vacuously.
+PAR_EXEC_WORKLOADS = CamanJS HAAR.js
+
+par-exec-smoke: build
+	@for w in $(PAR_EXEC_WORKLOADS); do \
+	  seq=_build/parexec-$$w-seq.out; par=_build/parexec-$$w-par.out; \
+	  err=_build/parexec-$$w-par.err; \
+	  dune exec bin/jsceres.exe -- run "$$w" >$$seq 2>/dev/null || \
+	    { echo "par-exec-smoke: sequential run of $$w failed"; exit 1; }; \
+	  dune exec bin/jsceres.exe -- run "$$w" --par-exec -j 2 --par-stats \
+	    >$$par 2>$$err || \
+	    { echo "par-exec-smoke: parallel run of $$w failed"; exit 1; }; \
+	  cmp -s $$seq $$par || \
+	    { echo "par-exec-smoke: $$w parallel output differs from sequential"; \
+	      diff $$seq $$par | head -5; exit 1; }; \
+	  nests=$$(grep -o '"nests":[0-9]*' $$err | head -1 | cut -d: -f2); \
+	  tasks=$$(grep -o '"tasks_executed":[0-9]*' $$err | head -1 | cut -d: -f2); \
+	  test -n "$$nests" -a "$$nests" -gt 0 2>/dev/null || \
+	    { echo "par-exec-smoke: $$w ran no nests in parallel"; exit 1; }; \
+	  test -n "$$tasks" -a "$$tasks" -gt 0 2>/dev/null || \
+	    { echo "par-exec-smoke: $$w pool executed no tasks"; exit 1; }; \
+	  echo "par-exec-smoke: $$w OK (nests: $$nests, pool tasks: $$tasks)"; \
+	done; echo "par-exec smoke OK ($(PAR_EXEC_WORKLOADS))"
 
 # Deterministic fault-injection suite. Each fixed seed must (a) kill at
 # least one workload — the run exits 1 and prints a failure summary

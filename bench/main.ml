@@ -4,12 +4,48 @@
 
    Sections (select on the command line; default: all):
      table1 figure1 figure2 figure3 figure4 table2 table3 amdahl
-     speedup overhead nbody
+     speedup parexec overhead nbody
 
    `overhead` uses Bechamel to measure the wall-clock cost of the four
    instrumentation stages on a fixed program, backing the paper's
    claims that the lightweight and loop-profiling modes have minimal
    impact while dependence analysis is expensive. *)
+
+module PE = Js_parallel.Par_exec
+
+(* The plain session once sequential (Measure mode also times each
+   proven nest — the per-nest baseline) and once with the proven nests
+   forked across a 2-domain pool. The two Par_exec instances are
+   joined by loop id into the per-nest speedup rows. *)
+let exec_passes () =
+  let measure_pe = ref None and par_pe = ref None in
+  let passes =
+    [ ( "exec-seq",
+        fun w ->
+          let pe = PE.create ~mode:PE.Measure ~jobs:1 () in
+          measure_pe := Some pe;
+          ignore (Workloads.Harness.run_plain ~par:pe w) );
+      ( "exec-par-j2",
+        fun w ->
+          Js_parallel.Pool.with_pool ~domains:2 (fun pool ->
+              let pe = PE.create ~mode:(PE.Parallel pool) ~jobs:2 () in
+              par_pe := Some pe;
+              ignore (Workloads.Harness.run_plain ~par:pe w)) ) ]
+  in
+  (passes, measure_pe, par_pe)
+
+let nest_speedup_rows measure_pe par_pe =
+  let seq_rows = PE.nest_rows measure_pe in
+  List.map
+    (fun (id, label, (ps : PE.nest_stats)) ->
+       let seq_ms =
+         match List.find_opt (fun (i, _, _) -> i = id) seq_rows with
+         | Some (_, _, (ss : PE.nest_stats)) -> ss.seq_ms
+         | None -> 0.
+       in
+       (id, label, ps, seq_ms,
+        if ps.par_ms > 0. then seq_ms /. ps.par_ms else 0.))
+    (PE.nest_rows par_pe)
 
 let section_requested args name = args = [] || List.mem name args
 
@@ -407,6 +443,54 @@ let speedup () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The Amdahl table above is a *bound*; this section closes the loop
+   with measured execution: every statically-proven nest runs once
+   sequentially (individually timed) and once forked over a 2-domain
+   pool, and the table reports the measured per-nest speedup. On a
+   single-core host the speedups hover near or below 1x — the rows
+   then validate correctness (0 fallbacks, byte-identical sessions
+   are separately enforced by `make check`) rather than scaling. *)
+let parexec () =
+  header "Parallel loop execution: measured per-nest speedup (-j 2)";
+  let tbl =
+    Ceres_util.Table.create
+      [ "workload"; "nest"; "inst"; "chunks"; "fallback"; "seq (ms)";
+        "par (ms)"; "speedup" ]
+  in
+  Ceres_util.Table.set_align tbl
+    [ Left; Left; Right; Right; Right; Right; Right; Right ];
+  let nests = ref 0 and fallbacks = ref 0 in
+  Js_parallel.Pool.with_pool ~domains:2 (fun pool ->
+      List.iter
+        (fun (w : Workloads.Workload.t) ->
+           let m = PE.create ~mode:PE.Measure ~jobs:1 () in
+           ignore (Workloads.Harness.run_plain ~par:m w);
+           let p = PE.create ~mode:(PE.Parallel pool) ~jobs:2 () in
+           ignore (Workloads.Harness.run_plain ~par:p w);
+           List.iter
+             (fun (_, label, (ps : PE.nest_stats), seq_ms, speedup) ->
+                if ps.instances > 0 then incr nests;
+                fallbacks := !fallbacks + ps.fallbacks;
+                Ceres_util.Table.add_row tbl
+                  [ w.name; label;
+                    string_of_int ps.instances;
+                    string_of_int ps.chunks;
+                    string_of_int ps.fallbacks;
+                    Printf.sprintf "%.1f" seq_ms;
+                    Printf.sprintf "%.1f" ps.par_ms;
+                    (if speedup > 0. then Printf.sprintf "%.2fx" speedup
+                     else "-") ])
+             (nest_speedup_rows m p))
+        Workloads.Registry.all);
+  Ceres_util.Table.print tbl;
+  Printf.printf
+    "nests executed in parallel: %d; poisoned instances that fell back\n\
+     to the sequential path: %d (each fallback re-ran on the untouched\n\
+     master state, so session output is unaffected)\n"
+    !nests !fallbacks
+
+(* ------------------------------------------------------------------ *)
+
 let overhead_program =
   {|
 var grid = [];
@@ -706,9 +790,11 @@ let nbody () =
 (* ------------------------------------------------------------------ *)
 (* `--json`: the machine-readable perf baseline behind
    BENCH_baseline.json and `make bench-smoke`. Runs each requested
-   workload (default: all) cold through the four analysis passes on a
-   fresh interpreter state, single-job, fixed scale, and prints
-   per-pass wall milliseconds plus GC minor/major words. With
+   workload (default: all) cold through the four analysis passes plus
+   the two execution passes (sequential and pool-parallel sessions) on
+   a fresh interpreter state, fixed scale, and prints per-pass wall
+   milliseconds plus GC minor/major words and the per-nest
+   parallel-execution speedup rows. With
    `--check-against FILE` the run additionally compares itself against
    a committed baseline and exits 1 on a wall-time regression. *)
 
@@ -748,21 +834,45 @@ let json_bench names : Ceres_util.Json.t =
         List
           (List.map
              (fun (w : Workloads.Workload.t) ->
+                let exec, measure_pe, par_pe = exec_passes () in
+                let passes_json =
+                  List
+                    (List.map
+                       (fun (pass, run) ->
+                          let wall, minor, major =
+                            measure (fun () -> run w)
+                          in
+                          Obj
+                            [ ("pass", Str pass);
+                              ("wall_ms", Fixed (3, wall));
+                              ("minor_words", Fixed (0, minor));
+                              ("major_words", Fixed (0, major)) ])
+                       (bench_passes @ exec))
+                in
+                (* [passes_json] is forced above, so both Par_exec
+                   instances exist by the time the nest rows render. *)
+                let parexec_json =
+                  match (!measure_pe, !par_pe) with
+                  | Some m, Some p ->
+                    List.map
+                      (fun (id, label, (ps : PE.nest_stats), seq_ms, speedup)
+                        ->
+                          Obj
+                            [ ("id", Int id);
+                              ("label", Str label);
+                              ("instances", Int ps.instances);
+                              ("chunks", Int ps.chunks);
+                              ("fallbacks", Int ps.fallbacks);
+                              ("seq_ms", Fixed (3, seq_ms));
+                              ("par_ms", Fixed (3, ps.par_ms));
+                              ("speedup", Fixed (2, speedup)) ])
+                      (nest_speedup_rows m p)
+                  | _ -> []
+                in
                 Obj
                   [ ("name", Str w.name);
-                    ( "passes",
-                      List
-                        (List.map
-                           (fun (pass, run) ->
-                              let wall, minor, major =
-                                measure (fun () -> run w)
-                              in
-                              Obj
-                                [ ("pass", Str pass);
-                                  ("wall_ms", Fixed (3, wall));
-                                  ("minor_words", Fixed (0, minor));
-                                  ("major_words", Fixed (0, major)) ])
-                           bench_passes) ) ])
+                    ("passes", passes_json);
+                    ("parexec", List parexec_json) ])
              ws) ) ]
 
 (* Wall time of one workload across all passes in a bench document. *)
@@ -907,6 +1017,7 @@ let bench_main argv =
       ("figure3", figure3); ("figure4", figure4); ("table2", table2);
       ("table3", table3); ("crossval", crossval);
       ("amdahl", amdahl); ("speedup", speedup);
+      ("parexec", parexec);
       ("overhead", overhead);
       ("polymorphism", polymorphism);
       ("callsites", callsites);

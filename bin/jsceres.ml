@@ -152,17 +152,50 @@ let list_cmd =
   in
   Cmd.v (cmd_info "list") Term.(const run $ const ())
 
+let par_exec_arg =
+  Arg.(
+    value & flag
+    & info [ "par-exec" ]
+        ~doc:
+          "Execute statically-proven loop nests in parallel over the \
+           work-stealing pool (share-nothing forks, deterministic merge). \
+           Output stays byte-identical to sequential execution; nests the \
+           merge cannot prove deterministic fall back to sequential.")
+
+let par_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "par-stats" ]
+        ~doc:
+          "With --par-exec: print per-nest parallel-execution telemetry \
+           (chunks, fork/merge time, fallbacks, pool counters) as JSON on \
+           stderr.")
+
+let print_session (ctx : Workloads.Harness.run_context) =
+  List.iter print_endline (List.rev ctx.st.Interp.Value.console);
+  let clock = ctx.st.Interp.Value.clock in
+  Printf.printf "session: %.1f s total, %.2f s busy\n"
+    (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.now clock) /. 1000.)
+    (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.busy clock) /. 1000.)
+
 let run_cmd =
-  let run name =
+  let run name par_exec jobs par_stats =
     let w = find_workload name in
-    let ctx = Workloads.Harness.run_plain w in
-    List.iter print_endline (List.rev ctx.st.Interp.Value.console);
-    let clock = ctx.st.Interp.Value.clock in
-    Printf.printf "session: %.1f s total, %.2f s busy\n"
-      (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.now clock) /. 1000.)
-      (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.busy clock) /. 1000.)
+    if par_exec then
+      Js_parallel.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
+          let pe =
+            Js_parallel.Par_exec.create ~mode:(Js_parallel.Par_exec.Parallel pool)
+              ~jobs:(max 1 jobs) ()
+          in
+          let ctx = Workloads.Harness.run_plain ~par:pe w in
+          print_session ctx;
+          if par_stats then
+            Printf.eprintf "par-exec telemetry: %s\n%!"
+              (Js_parallel.Par_exec.stats_json ~pool pe))
+    else print_session (Workloads.Harness.run_plain w)
   in
-  Cmd.v (cmd_info "run") Term.(const run $ workload_arg)
+  Cmd.v (cmd_info "run")
+    Term.(const run $ workload_arg $ par_exec_arg $ jobs_arg $ par_stats_arg)
 
 let profile_cmd =
   let run name retries format =
@@ -273,7 +306,8 @@ let report_cmd =
    survivors print their rows; stdout stays byte-identical per chaos
    seed (all printed failure fields are virtual-time based). *)
 let pipeline_cmd =
-  let run names jobs stats keep_going chaos_seed retries watchdog_ms format =
+  let run names jobs stats keep_going chaos_seed retries watchdog_ms format
+      par_exec =
     let ws =
       match names with
       | [] -> Workloads.Registry.all
@@ -334,8 +368,43 @@ let pipeline_cmd =
          Printf.printf "pool telemetry: %s\n" (Js_parallel.Telemetry.to_json s)
        | None -> ());
     Service.shutdown svc;
+    (* --par-exec: determinism self-check. Re-run each workload plain
+       (sequential) and with parallel loop execution and require the
+       observable state to match byte for byte; reported on stderr so
+       stdout stays identical with and without the flag. Skipped under
+       chaos injection (the harness would not install the hook). *)
+    let par_mismatch = ref false in
+    if par_exec && not (Js_parallel.Fault.enabled ()) then
+      Js_parallel.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
+          List.iter
+            (fun (w : Workloads.Workload.t) ->
+               let seq = Workloads.Harness.run_plain w in
+               let pe =
+                 Js_parallel.Par_exec.create
+                   ~mode:(Js_parallel.Par_exec.Parallel pool)
+                   ~jobs:(max 1 jobs) ()
+               in
+               let par = Workloads.Harness.run_plain ~par:pe w in
+               let state (ctx : Workloads.Harness.run_context) =
+                 ( List.rev ctx.st.Interp.Value.console,
+                   Ceres_util.Vclock.busy ctx.st.Interp.Value.clock,
+                   Ceres_util.Vclock.now ctx.st.Interp.Value.clock )
+               in
+               if state seq <> state par then begin
+                 par_mismatch := true;
+                 Printf.eprintf
+                   "jsceres: par-exec %s: output DIVERGED from sequential\n%!"
+                   w.name
+               end
+               else
+                 Printf.eprintf
+                   "par-exec %s: identical to sequential (%d nest(s) \
+                    parallel)\n%!"
+                   w.name
+                   (Js_parallel.Par_exec.nests_run pe))
+            ws);
     if chaos_seed <> None then Js_parallel.Fault.disable ();
-    if failed <> [] then exit Service.Exit.operational_error
+    if failed <> [] || !par_mismatch then exit Service.Exit.operational_error
   in
   let names_arg =
     Arg.(
@@ -371,7 +440,8 @@ let pipeline_cmd =
   Cmd.v (cmd_info "pipeline")
     Term.(
       const run $ names_arg $ jobs_arg $ stats_arg $ keep_going_arg
-      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg $ format_arg)
+      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg $ format_arg
+      $ par_exec_arg)
 
 let serve_cmd =
   let run jobs retries watchdog_ms cache_capacity =

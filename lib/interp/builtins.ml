@@ -527,10 +527,12 @@ let install_timers st =
      high-resolution timer performance.now (fractional ms). *)
   let date = make_obj st in
   define_fn st date "now" (fun st _ _ ->
+      st.host_time_reads <- st.host_time_reads + 1;
       Num (Ceres_util.Vclock.to_ms st.clock (Ceres_util.Vclock.now st.clock)));
   define st.global_obj "Date" (Obj date);
   let perf = make_obj st in
   define_fn st perf "now" (fun st _ _ ->
+      st.host_time_reads <- st.host_time_reads + 1;
       Num (Ceres_util.Vclock.to_ms st.clock (Ceres_util.Vclock.now st.clock)));
   define st.global_obj "performance" (Obj perf)
 

@@ -682,7 +682,7 @@ and exec_stmt_labeled st scope this ~label (s : stmt) : completion =
       | (Creturn _ | Cbreak _ | Ccontinue _) as r -> r
     in
     loop ()
-  | For (_, init, cond, update, body) ->
+  | For (lid, init, cond, update, body) ->
     (match init with
      | None -> ()
      | Some (Init_expr e) -> ignore (eval st scope this e)
@@ -694,6 +694,15 @@ and exec_stmt_labeled st scope this ~label (s : stmt) : completion =
             | None -> ()
             | Some e -> set_var st scope name (eval st scope this e))
          decls);
+    let hook_ran =
+      match st.on_loop with
+      | None -> false
+      | Some hook ->
+        hook st scope this
+          { lv_id = lid; lv_cond = cond; lv_update = update; lv_body = body }
+    in
+    if hook_ran then Cnormal
+    else
     let test () =
       match cond with
       | None -> true
@@ -869,7 +878,9 @@ let create ?(seed = 20150207) ?(budget = default_budget)
       on_call_site = (fun _ _ _ -> ());
       apply = (fun _ _ _ _ -> Undefined);
       events = [];
-      next_event_seq = 0 }
+      next_event_seq = 0;
+      host_time_reads = 0;
+      on_loop = None }
   in
   let object_proto =
     { oid = 0; props = Hashtbl.create 16; key_order = []; proto = None;

@@ -105,6 +105,21 @@ and state = {
       (* callback into the evaluator, installed by [Eval.create] *)
   mutable events : event list; (* pending timer queue, kept sorted *)
   mutable next_event_seq : int;
+  mutable host_time_reads : int;
+      (* Date.now / performance.now calls observed; a parallel-loop
+         chunk that reads the clock is not deterministic and aborts *)
+  mutable on_loop : (state -> scope -> value -> loop_visit -> bool) option;
+      (* consulted by [Eval] when a [For] loop is entered (after its
+         init clause ran): [true] = the hook executed the whole loop
+         itself (the parallel-execution path), [false] = proceed
+         sequentially. [None] keeps loop entry a single load. *)
+}
+
+and loop_visit = {
+  lv_id : int; (* Jsir loop id, matching Jsir.Loops.info.id *)
+  lv_cond : Jsir.Ast.expr option;
+  lv_update : Jsir.Ast.expr option;
+  lv_body : Jsir.Ast.stmt;
 }
 
 and intrinsic = state -> scope -> value -> Jsir.Ast.expr list -> value

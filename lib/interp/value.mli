@@ -104,6 +104,21 @@ and state = {
       (** callback into the evaluator, installed by [Eval.create] *)
   mutable events : event list;
   mutable next_event_seq : int;
+  mutable host_time_reads : int;
+      (** count of [Date.now]/[performance.now] calls; lets the
+          parallel-loop runtime detect (and abort on) clock reads
+          inside a forked chunk *)
+  mutable on_loop : (state -> scope -> value -> loop_visit -> bool) option;
+      (** consulted on [For] entry, after the init clause: [true] =
+          the hook executed the whole loop (parallel path), [false] =
+          run sequentially. [None] by default. *)
+}
+
+and loop_visit = {
+  lv_id : int;  (** Jsir loop id, matching {!Jsir.Loops.info}[.id] *)
+  lv_cond : Jsir.Ast.expr option;
+  lv_update : Jsir.Ast.expr option;
+  lv_body : Jsir.Ast.stmt;
 }
 
 and intrinsic = state -> scope -> value -> Jsir.Ast.expr list -> value

@@ -1,0 +1,525 @@
+(* Parallel execution of statically-proven loop nests.
+
+   The missing piece of the paper's Amdahl argument: PR 3 *proves*
+   loops [Parallel]/[Reduction]; this module *runs* them on the
+   work-stealing pool. It installs an [on_loop] hook into the
+   interpreter; when a [For] loop whose id the analyzer proved safe is
+   entered, the iteration space is split into chunks, each chunk runs
+   on a share-nothing {!Interp.Fork} of the loop-entry state, and the
+   per-fork heap diffs are merged back in chunk order — which
+   reproduces the sequential last-writer-wins result for scatter
+   writes and the sequential push order for appends. Recognized
+   reductions zero their accumulators per fork and combine the
+   partials exactly once ([entry + Σ partials], ascending chunk
+   order).
+
+   Anything the merge cannot prove deterministic *poisons* the nest:
+   the forks are discarded, the untouched master re-runs the loop
+   sequentially, and the fallback is counted. The observable state
+   (console, heap, virtual clock busy ticks) is therefore byte-for-byte
+   identical to sequential execution by construction. The fallback
+   ladder is: static proof -> fork/merge parallel execution;
+   [Needs_runtime_check] -> the existing {!Speculative} validation
+   path; everything else (or any poison) -> sequential. *)
+
+open Interp
+open Interp.Value
+
+module J = Ceres_util.Json
+module Ast = Jsir.Ast
+
+type kind = Kparallel | Kreduction of string list
+
+type mode = Measure | Parallel of Pool.t
+
+type nest_stats = {
+  mutable instances : int; (* parallel instances merged *)
+  mutable seq_instances : int; (* measured sequential instances *)
+  mutable iterations : int;
+  mutable chunks : int;
+  mutable par_ms : float; (* wall time inside parallel instances *)
+  mutable seq_ms : float; (* wall time inside measured sequential runs *)
+  mutable fork_ms : float;
+  mutable merge_ms : float;
+  mutable fallbacks : int;
+  mutable busy_ticks : int64; (* vticks attributed to the nest *)
+}
+
+type t = {
+  mode : mode;
+  jobs : int;
+  min_trips : int;
+  plan : (int, kind) Hashtbl.t;
+  labels : (int, string) Hashtbl.t;
+  nests : (int, nest_stats) Hashtbl.t;
+  mutable oid_floor : int;
+  mutable sid_floor : int;
+  mutable total_fallbacks : int;
+}
+
+let oid_stride = 1 lsl 28
+let sid_stride = 1 lsl 24
+
+let create ?(min_trips = 8) ~mode ~jobs () =
+  { mode; jobs = max 1 jobs; min_trips; plan = Hashtbl.create 16;
+    labels = Hashtbl.create 16; nests = Hashtbl.create 16; oid_floor = 0;
+    sid_floor = 0; total_fallbacks = 0 }
+
+let nest_stats t id =
+  match Hashtbl.find_opt t.nests id with
+  | Some s -> s
+  | None ->
+    let s =
+      { instances = 0; seq_instances = 0; iterations = 0; chunks = 0;
+        par_ms = 0.; seq_ms = 0.; fork_ms = 0.; merge_ms = 0.; fallbacks = 0;
+        busy_ticks = 0L }
+    in
+    Hashtbl.add t.nests id s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Eligibility: affine headers, side-effect-free bound probing        *)
+(* ------------------------------------------------------------------ *)
+
+type header = { iv : string; bound : Ast.expr; inclusive : bool; step : float }
+
+let header_of (lv : loop_visit) : header option =
+  match lv.lv_cond, lv.lv_update with
+  | ( Some { e = Binop ((Lt | Le) as cmp, { e = Ident iv; _ }, bound); _ },
+      Some u ) ->
+    let step =
+      match u.e with
+      | Update (Incr, _, Tgt_ident n) when String.equal n iv -> Some 1.
+      | Assign (Tgt_ident n, Some Add, { e = Number c; _ })
+        when String.equal n iv && c > 0. && Float.is_integer c -> Some c
+      | Assign
+          ( Tgt_ident n, None,
+            { e = Binop (Add, { e = Ident n'; _ }, { e = Number c; _ }); _ } )
+        when String.equal n iv && String.equal n' iv && c > 0.
+             && Float.is_integer c -> Some c
+      | Assign
+          ( Tgt_ident n, None,
+            { e = Binop (Add, { e = Number c; _ }, { e = Ident n'; _ }); _ } )
+        when String.equal n iv && String.equal n' iv && c > 0.
+             && Float.is_integer c -> Some c
+      | _ -> None
+    in
+    Option.map (fun step -> { iv; bound; inclusive = cmp = Ast.Le; step }) step
+  | _ -> None
+
+(* Side-effect-free evaluation of loop bounds: literals, resolved
+   variables, plain property/index reads and numeric arithmetic. [None]
+   = not provably pure (could run user code, e.g. [toString]); the
+   nest then falls back to sequential execution. *)
+let rec pure_eval (st : state) scope (e : Ast.expr) : value option =
+  match e.e with
+  | Number f -> Some (Num f)
+  | Ast.String s -> Some (Str s)
+  | Ast.Bool b -> Some (Bool b)
+  | Ast.Null -> Some Null
+  | Ast.Undefined -> Some Undefined
+  | Ident name -> (
+    match var_home scope name with
+    | Some (s, slot) -> Some (scope_read s slot name)
+    | None ->
+      if has_prop_obj st.global_obj name then
+        Some (get_prop_obj st.global_obj name)
+      else None)
+  | Member (b, field) -> (
+    match pure_eval st scope b with
+    | Some (Obj o) -> Some (get_prop_obj o field)
+    | _ -> None)
+  | Index (b, ix) -> (
+    match pure_eval st scope b, pure_eval st scope ix with
+    | Some (Obj o), Some (Num f) when Float.is_integer f && f >= 0. ->
+      Some (get_prop_obj o (string_of_int (int_of_float f)))
+    | _ -> None)
+  | Binop (op, a, b) -> (
+    match pure_eval st scope a, pure_eval st scope b with
+    | Some (Num x), Some (Num y) -> (
+      match op with
+      | Add -> Some (Num (x +. y))
+      | Sub -> Some (Num (x -. y))
+      | Mul -> Some (Num (x *. y))
+      | Div -> Some (Num (x /. y))
+      | Mod -> Some (Num (Float.rem x y))
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* A body whose completion could be anything other than "iteration
+   finished" (return, labeled break/continue, a break targeting our
+   loop) cannot run inside a chunk: such completions must propagate
+   through the enclosing [For], so the nest stays sequential. Throws
+   are fine — they surface as [Js_throw] and poison dynamically. *)
+let rec stmt_abrupt ~bd (s : Ast.stmt) : bool =
+  match s.s with
+  | Return _ | Break (Some _) | Continue (Some _) -> true
+  | Break None -> bd = 0
+  | Continue None -> false
+  | While (_, _, b) | Do_while (_, b, _) -> stmt_abrupt ~bd:(bd + 1) b
+  | For (_, _, _, _, b) | For_in (_, _, _, b) -> stmt_abrupt ~bd:(bd + 1) b
+  | If (_, a, b) ->
+    stmt_abrupt ~bd a
+    || (match b with Some b -> stmt_abrupt ~bd b | None -> false)
+  | Block ss -> List.exists (stmt_abrupt ~bd) ss
+  | Try (b, c, f) ->
+    List.exists (stmt_abrupt ~bd) b
+    || (match c with
+        | Some (_, ss) -> List.exists (stmt_abrupt ~bd) ss
+        | None -> false)
+    || (match f with Some ss -> List.exists (stmt_abrupt ~bd) ss | None -> false)
+  | Switch (_, cases) ->
+    List.exists (fun (_, ss) -> List.exists (stmt_abrupt ~bd:(bd + 1)) ss) cases
+  | Labeled (_, b) -> stmt_abrupt ~bd b
+  | Expr_stmt _ | Var_decl _ | Throw _ | Func_decl _ | Empty -> false
+
+let trip_count st scope (h : header) : (float * int) option =
+  let lo =
+    match var_home scope h.iv with
+    | Some (s, slot) -> (
+      match scope_read s slot h.iv with Num f -> Some f | _ -> None)
+    | None -> None
+  in
+  let bound =
+    match pure_eval st scope h.bound with Some (Num f) -> Some f | _ -> None
+  in
+  match lo, bound with
+  | Some lo, Some b when Float.is_integer lo && Float.is_integer b ->
+    let span = b -. lo in
+    let trips =
+      if h.inclusive then
+        if span < 0. then 0 else int_of_float (Float.floor (span /. h.step)) + 1
+      else if span <= 0. then 0
+      else int_of_float (Float.ceil (span /. h.step))
+    in
+    if trips >= 0 && trips <= 100_000_000 then Some (lo, trips) else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Chunk execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type chunk_result = {
+  c_fork : Fork.t;
+  c_status : (unit, string) result;
+  c_partials : (string * float) list; (* acc -> integer partial *)
+  c_fork_ms : float;
+}
+
+exception Chunk_poison of string
+
+let write_home scope name v =
+  match var_home scope name with
+  | Some (s, slot) -> scope_write s slot name v
+  | None -> raise (Chunk_poison (name ^ " has no home"))
+
+let read_home scope name =
+  match var_home scope name with
+  | Some (s, slot) -> scope_read s slot name
+  | None -> raise (Chunk_poison (name ^ " has no home"))
+
+let run_chunk master ~scope ~this ~(lv : loop_visit) ~(h : header) ~accs
+    ~next_oid ~next_sid ~start_iv ~trips ~is_last : chunk_result =
+  let t0 = Unix.gettimeofday () in
+  let fork = Fork.fork master ~scope ~this ~next_oid ~next_sid in
+  let fork_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let cst = fork.Fork.clone in
+  let cscope = Fork.scope_in fork scope in
+  let cthis = Fork.value_in fork this in
+  let cond = Option.get lv.lv_cond in
+  let update = Option.get lv.lv_update in
+  try
+    write_home cscope h.iv (Num start_iv);
+    List.iter (fun acc -> write_home cscope acc (Num 0.)) accs;
+    for _ = 1 to trips do
+      if not (to_boolean (Eval.eval cst cscope cthis cond)) then
+        raise (Chunk_poison "loop bound drifted");
+      (match Eval.exec_stmt cst cscope cthis lv.lv_body with
+       | Eval.Cnormal | Eval.Ccontinue None -> ()
+       | _ -> raise (Chunk_poison "abrupt completion inside chunk"));
+      ignore (Eval.eval cst cscope cthis update)
+    done;
+    if is_last && to_boolean (Eval.eval cst cscope cthis cond) then
+      raise (Chunk_poison "loop bound drifted at exit");
+    let partials =
+      List.map
+        (fun acc ->
+           match read_home cscope acc with
+           | Num p when Float.is_integer p -> (acc, p)
+           | _ -> raise (Chunk_poison "non-integer reduction partial"))
+        accs
+    in
+    { c_fork = fork; c_status = Ok (); c_partials = partials; c_fork_ms = fork_ms }
+  with
+  | Chunk_poison why ->
+    { c_fork = fork; c_status = Error why; c_partials = []; c_fork_ms = fork_ms }
+  | Fork.Par_abort why ->
+    { c_fork = fork; c_status = Error why; c_partials = []; c_fork_ms = fork_ms }
+  | Js_throw _ ->
+    { c_fork = fork; c_status = Error "js exception inside chunk";
+      c_partials = []; c_fork_ms = fork_ms }
+  | Budget_exhausted ->
+    { c_fork = fork; c_status = Error "budget exhausted inside chunk";
+      c_partials = []; c_fork_ms = fork_ms }
+  | Stack_overflow ->
+    { c_fork = fork; c_status = Error "stack overflow inside chunk";
+      c_partials = []; c_fork_ms = fork_ms }
+
+(* ------------------------------------------------------------------ *)
+(* The parallel instance: fork, run, validate, merge-or-poison        *)
+(* ------------------------------------------------------------------ *)
+
+let run_parallel t pool st scope this (lv : loop_visit) kind (h : header) lo
+    trips : bool =
+  let accs = match kind with Kparallel -> [] | Kreduction accs -> accs in
+  (* reduction entry values must be resolvable integers *)
+  let acc_homes_entry =
+    List.filter_map
+      (fun acc ->
+         if String.equal acc h.iv then None
+         else
+           match var_home scope acc with
+           | Some (s, slot) -> (
+             match scope_read s slot acc with
+             | Num e when Float.is_integer e ->
+               Some ({ Fork.owner = s; slot; name = acc }, e)
+             | _ -> None)
+           | None -> None)
+      accs
+  in
+  if List.length acc_homes_entry <> List.length accs then false
+  else begin
+    let wall0 = Unix.gettimeofday () in
+    let nchunks = min (t.jobs * 2) (trips / 2) in
+    if nchunks < 2 then false
+    else begin
+      let base = trips / nchunks and rem = trips mod nchunks in
+      let count k = base + if k < rem then 1 else 0 in
+      let start_index k = (k * base) + min k rem in
+      let base_oid = max st.next_oid t.oid_floor in
+      let base_sid = max st.next_sid t.sid_floor in
+      let results : chunk_result option array = Array.make nchunks None in
+      let run k =
+        run_chunk st ~scope ~this ~lv ~h ~accs
+          ~next_oid:(base_oid + ((k + 1) * oid_stride))
+          ~next_sid:(base_sid + ((k + 1) * sid_stride))
+          ~start_iv:(lo +. (float_of_int (start_index k) *. h.step))
+          ~trips:(count k) ~is_last:(k = nchunks - 1)
+      in
+      (match kind with
+       | Kparallel ->
+         Pool.parallel_for pool ~lo:0 ~hi:nchunks ~chunk:1 (fun k ->
+             results.(k) <- Some (run k))
+       | Kreduction _ ->
+         (* per-chunk results combine exactly once, in ascending chunk
+            order, mirroring the sequential fold *)
+         let ordered =
+           Pool.parallel_reduce pool ~lo:0 ~hi:nchunks ~chunk:1 ~init:[]
+             ~body:(fun k -> [ (k, run k) ])
+             ~combine:( @ ) ()
+         in
+         List.iter (fun (k, r) -> results.(k) <- Some r) ordered);
+      (* the id bands above are burnt either way *)
+      t.oid_floor <- base_oid + ((nchunks + 1) * oid_stride);
+      t.sid_floor <- base_sid + ((nchunks + 1) * sid_stride);
+      st.next_oid <- max st.next_oid t.oid_floor;
+      st.next_sid <- max st.next_sid t.sid_floor;
+      let merge0 = Unix.gettimeofday () in
+      (* phase A: validate everything before touching the master *)
+      let poisoned = ref None in
+      let taint why = if !poisoned = None then poisoned := Some why in
+      let chunks = Array.to_list (Array.map Option.to_list results) in
+      let chunks = List.concat chunks in
+      if List.length chunks <> nchunks then taint "chunk skipped";
+      List.iter
+        (fun r ->
+           (match r.c_status with Error why -> taint why | Ok () -> ());
+           match Fork.check_clean r.c_fork with
+           | Error why -> taint why
+           | Ok () -> ())
+        chunks;
+      let skip = List.map fst acc_homes_entry in
+      let diffs =
+        if !poisoned <> None then []
+        else
+          List.map
+            (fun r ->
+               let d = Fork.diff ~skip r.c_fork in
+               (match d.Fork.poison with Some why -> taint why | None -> ());
+               d)
+            chunks
+      in
+      if !poisoned = None && not (Fork.growths_admissible diffs) then
+        taint "conflicting array growth";
+      let busy_total =
+        List.fold_left
+          (fun acc r -> Int64.add acc (Fork.busy_delta r.c_fork))
+          0L chunks
+      in
+      if
+        !poisoned = None
+        && Int64.compare
+             (Int64.add (Ceres_util.Vclock.busy st.clock) busy_total)
+             st.budget
+           > 0
+      then taint "budget would be exhausted";
+      (* reduction totals: entry + partials, ascending chunk order *)
+      let totals =
+        List.map
+          (fun (home, entry) ->
+             let sum =
+               List.fold_left
+                 (fun acc r ->
+                    let p =
+                      try List.assoc home.Fork.name r.c_partials
+                      with Not_found -> 0.
+                    in
+                    let acc = acc +. p in
+                    if not (Float.is_integer acc) || Float.abs acc > 2. ** 53.
+                    then taint "reduction overflow";
+                    acc)
+                 entry chunks
+             in
+             (home, sum))
+          acc_homes_entry
+      in
+      match !poisoned with
+      | Some _ ->
+        t.total_fallbacks <- t.total_fallbacks + 1;
+        (nest_stats t lv.lv_id).fallbacks <-
+          (nest_stats t lv.lv_id).fallbacks + 1;
+        false
+      | None ->
+        (* phase B: commit in chunk order *)
+        List.iter Fork.apply_diff diffs;
+        List.iter
+          (fun (home, sum) ->
+             scope_write home.Fork.owner home.Fork.slot home.Fork.name
+               (Num sum))
+          totals;
+        Ceres_util.Vclock.advance st.clock (Int64.to_int busy_total);
+        let now = Unix.gettimeofday () in
+        let s = nest_stats t lv.lv_id in
+        s.instances <- s.instances + 1;
+        s.iterations <- s.iterations + trips;
+        s.chunks <- s.chunks + nchunks;
+        s.par_ms <- s.par_ms +. ((now -. wall0) *. 1000.);
+        s.fork_ms <-
+          s.fork_ms +. List.fold_left (fun a r -> a +. r.c_fork_ms) 0. chunks;
+        s.merge_ms <- s.merge_ms +. ((now -. merge0) *. 1000.);
+        s.busy_ticks <- Int64.add s.busy_ticks busy_total;
+        true
+    end
+  end
+
+(* Sequential but *timed* execution of an eligible nest: gives the
+   per-nest sequential baseline the speedup table divides by. Only
+   loops whose body the abrupt-scan cleared reach this point, so the
+   completion is always "iteration finished" or a clean bound exit. *)
+let run_measured t st scope this (lv : loop_visit) trips : bool =
+  let cond = Option.get lv.lv_cond in
+  let update = Option.get lv.lv_update in
+  let t0 = Unix.gettimeofday () in
+  let b0 = Ceres_util.Vclock.busy st.clock in
+  let exception Loop_done in
+  (try
+     while to_boolean (Eval.eval st scope this cond) do
+       (match Eval.exec_stmt st scope this lv.lv_body with
+        | Eval.Cnormal | Eval.Ccontinue None -> ()
+        | Eval.Cbreak None -> raise Loop_done
+        | _ -> failwith "par_exec: abrupt completion in measured loop");
+       ignore (Eval.eval st scope this update)
+     done
+   with Loop_done -> ());
+  let s = nest_stats t lv.lv_id in
+  s.seq_instances <- s.seq_instances + 1;
+  s.iterations <- s.iterations + trips;
+  s.seq_ms <- s.seq_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+  s.busy_ticks <-
+    Int64.add s.busy_ticks
+      (Int64.sub (Ceres_util.Vclock.busy st.clock) b0);
+  true
+
+(* ------------------------------------------------------------------ *)
+(* The hook                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hook t st scope this (lv : loop_visit) : bool =
+  match Hashtbl.find_opt t.plan lv.lv_id with
+  | None -> false
+  | Some kind -> (
+    match header_of lv with
+    | None -> false
+    | Some h ->
+      if stmt_abrupt ~bd:1 lv.lv_body then false
+      else (
+        match trip_count st scope h with
+        | None -> false
+        | Some (_, trips) when trips < t.min_trips -> false
+        | Some (lo, trips) -> (
+          match t.mode with
+          | Measure -> run_measured t st scope this lv trips
+          | Parallel pool -> run_parallel t pool st scope this lv kind h lo trips)))
+
+let install t (st : state) ~(report : Analysis.Driver.report) =
+  List.iter
+    (fun (row : Analysis.Driver.row) ->
+       let id = row.Analysis.Driver.info.Jsir.Loops.id in
+       (match row.Analysis.Driver.verdict with
+        | Analysis.Verdict.Parallel -> Hashtbl.replace t.plan id Kparallel
+        | Analysis.Verdict.Reduction accs ->
+          Hashtbl.replace t.plan id (Kreduction accs)
+        | _ -> ());
+       Hashtbl.replace t.labels id (Analysis.Driver.row_header row))
+    (Analysis.Driver.proven report);
+  st.on_loop <- Some (hook t)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nests_run t =
+  Hashtbl.fold (fun _ s n -> if s.instances > 0 then n + 1 else n) t.nests 0
+
+let nest_rows t =
+  let rows =
+    Hashtbl.fold
+      (fun id s acc ->
+         let label =
+           Option.value ~default:(Printf.sprintf "loop %d" id)
+             (Hashtbl.find_opt t.labels id)
+         in
+         (id, label, s) :: acc)
+      t.nests []
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows
+
+let json_of_nest (id, label, s) =
+  J.Obj
+    [ ("id", J.Int id);
+      ("label", J.Str label);
+      ("instances", J.Int s.instances);
+      ("seq_instances", J.Int s.seq_instances);
+      ("iterations", J.Int s.iterations);
+      ("chunks", J.Int s.chunks);
+      ("par_ms", J.Fixed (3, s.par_ms));
+      ("seq_ms", J.Fixed (3, s.seq_ms));
+      ("fork_ms", J.Fixed (3, s.fork_ms));
+      ("merge_ms", J.Fixed (3, s.merge_ms));
+      ("fallbacks", J.Int s.fallbacks);
+      ("busy_ticks", J.Int (Int64.to_int s.busy_ticks)) ]
+
+let stats_json ?pool t =
+  let base =
+    [ ("jobs", J.Int t.jobs);
+      ("nests", J.Int (nests_run t));
+      ("fallbacks", J.Int t.total_fallbacks);
+      ("loops", J.List (List.map json_of_nest (nest_rows t))) ]
+  in
+  let fields =
+    match pool with
+    | None -> base
+    | Some p -> base @ [ ("pool", Telemetry.json_of_stats (Pool.stats p)) ]
+  in
+  J.to_string (J.Obj fields)

@@ -1,0 +1,60 @@
+(** Parallel execution of statically-proven loop nests.
+
+    Closes the loop between the static analyzer's [Parallel]/[Reduction]
+    verdicts and the work-stealing pool: an interpreter hook intercepts
+    eligible [For] nests, partitions the iteration space into chunks,
+    runs each chunk on a share-nothing {!Interp.Fork} of the loop-entry
+    state and merges the per-fork heap diffs back in chunk order.
+    Reductions combine their partials exactly once (entry value + sum
+    of per-chunk partials, ascending chunk order). Any condition the
+    merge cannot prove deterministic — host access, timers,
+    [Math.random], clock reads, abrupt completions, bound drift,
+    conflicting array growth — poisons the instance: the forks are
+    discarded and the untouched master re-runs the loop sequentially,
+    so observable output is byte-identical to sequential execution by
+    construction. *)
+
+type kind = Kparallel | Kreduction of string list
+
+type mode =
+  | Measure
+      (** run eligible nests sequentially but individually timed — the
+          per-nest baseline for the speedup table *)
+  | Parallel of Pool.t  (** fork/merge execution on the given pool *)
+
+type t
+
+val create : ?min_trips:int -> mode:mode -> jobs:int -> unit -> t
+(** [min_trips] (default 8) is the smallest trip count worth forking
+    for; below it the nest runs sequentially. *)
+
+val install : t -> Interp.Value.state -> report:Analysis.Driver.report -> unit
+(** Install the [on_loop] hook on [st], planning every nest the report
+    proves [Parallel] or [Reduction]. *)
+
+val nests_run : t -> int
+(** Distinct nests that completed at least one parallel instance. *)
+
+val stats_json : ?pool:Pool.t -> t -> string
+(** Per-nest telemetry — instances, chunks, iterations, fork/merge
+    wall-clock, fallbacks, attributed busy vticks — plus the pool
+    counters when [pool] is given. *)
+
+(**/**)
+
+type nest_stats = {
+  mutable instances : int;
+  mutable seq_instances : int;
+  mutable iterations : int;
+  mutable chunks : int;
+  mutable par_ms : float;
+  mutable seq_ms : float;
+  mutable fork_ms : float;
+  mutable merge_ms : float;
+  mutable fallbacks : int;
+  mutable busy_ticks : int64;
+}
+
+val nest_rows : t -> (int * string * nest_stats) list
+(** (loop id, label, stats), ascending id — consumed by [bench] to
+    build the measured-speedup table. *)

@@ -54,6 +54,14 @@ let note_speculation_skipped_static () = Atomic.incr skipped_static_total
 let note_cache_hit () = Atomic.incr cache_hits_total
 let note_cache_miss () = Atomic.incr cache_misses_total
 let note_cache_eviction () = Atomic.incr cache_evictions_total
+
+(* A cache wipe also retires the cleared cache's share of the global
+   counters, so the process-wide numbers keep equaling the sum over
+   live caches (the invariant every snapshot consumer assumes). *)
+let note_cache_cleared ~hits ~misses ~evictions =
+  ignore (Atomic.fetch_and_add cache_hits_total (-hits));
+  ignore (Atomic.fetch_and_add cache_misses_total (-misses));
+  ignore (Atomic.fetch_and_add cache_evictions_total (-evictions))
 let retries () = Atomic.get retries_total
 let faults_injected () = Atomic.get faults_total
 let speculation_skipped_static () = Atomic.get skipped_static_total

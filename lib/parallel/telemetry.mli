@@ -39,6 +39,12 @@ val speculation_skipped_static : unit -> int
 val note_cache_hit : unit -> unit
 val note_cache_miss : unit -> unit
 val note_cache_eviction : unit -> unit
+
+val note_cache_cleared : hits:int -> misses:int -> evictions:int -> unit
+(** Retire a cleared cache's contribution from the process-wide
+    counters, keeping them equal to the sum over live caches. *)
+
+
 val cache_hits : unit -> int
 val cache_misses : unit -> int
 

@@ -2,7 +2,7 @@
    a batch is deterministic regardless of scheduling (the pool only
    changes *when* each distinct request runs, not which ones run). *)
 
-let run ?pool ~key ~exec reqs =
+let run ?pool ?recover ~key ~exec reqs =
   let slot_of_key : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let distinct = ref [] and n = ref 0 in
   let slots =
@@ -21,11 +21,23 @@ let run ?pool ~key ~exec reqs =
   in
   let distinct = Array.of_list (List.rev !distinct) in
   let results = Array.make (Array.length distinct) None in
+  (* The confinement must live *inside* the per-item execution: the
+     pool re-raises the first chunk exception at the join and cancels
+     the wave's remaining chunks, so an unconfined [exec] failure
+     would lose the other N-1 responses, not just its own. *)
+  let exec_one req =
+    match recover with
+    | None -> exec req
+    | Some recover -> (
+        match exec req with
+        | resp -> resp
+        | exception exn -> recover req exn)
+  in
   (match pool with
    | Some p when Array.length distinct > 1 ->
      Js_parallel.Pool.parallel_for p ~lo:0 ~hi:(Array.length distinct)
        ~chunk:1
-       (fun i -> results.(i) <- Some (exec distinct.(i)))
+       (fun i -> results.(i) <- Some (exec_one distinct.(i)))
    | _ ->
-     Array.iteri (fun i req -> results.(i) <- Some (exec req)) distinct);
+     Array.iteri (fun i req -> results.(i) <- Some (exec_one req)) distinct);
   List.map (fun slot -> Option.get results.(slot)) slots

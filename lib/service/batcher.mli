@@ -9,10 +9,16 @@
 
 val run :
   ?pool:Js_parallel.Pool.t ->
+  ?recover:('req -> exn -> 'resp) ->
   key:('req -> string) ->
   exec:('req -> 'resp) ->
   'req list ->
   'resp list
-(** [exec] must confine its own failures (the service core runs every
-    request under {!Js_parallel.Supervisor.run}, so an error becomes
-    an error response, never an exception unwinding the wave). *)
+(** When [recover] is given, an exception raised by [exec] for one
+    request is confined to that request's slot: [recover req exn]
+    supplies its response and every other request in the wave still
+    completes. (Without it, the exception propagates through the pool
+    join and the whole batch is lost — so callers whose [exec] can
+    raise should always pass [recover].) Occurrences deduplicated onto
+    a failed slot share the recovered response, exactly as they would
+    share a successful one. *)

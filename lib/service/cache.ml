@@ -79,4 +79,12 @@ let stats t =
         evictions = t.evictions;
         entries = Hashtbl.length t.table })
 
-let clear t = locked t (fun () -> Hashtbl.reset t.table)
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Js_parallel.Telemetry.note_cache_cleared ~hits:t.hits ~misses:t.misses
+        ~evictions:t.evictions;
+      t.tick <- 0;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

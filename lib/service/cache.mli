@@ -34,5 +34,9 @@ val add : 'a t -> string -> 'a -> unit
     Counts one eviction when a victim is dropped. *)
 
 val stats : 'a t -> stats
+
 val clear : 'a t -> unit
-(** Drop all entries; counters keep their values. *)
+(** Drop all entries and zero this cache's counters, retiring its
+    contribution from the process-wide {!Js_parallel.Telemetry}
+    cache counters as well — a cleared cache reports the same stats
+    as a fresh one, locally and in [Pool.stats_json]. *)

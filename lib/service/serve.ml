@@ -6,6 +6,7 @@ type handler = {
   exec : Request.t -> Response.t;
   exec_batch : Request.t list -> Response.t list;
   cache_stats : unit -> Cache.stats;
+  cache_clear : unit -> unit;
   telemetry : unit -> Ceres_util.Json.t option;
 }
 
@@ -31,6 +32,11 @@ let handle_doc h (doc : Ceres_util.Json.t) =
              Ceres_util.Json.string_opt
      with
      | Some "cache-stats" -> cache_stats_line (h.cache_stats ())
+     | Some "cache-clear" ->
+       (* Reply with the post-clear stats so the caller can assert the
+          wipe took effect without a second round-trip. *)
+       h.cache_clear ();
+       cache_stats_line (h.cache_stats ())
      | Some "telemetry" ->
        (* One health snapshot: pool scheduling stats (null when the
           service runs single-job), the result cache's counters, and

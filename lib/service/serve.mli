@@ -9,6 +9,9 @@
       responses in request order;
     - [{"op": "cache-stats"}] → the result cache's deterministic
       counters ([hits]/[misses]/[evictions]/[entries]);
+    - [{"op": "cache-clear"}] → drop every cached result and zero the
+      cache counters, answering with the post-clear [cache-stats]
+      line (all zeros);
     - [{"op": "telemetry"}] → a health snapshot: the pool's
       scheduling telemetry under ["pool"] ([null] without a pool),
       the result cache's counters under ["cache"], and the process
@@ -24,6 +27,7 @@ type handler = {
   exec : Request.t -> Response.t;
   exec_batch : Request.t list -> Response.t list;
   cache_stats : unit -> Cache.stats;
+  cache_clear : unit -> unit;
   telemetry : unit -> Ceres_util.Json.t option;
 }
 

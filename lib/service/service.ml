@@ -128,7 +128,13 @@ let run_batch t reqs =
       items
   in
   let computed =
+    (* [compute] confines workload failures itself (Supervisor.run),
+       but a bug in the service layer — cache, keying, report
+       rendering — must cost one error response, not the wave. *)
     Batcher.run ?pool:t.pool
+      ~recover:(fun (req, _, _) exn ->
+        Response.error ~request:req Response.Workload_failed
+          ("internal: " ^ Printexc.to_string exn))
       ~key:(fun (_, _, k) -> k)
       ~exec:(fun (req, w, key) -> compute t w req key)
       misses
@@ -154,6 +160,7 @@ let handler t : Serve.handler =
   { exec = run t;
     exec_batch = run_batch t;
     cache_stats = (fun () -> cache_stats t);
+    cache_clear = (fun () -> Cache.clear t.cache);
     telemetry =
       (fun () -> Option.map Js_parallel.Telemetry.json_of_stats (pool_stats t)) }
 

@@ -21,6 +21,9 @@ let split t =
   let seed = next_int64 t in
   create (mix seed)
 
+let copy t = { state = t.state }
+let same_state a b = Int64.equal a.state b.state
+
 let float t =
   (* 53 high-quality bits mapped to [0,1). *)
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -20,6 +20,14 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent
     generator; used to give each parallel domain its own stream. *)
 
+val copy : t -> t
+(** Snapshot with identical state: the copy replays the exact same
+    stream without advancing the original. *)
+
+val same_state : t -> t -> bool
+(** Whether two generators are at the same point of the same stream
+    (used to detect [Math.random] draws inside parallel chunks). *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

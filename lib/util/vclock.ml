@@ -28,3 +28,6 @@ let ms_to_ticks t ms = Int64.of_float (ms *. float_of_int t.rate)
 let reset t =
   t.busy_ticks <- 0L;
   t.idle_ticks <- 0L
+
+let copy t =
+  { rate = t.rate; busy_ticks = t.busy_ticks; idle_ticks = t.idle_ticks }

@@ -43,3 +43,7 @@ val ms_to_ticks : t -> float -> int64
 
 val reset : t -> unit
 (** Back to time zero. *)
+
+val copy : t -> t
+(** Independent clock with the same rate and current readings; used to
+    give each parallel-loop chunk its own clock forked at loop entry. *)

@@ -79,8 +79,15 @@ type timing = {
   console : string list;
 }
 
-let run_plain ?scale (w : Workload.t) =
+let run_plain ?scale ?par (w : Workload.t) =
   let ctx = prepare ?scale w in
+  (match par with
+   | Some pe when not (Js_parallel.Fault.enabled ()) ->
+     (* proven nests execute via the pool; under chaos injection the
+        hook stays uninstalled so the fault schedule is unchanged *)
+     let report = Analysis.Driver.analyze ctx.program in
+     Js_parallel.Par_exec.install pe ctx.st ~report
+   | _ -> ());
   Interp.Eval.run_program ctx.st ctx.program;
   drive ctx w;
   ctx

@@ -34,8 +34,13 @@ type timing = {
   console : string list;
 }
 
-val run_plain : ?scale:float -> Workload.t -> run_context
-(** Uninstrumented baseline. *)
+val run_plain :
+  ?scale:float -> ?par:Js_parallel.Par_exec.t -> Workload.t -> run_context
+(** Uninstrumented baseline. With [?par], the statically-proven loop
+    nests execute through {!Js_parallel.Par_exec} (parallel fork/merge
+    or measured-sequential, per the instance's mode) with observable
+    output guaranteed byte-identical to the sequential run; the hook is
+    skipped when chaos fault injection is armed. *)
 
 val run_lightweight : ?scale:float -> Workload.t -> timing
 (** Sec. 3.1 stage with the sampling profiler attached: a Table 2 row. *)

@@ -16,4 +16,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("behavior", Test_workload_behavior.suite);
       ("analysis", Test_analysis.suite);
+      ("parexec", Test_parexec.suite);
       ("service", Test_service.suite) ]

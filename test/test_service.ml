@@ -90,6 +90,56 @@ let test_failures_not_cached () =
   let s = Service.cache_stats svc in
   Alcotest.(check int) "failure not cached" 0 s.entries
 
+(* Regression: [Cache.clear] used to reset the table but keep
+   [hits]/[misses]/[evictions]/[tick], so a cleared cache reported
+   phantom traffic (locally and in the process-wide telemetry
+   mirror) and its recency clock kept running. *)
+let test_cache_clear_resets_counters () =
+  let c : int Service.Cache.t = Service.Cache.create ~capacity:2 () in
+  let g () =
+    Js_parallel.Telemetry.
+      (cache_hits (), cache_misses (), cache_evictions ())
+  in
+  let h0, m0, e0 = g () in
+  Service.Cache.add c "a" 1;
+  Service.Cache.add c "b" 2;
+  Service.Cache.add c "c" 3 (* evicts *);
+  ignore (Service.Cache.find c "c") (* hit *);
+  ignore (Service.Cache.find c "zzz") (* miss *);
+  let s = Service.Cache.stats c in
+  Alcotest.(check (list int)) "pre-clear traffic" [ 1; 1; 1; 2 ]
+    [ s.hits; s.misses; s.evictions; s.entries ];
+  Service.Cache.clear c;
+  let s = Service.Cache.stats c in
+  Alcotest.(check (list int)) "cleared cache reports like a fresh one"
+    [ 0; 0; 0; 0 ]
+    [ s.hits; s.misses; s.evictions; s.entries ];
+  Alcotest.(check bool) "telemetry mirror retired the cache's share" true
+    (g () = (h0, m0, e0));
+  (* The first probe after a clear must count exactly one miss — with
+     the stale counters it reported accumulated history instead. *)
+  ignore (Service.Cache.find c "a");
+  Alcotest.(check int) "post-clear probe counts one miss" 1
+    (Service.Cache.stats c).misses
+
+let test_serve_cache_clear_op () =
+  let svc = Service.create () in
+  let h = Service.handler svc in
+  let req = "{\"pass\":\"analyze\",\"workload\":\"MyScript\"}" in
+  ignore (Service.Serve.handle_line h req);
+  ignore (Service.Serve.handle_line h req);
+  (match Service.Serve.handle_line h "{\"op\":\"cache-clear\"}" with
+   | Some l ->
+     Alcotest.(check bool) "clear answers with zeroed stats" true
+       (Helpers.contains ~sub:"\"hits\":0" l
+        && Helpers.contains ~sub:"\"entries\":0" l)
+   | None -> Alcotest.fail "cache-clear got no response");
+  ignore (Service.Serve.handle_line h req);
+  let s = Service.cache_stats svc in
+  Alcotest.(check (list int)) "post-clear rerun is a fresh miss"
+    [ 0; 1; 1 ]
+    [ s.hits; s.misses; s.entries ]
+
 (* ------------------------------------------------------------------ *)
 (* Batching *)
 
@@ -111,6 +161,69 @@ let test_batch_dedups_identical () =
   Alcotest.(check int) "one execution cached" 1 s.entries;
   ignore (Service.run svc req);
   Alcotest.(check int) "follow-up run hits" 1 (Service.cache_stats svc).hits
+
+(* Regression: one raising [exec] used to kill the whole wave — the
+   pool re-raises the chunk exception at the join, so every other
+   request's response was lost (and without a pool the iteration died
+   mid-array). [recover] confines the failure to its own slot. *)
+let test_batcher_confines_failures () =
+  Js_parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let exec n =
+        if n mod 13 = 0 then failwith (Printf.sprintf "boom %d" n)
+        else Printf.sprintf "ok %d" n
+      in
+      let recover n exn = Printf.sprintf "err %d %s" n (Printexc.to_string exn) in
+      let reqs = [ 7; 13; 42; 13; 9 ] in
+      let expect =
+        [ "ok 7"; "err 13 Failure(\"boom 13\")"; "ok 42";
+          "err 13 Failure(\"boom 13\")"; "ok 9" ]
+      in
+      (* Pool path: the failing request costs one error row; the other
+         distinct requests still complete, and the deduplicated second
+         occurrence of 13 shares the recovered response. *)
+      let pooled =
+        Service.Batcher.run ~pool ~recover ~key:string_of_int ~exec reqs
+      in
+      Alcotest.(check (list string)) "pool path confined" expect pooled;
+      (* Sequential path (no pool) must confine identically. *)
+      let seq = Service.Batcher.run ~recover ~key:string_of_int ~exec reqs in
+      Alcotest.(check (list string)) "sequential path confined" expect seq;
+      (* Without [recover] the historical behaviour — the exception
+         propagates — is preserved for callers that want it. *)
+      match
+        Service.Batcher.run ~pool ~key:string_of_int ~exec [ 7; 13 ]
+      with
+      | _ -> Alcotest.fail "exec failure must propagate without recover"
+      | exception Failure _ -> ())
+
+(* A service-layer crash inside a batch becomes one structured error
+   response; the rest of the batch still answers. *)
+let test_run_batch_confines_failures () =
+  (* The 1ms watchdog kills any interpreting pass (cf. "failures are
+     not cached") while the static [Analyze] pass never ticks the
+     budget, so the middle request fails deterministically and its
+     neighbours succeed. *)
+  let svc = Service.create ~jobs:2 ~watchdog_ms:1 () in
+  let reqs =
+    [ Service.Request.make Service.Request.Analyze "MyScript";
+      Service.Request.make Service.Request.Profile "Ace";
+      Service.Request.make Service.Request.Analyze "Ace" ]
+  in
+  let resps = Service.run_batch svc reqs in
+  Service.shutdown svc;
+  Alcotest.(check int) "every request answered" 3 (List.length resps);
+  let ok r = Result.is_ok r.Service.Response.result in
+  match resps with
+  | [ a; bad; c ] ->
+    Alcotest.(check bool) "first still completes" true (ok a);
+    Alcotest.(check bool) "third still completes" true (ok c);
+    (match bad.Service.Response.result with
+     | Ok _ -> Alcotest.fail "negative scale must fail"
+     | Error e ->
+       Alcotest.(check string) "confined as workload-failed"
+         "workload-failed"
+         (Service.Response.error_code_name e.code))
+  | _ -> assert false
 
 let batch_equals_sequential =
   QCheck.Test.make ~name:"run_batch = List.map run" ~count:12
@@ -236,8 +349,16 @@ let suite =
       test_cache_keyed_on_config;
     Alcotest.test_case "failures are not cached" `Quick
       test_failures_not_cached;
+    Alcotest.test_case "cache clear resets counters" `Quick
+      test_cache_clear_resets_counters;
+    Alcotest.test_case "serve cache-clear op" `Quick
+      test_serve_cache_clear_op;
     Alcotest.test_case "batch dedups identical requests" `Quick
       test_batch_dedups_identical;
+    Alcotest.test_case "batcher confines a raising exec" `Quick
+      test_batcher_confines_failures;
+    Alcotest.test_case "run_batch confines a failing member" `Quick
+      test_run_batch_confines_failures;
     qtest batch_equals_sequential;
     Alcotest.test_case "serve protocol" `Quick test_serve_protocol;
     Alcotest.test_case "serve matches direct calls (12 workloads)" `Quick
