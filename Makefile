@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos analyze serve-smoke par-exec-smoke bench bench-smoke examples reports clean
+.PHONY: all build test check chaos analyze serve-smoke serve-stress-smoke par-exec-smoke bench bench-smoke examples reports clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
 	$(MAKE) analyze
 	$(MAKE) serve-smoke
+	$(MAKE) serve-stress-smoke
 	$(MAKE) par-exec-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) chaos
@@ -76,6 +77,63 @@ serve-smoke: build
 	test "$$hits" -gt 0 || \
 	  { echo "serve-smoke: expected cache hits > 0, got $$hits"; exit 1; }; \
 	echo "serve smoke OK (cache hits: $$hits)"
+
+# Server stress smoke: start the socket server with a deliberately
+# tiny admission gate, fire a loadgen burst that exceeds it, and
+# require shed > 0 (every refusal is a structured overloaded response
+# with retry_after_ms), zero server-inflicted connection drops of
+# well-behaved exchanges (loadgen exits 1 otherwise), and a clean
+# graceful-drain exit 0 on SIGTERM with the socket file unlinked.
+# A second round repeats the burst under a chaos seed with transport
+# faults injected server-side (doomed accepts, torn responses,
+# mid-response disconnects) AND misbehaving clients (torn request
+# lines, disconnect-before-read, slow-loris): some exchanges are
+# deliberately destroyed, so the zero-drop bar doesn't apply, but the
+# well-behaved requests must still complete (ok > 0) and the server
+# must still drain cleanly to exit 0 — chaos never crashes it.
+# The built binary is invoked directly: the server runs in the
+# background while loadgen runs, and two concurrent `dune exec`
+# processes would deadlock on dune's build lock.
+JSCERES_BIN = _build/default/bin/jsceres.exe
+
+serve-stress-smoke: build
+	@sock=_build/serve-stress.sock; out=_build/serve-stress.json; \
+	rm -f $$sock; \
+	$(JSCERES_BIN) serve --socket $$sock -j 2 --max-inflight 1 \
+	  --queue-capacity 0 --deadline-ms 60000 & pid=$$!; \
+	i=0; while [ ! -S $$sock ] && [ $$i -lt 100 ]; do sleep 0.05; i=$$((i+1)); done; \
+	test -S $$sock || { echo "serve-stress-smoke: server never bound"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(JSCERES_BIN) loadgen --socket $$sock -c 8 -n 40 > $$out || \
+	  { echo "serve-stress-smoke: loadgen reported dropped connections"; \
+	    cat $$out; kill $$pid 2>/dev/null; exit 1; }; \
+	shed=$$(grep -o '"shed":[0-9]*' $$out | cut -d: -f2); \
+	dropped=$$(grep -o '"dropped_connections":[0-9]*' $$out | cut -d: -f2); \
+	test "$$shed" -gt 0 || \
+	  { echo "serve-stress-smoke: burst above --max-inflight shed nothing"; \
+	    cat $$out; kill $$pid 2>/dev/null; exit 1; }; \
+	test "$$dropped" -eq 0 || \
+	  { echo "serve-stress-smoke: $$dropped uncleanly dropped connection(s)"; \
+	    kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; rc=$$?; \
+	test $$rc -eq 0 || { echo "serve-stress-smoke: drain exited $$rc"; exit 1; }; \
+	test ! -S $$sock || { echo "serve-stress-smoke: socket not unlinked"; exit 1; }; \
+	echo "serve-stress smoke OK (shed: $$shed, dropped: 0, drain exit: 0)"; \
+	sock=_build/serve-stress-chaos.sock; out=_build/serve-stress-chaos.json; \
+	rm -f $$sock; \
+	$(JSCERES_BIN) serve --socket $$sock -j 2 --max-inflight 2 \
+	  --queue-capacity 2 --deadline-ms 60000 --chaos-seed 7 \
+	  --chaos-transport & pid=$$!; \
+	i=0; while [ ! -S $$sock ] && [ $$i -lt 100 ]; do sleep 0.05; i=$$((i+1)); done; \
+	test -S $$sock || { echo "serve-stress-smoke: chaos server never bound"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(JSCERES_BIN) loadgen --socket $$sock -c 4 -n 25 -s 7 --chaos-clients \
+	  > $$out || true; \
+	ok=$$(grep -o '"ok":[0-9]*' $$out | head -1 | cut -d: -f2); \
+	test -n "$$ok" -a "$$ok" -gt 0 2>/dev/null || \
+	  { echo "serve-stress-smoke: no request survived the chaos round"; \
+	    cat $$out; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; rc=$$?; \
+	test $$rc -eq 0 || { echo "serve-stress-smoke: chaos drain exited $$rc"; exit 1; }; \
+	echo "serve-stress smoke OK under chaos (ok: $$ok, drain exit: 0)"
 
 # Parallel-execution smoke test: the two workloads whose proven nests
 # are big enough to fork must produce byte-identical stdout with

@@ -37,9 +37,17 @@ let subcommand_docs =
        service core — optionally in parallel (--jobs N) and under \
        per-workload supervision flags (--chaos-seed, --watchdog-ms)." );
     ( "serve",
-      "Long-running service mode: one JSON request per line on stdin, one \
-       deterministic JSON response per line on stdout, with result \
-       caching and request batching. EOF ends the loop." );
+      "Long-running service mode: one JSON request per line, one \
+       deterministic JSON response per line, with result caching and \
+       request batching. Default transport is stdin/stdout (EOF or \
+       {\"op\":\"shutdown\"} ends the loop); --socket PATH serves many \
+       concurrent clients over a Unix-domain socket with admission \
+       control, per-request deadlines, load shedding and graceful \
+       drain (SIGTERM or {\"op\":\"shutdown\"})." );
+    ( "loadgen",
+      "Replay a deterministic mixed-pass request stream against a \
+       running --socket server from N concurrent clients; report \
+       throughput and p50/p95/p99 latency as JSON." );
     ( "report",
       "Run the full staged analysis and write a markdown report (the \
        paper's Fig. 5 steps 5-7)." );
@@ -444,12 +452,37 @@ let pipeline_cmd =
       $ par_exec_arg)
 
 let serve_cmd =
-  let run jobs retries watchdog_ms cache_capacity =
+  let run jobs retries watchdog_ms deadline_ms cache_capacity socket
+      max_inflight queue_capacity drain_ms max_request_bytes max_sessions
+      chaos_seed chaos_transport =
+    (match chaos_seed with
+     | Some seed -> Js_parallel.Fault.enable ~seed
+     | None -> ignore (Js_parallel.Fault.enable_from_env ()));
+    (* --deadline-ms is the server-facing name; it wins over the
+       legacy --watchdog-ms spelling when both are given. *)
+    let watchdog_ms =
+      match deadline_ms with Some _ -> deadline_ms | None -> watchdog_ms
+    in
     let svc =
       Service.create ~jobs ~retries ?watchdog_ms
         ?cache_capacity ()
     in
-    Service.serve_channels svc stdin stdout;
+    (match socket with
+     | None -> Service.serve_channels ~max_request_bytes svc stdin stdout
+     | Some path ->
+       let server =
+         Service.Server.create
+           ~config_override:(fun c ->
+             { c with
+               Service.Server.max_inflight;
+               queue_capacity;
+               drain_ms;
+               max_request_bytes;
+               max_sessions;
+               chaos_transport })
+           ~socket_path:path (Service.handler svc)
+       in
+       Service.Server.run server);
     Service.shutdown svc
   in
   let cache_capacity_arg =
@@ -459,10 +492,151 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"Result-cache entry bound (default 128; LRU eviction).")
   in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve many concurrent clients over a Unix-domain socket at \
+             $(docv) instead of stdin/stdout. SIGTERM or a client's \
+             {\"op\":\"shutdown\"} drains gracefully and exits 0.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"M"
+          ~doc:
+            "Admission bound: at most $(docv) requests execute \
+             concurrently; a bounded queue waits behind them and \
+             anything beyond is shed with a structured overloaded \
+             response carrying retry_after_ms.")
+  in
+  let queue_capacity_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-capacity" ] ~docv:"Q"
+          ~doc:"Admission wait-queue bound before shedding begins.")
+  in
+  let drain_ms_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "Graceful-drain budget: in-flight sessions get $(docv) ms to \
+             finish after shutdown is requested; stragglers are then \
+             force-closed.")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value
+      & opt int Service.Serve.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"B"
+          ~doc:
+            "Longest accepted request line; longer lines answer a \
+             structured bad-request without buffering the excess.")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"S"
+          ~doc:"Concurrent client connection bound (socket mode).")
+  in
+  let chaos_transport_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-transport" ]
+          ~doc:
+            "With --chaos-seed (or JSCERES_CHAOS): additionally inject \
+             deterministic transport faults — connections doomed at \
+             accept, responses torn mid-write, mid-response disconnects \
+             — keyed on the accept ordinal. Off by default so workload \
+             chaos alone keeps per-session responses byte-identical.")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline in virtual milliseconds (the vclock \
+             watchdog): a request exceeding it answers a structured \
+             budget-exhausted failure instead of occupying its slot \
+             forever. Alias of --watchdog-ms.")
+  in
+  let chaos_seed_serve_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:
+            "Enable deterministic fault injection (see $(b,pipeline)); \
+             with --chaos-transport the seed also drives transport \
+             faults.")
+  in
   Cmd.v (cmd_info "serve")
     Term.(
-      const run $ jobs_arg $ retries_arg $ watchdog_ms_arg
-      $ cache_capacity_arg)
+      const run $ jobs_arg $ retries_arg $ watchdog_ms_arg $ deadline_ms_arg
+      $ cache_capacity_arg $ socket_arg $ max_inflight_arg
+      $ queue_capacity_arg $ drain_ms_arg $ max_request_bytes_arg
+      $ max_sessions_arg $ chaos_seed_serve_arg $ chaos_transport_arg)
+
+let loadgen_cmd =
+  let run socket clients requests seed chaos_clients =
+    let report =
+      Service.Loadgen.run
+        { Service.Loadgen.socket_path = socket;
+          clients;
+          requests_per_client = requests;
+          seed;
+          chaos_clients }
+    in
+    print_endline
+      (Service.Json.to_string (Service.Loadgen.report_json report));
+    if report.Service.Loadgen.dropped_connections > 0 then
+      exit Service.Exit.operational_error
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the running server.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "clients" ] ~docv:"N"
+          ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "requests" ] ~docv:"R"
+          ~doc:"Requests per client (mixed passes over all workloads).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 2015
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:
+            "Stream seed: the request mix (and any client chaos) is a \
+             pure function of it.")
+  in
+  let chaos_clients_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-clients" ]
+          ~doc:
+            "Make a seed-keyed fraction of requests misbehave: torn \
+             request lines, disconnect-before-read, slow-loris writes. \
+             The exit status still requires zero server-inflicted \
+             drops of well-behaved exchanges.")
+  in
+  Cmd.v (cmd_info "loadgen")
+    Term.(
+      const run $ socket_arg $ clients_arg $ requests_arg $ seed_arg
+      $ chaos_clients_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -529,5 +703,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; loops_cmd; deps_cmd; analyze_cmd;
-            crossval_cmd; inspect_cmd; pipeline_cmd; serve_cmd; report_cmd;
-            survey_cmd; file_cmd ]))
+            crossval_cmd; inspect_cmd; pipeline_cmd; serve_cmd; loadgen_cmd;
+            report_cmd; survey_cmd; file_cmd ]))

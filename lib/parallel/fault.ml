@@ -19,13 +19,16 @@
    disabled, sessions are [None], no interpreter hook is installed,
    and [Pool.submit] pays one atomic load. *)
 
-type site = Task | Tick | Dom | Submit
+type site = Task | Tick | Dom | Submit | Accept | Torn | Disconnect
 
 let site_to_string = function
   | Task -> "task-attempt"
   | Tick -> "interp-tick"
   | Dom -> "dom-access"
   | Submit -> "pool-submit"
+  | Accept -> "accept"
+  | Torn -> "torn-response"
+  | Disconnect -> "mid-response-disconnect"
 
 exception Injected of { site : site; key : string; ordinal : int }
 
@@ -161,22 +164,23 @@ let arm session (st : Interp.Value.state) =
             s.doms <- s.doms + 1;
             if s.doms = n then fire Dom s.key n;
             previous category op)
-     | Fail ((Task | Submit), _) | No_fault -> ())
+     | Fail ((Task | Submit | Accept | Torn | Disconnect), _) | No_fault -> ())
 
 (* The session in scope for the current supervised attempt, so layers
    that build interpreter states deep inside the attempt (the workload
    harness) can arm them without threading a parameter through every
-   call. Domain-local: concurrent supervised workloads on different
-   pool domains cannot see each other's sessions. *)
-let current : session option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+   call. Thread-local ([Tls], keyed on domain × systhread): concurrent
+   supervised workloads — on different pool domains *or* on different
+   server session threads of the same domain — cannot see each other's
+   sessions. *)
+let current : session Tls.t = Tls.create ()
 
 let with_session s f =
-  let prev = Domain.DLS.get current in
-  Domain.DLS.set current s;
-  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+  let prev = Tls.get current in
+  Tls.set current s;
+  Fun.protect ~finally:(fun () -> Tls.set current prev) f
 
-let current_session () = Domain.DLS.get current
+let current_session () = Tls.get current
 
 (* ------------------------------------------------------------------ *)
 (* Pool-submit site *)
@@ -190,3 +194,61 @@ let submit_doom () =
     let ordinal = 1 + Atomic.fetch_and_add submit_ordinal 1 in
     let p = stream ~seed ~key:(Printf.sprintf "submit-%d" ordinal) in
     if Ceres_util.Prng.float p < 0.2 then Some ordinal else None
+
+(* ------------------------------------------------------------------ *)
+(* Transport-layer sites (socket server and loadgen clients).
+
+   Server-side plans are keyed on the accepted connection's ordinal:
+   whether connection N is doomed at accept, has its Kth response torn
+   mid-write, or is cut right after its Kth response depends only on
+   (seed, N) — the same purity contract as the workload sessions. The
+   server consults them only when transport chaos is explicitly
+   requested (the [--chaos-transport] flag), so workload-only chaos
+   runs keep per-session response streams byte-deterministic. *)
+
+type transport_plan = {
+  doomed_accept : bool; (* close the connection immediately after accept *)
+  torn_after : int option; (* tear the Nth response mid-write, then cut *)
+  disconnect_after : int option; (* cut right after the Nth response *)
+}
+
+let no_transport_fault =
+  { doomed_accept = false; torn_after = None; disconnect_after = None }
+
+let transport_plan_of ~seed ~conn =
+  let p = stream ~seed ~key:(Printf.sprintf "conn-%d" conn) in
+  if Ceres_util.Prng.int p 8 = 0 then
+    { no_transport_fault with doomed_accept = true }
+  else if Ceres_util.Prng.int p 5 = 0 then
+    { no_transport_fault with torn_after = Some (1 + Ceres_util.Prng.int p 3) }
+  else if Ceres_util.Prng.int p 5 = 0 then
+    { no_transport_fault with
+      disconnect_after = Some (1 + Ceres_util.Prng.int p 4) }
+  else no_transport_fault
+
+let transport_plan ~conn =
+  match Atomic.get chaos_seed with
+  | None -> None
+  | Some seed -> Some (transport_plan_of ~seed ~conn)
+
+(* Client-side misbehaviour for the load generator: a pure function of
+   (seed, client, request), independent of the global switch so a
+   loadgen process can abuse a healthy server. *)
+
+type client_action = Client_ok | Client_torn | Client_disconnect | Client_slow
+
+let client_action_to_string = function
+  | Client_ok -> "ok"
+  | Client_torn -> "torn-request"
+  | Client_disconnect -> "disconnect-before-read"
+  | Client_slow -> "slow-loris"
+
+let client_plan ~seed ~client ~request =
+  let p =
+    stream ~seed ~key:(Printf.sprintf "client-%d-req-%d" client request)
+  in
+  match Ceres_util.Prng.int p 12 with
+  | 0 -> Client_torn
+  | 1 -> Client_disconnect
+  | 2 | 3 -> Client_slow
+  | _ -> Client_ok

@@ -20,7 +20,7 @@
     interpreter hook is installed, [Pool.submit] pays one atomic
     load. *)
 
-type site = Task | Tick | Dom | Submit
+type site = Task | Tick | Dom | Submit | Accept | Torn | Disconnect
 
 val site_to_string : site -> string
 
@@ -83,3 +83,34 @@ val submit_doom : unit -> int option
 (** Called by [Pool.submit] at push time: [Some ordinal] when the
     pushed job is doomed (the pool substitutes a job that calls
     {!fire}), [None] otherwise or when chaos is off. *)
+
+(** {1 Transport sites (socket server / loadgen)} *)
+
+type transport_plan = {
+  doomed_accept : bool;
+      (** close the connection immediately after accept *)
+  torn_after : int option;
+      (** tear the Nth response mid-write, then cut the connection *)
+  disconnect_after : int option;
+      (** cut the connection right after the Nth response *)
+}
+
+val no_transport_fault : transport_plan
+
+val transport_plan : conn:int -> transport_plan option
+(** The (seed, connection-ordinal)-keyed plan for an accepted
+    connection, or [None] when chaos is off. The server applies it
+    only under its explicit transport-chaos flag, so workload-only
+    chaos keeps response streams byte-deterministic. *)
+
+val transport_plan_of : seed:int -> conn:int -> transport_plan
+(** Pure form of {!transport_plan} (no global state). *)
+
+type client_action = Client_ok | Client_torn | Client_disconnect | Client_slow
+
+val client_action_to_string : client_action -> string
+
+val client_plan : seed:int -> client:int -> request:int -> client_action
+(** Seed-keyed misbehaviour schedule for loadgen clients: send a torn
+    half-request and reconnect, disconnect before reading the
+    response, or dribble the request bytes (slow-loris). Pure. *)

@@ -48,19 +48,19 @@ let default_classify = function
   | Interp.Value.Budget_exhausted | _ -> Permanent
 
 (* ------------------------------------------------------------------ *)
-(* Domain-local wiring to interpreter states built inside an attempt *)
+(* Thread-local wiring to interpreter states built inside an attempt.
+   [Tls], not [Domain.DLS]: the socket server runs one session per
+   systhread on the main domain, and concurrent sessions must not see
+   each other's budget or virtual-time probe. *)
 
-let budget_key : int64 option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+let budget_key : int64 Tls.t = Tls.create ()
+let probe_key : (unit -> float) Tls.t = Tls.create ()
 
-let probe_key : (unit -> float) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
-
-let active_budget () = Domain.DLS.get budget_key
-let set_virtual_probe f = Domain.DLS.set probe_key (Some f)
+let active_budget () = Tls.get budget_key
+let set_virtual_probe f = Tls.set probe_key (Some f)
 
 let virtual_ms_now () =
-  match Domain.DLS.get probe_key with
+  match Tls.get probe_key with
   | None -> 0.
   | Some probe -> (try probe () with _ -> 0.)
 
@@ -69,11 +69,11 @@ let virtual_ms_now () =
 let run ?(retries = 0) ?(backoff = Backoff.default) ?budget
     ?(classify = default_classify) f =
   let t0 = Unix.gettimeofday () in
-  let prev_budget = Domain.DLS.get budget_key in
-  let prev_probe = Domain.DLS.get probe_key in
+  let prev_budget = Tls.get budget_key in
+  let prev_probe = Tls.get probe_key in
   let rec attempt k =
-    Domain.DLS.set budget_key budget;
-    Domain.DLS.set probe_key None;
+    Tls.set budget_key budget;
+    Tls.set probe_key None;
     match f () with
     | v -> Ok v
     | exception exn ->
@@ -97,8 +97,8 @@ let run ?(retries = 0) ?(backoff = Backoff.default) ?budget
   in
   Fun.protect
     ~finally:(fun () ->
-        Domain.DLS.set budget_key prev_budget;
-        Domain.DLS.set probe_key prev_probe)
+        Tls.set budget_key prev_budget;
+        Tls.set probe_key prev_probe)
     (fun () -> attempt 1)
 
 (* Deterministic rendering: no wall time, so repeated chaos runs stay

@@ -48,6 +48,15 @@ let cache_hits_total = Atomic.make 0
 let cache_misses_total = Atomic.make 0
 let cache_evictions_total = Atomic.make 0
 
+(* Server-side request lifecycle (admission control, deadlines,
+   session fate). They live here for the same reason the cache
+   counters do: the admission gate and session loops own no pool, and
+   the {"op":"telemetry"} health snapshot wants one source. *)
+let requests_admitted_total = Atomic.make 0
+let requests_shed_total = Atomic.make 0
+let requests_timed_out_total = Atomic.make 0
+let sessions_dropped_total = Atomic.make 0
+
 let note_retry () = Atomic.incr retries_total
 let note_fault_injected () = Atomic.incr faults_total
 let note_speculation_skipped_static () = Atomic.incr skipped_static_total
@@ -62,6 +71,15 @@ let note_cache_cleared ~hits ~misses ~evictions =
   ignore (Atomic.fetch_and_add cache_hits_total (-hits));
   ignore (Atomic.fetch_and_add cache_misses_total (-misses));
   ignore (Atomic.fetch_and_add cache_evictions_total (-evictions))
+let note_request_admitted () = Atomic.incr requests_admitted_total
+let note_request_shed () = Atomic.incr requests_shed_total
+let note_request_timed_out () = Atomic.incr requests_timed_out_total
+let note_session_dropped () = Atomic.incr sessions_dropped_total
+let requests_admitted () = Atomic.get requests_admitted_total
+let requests_shed () = Atomic.get requests_shed_total
+let requests_timed_out () = Atomic.get requests_timed_out_total
+let sessions_dropped () = Atomic.get sessions_dropped_total
+
 let retries () = Atomic.get retries_total
 let faults_injected () = Atomic.get faults_total
 let speculation_skipped_static () = Atomic.get skipped_static_total
@@ -75,7 +93,21 @@ let reset_globals () =
   Atomic.set skipped_static_total 0;
   Atomic.set cache_hits_total 0;
   Atomic.set cache_misses_total 0;
-  Atomic.set cache_evictions_total 0
+  Atomic.set cache_evictions_total 0;
+  Atomic.set requests_admitted_total 0;
+  Atomic.set requests_shed_total 0;
+  Atomic.set requests_timed_out_total 0;
+  Atomic.set sessions_dropped_total 0
+
+(* One JSON object for the server section of the {"op":"telemetry"}
+   health snapshot — kept here so both transports render it
+   identically. *)
+let server_counters_json () : Ceres_util.Json.t =
+  Obj
+    [ ("requests_admitted", Int (requests_admitted ()));
+      ("requests_shed", Int (requests_shed ()));
+      ("requests_timed_out", Int (requests_timed_out ()));
+      ("sessions_dropped", Int (sessions_dropped ())) ]
 
 (* ------------------------------------------------------------------ *)
 

@@ -53,6 +53,31 @@ val cache_evictions : unit -> int
     which does not own a pool, so like retries they are process-wide
     and ride along in every snapshot). *)
 
+(** {2 Server request lifecycle}
+
+    Counted by the socket server's admission gate, deadline
+    accounting and session loops; surfaced in the [{"op":"telemetry"}]
+    health snapshot of both transports. *)
+
+val note_request_admitted : unit -> unit
+val note_request_shed : unit -> unit
+val note_request_timed_out : unit -> unit
+val note_session_dropped : unit -> unit
+val requests_admitted : unit -> int
+val requests_shed : unit -> int
+
+val requests_timed_out : unit -> int
+(** Requests whose supervised execution died on the vclock watchdog
+    (the per-request deadline). *)
+
+val sessions_dropped : unit -> int
+(** Client sessions that ended abnormally: torn request line at EOF,
+    I/O error mid-response, chaos-injected transport fault. *)
+
+val server_counters_json : unit -> Ceres_util.Json.t
+(** The four counters above as one JSON object (the ["server"]
+    section of the telemetry health snapshot). *)
+
 val reset_globals : unit -> unit
 
 (** {1 Per-loop records} *)

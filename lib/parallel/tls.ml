@@ -1,0 +1,38 @@
+(* Systhread-local storage.
+
+   [Domain.DLS] slots are shared by every systhread running on a
+   domain, so two server sessions multiplexed as threads on the main
+   domain would stomp each other's supervisor budget, virtual-time
+   probe and chaos session — scheduling-dependent corruption that
+   breaks both watchdog attribution and chaos determinism. This keys
+   the same slots on (domain id, thread id) instead: each pool domain
+   keeps its previous behaviour (one thread per domain), and each
+   session thread now owns a private slot.
+
+   Reads/writes happen only at attempt boundaries and interpreter
+   state construction, never on the interpreter hot path, so a mutexed
+   hashtable is plenty. *)
+
+type 'a t = {
+  m : Mutex.t;
+  tbl : (int * int, 'a) Hashtbl.t;
+}
+
+let create () = { m = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let slot () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let get t =
+  let k = slot () in
+  Mutex.lock t.m;
+  let v = Hashtbl.find_opt t.tbl k in
+  Mutex.unlock t.m;
+  v
+
+let set t v =
+  let k = slot () in
+  Mutex.lock t.m;
+  (match v with
+   | None -> Hashtbl.remove t.tbl k
+   | Some v -> Hashtbl.replace t.tbl k v);
+  Mutex.unlock t.m

@@ -1,0 +1,23 @@
+(** Systhread-local storage.
+
+    [Domain.DLS] is per-*domain*: every systhread multiplexed on a
+    domain shares its slots. The socket server runs one thread per
+    client session on the main domain, so the supervisor's watchdog
+    budget/probe and the chaos session must be keyed per *thread* —
+    otherwise concurrent sessions stomp each other and chaos plans
+    fire on the wrong workload, scheduling-dependently.
+
+    A slot holds ['a option]-style presence: {!get} is [None] until
+    this (domain, thread) pair {!set}s a value; [set t None] clears
+    the entry (so short-lived session threads do not accumulate
+    state). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val get : 'a t -> 'a option
+(** The calling thread's value, if it set one. *)
+
+val set : 'a t -> 'a option -> unit
+(** Set ([Some]) or clear ([None]) the calling thread's value. *)

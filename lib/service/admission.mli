@@ -1,0 +1,35 @@
+(** Admission control: a counting gate with a bounded wait queue.
+
+    At most [max_inflight] requests run concurrently; up to
+    [queue_capacity] more block in {!acquire} (backpressure — the
+    session simply doesn't read its client's next line); anything
+    beyond is shed immediately with a [retry_after_ms] hint. Every
+    decision bumps the process-wide
+    [requests_admitted]/[requests_shed] telemetry counters. *)
+
+type t
+
+type outcome =
+  | Admitted  (** slot held; caller must {!release} exactly once *)
+  | Shed of { retry_after_ms : int }
+      (** refused: queue full or gate draining; the hint scales with
+          the backlog ahead of the refused request *)
+
+val create : max_inflight:int -> queue_capacity:int -> t
+(** Raises [Invalid_argument] on a negative bound. [max_inflight = 0]
+    sheds every request — useful for forcing the shedding path in
+    tests. *)
+
+val acquire : t -> outcome
+(** May block (bounded by the queue discipline and {!begin_drain}). *)
+
+val release : t -> unit
+
+val begin_drain : t -> unit
+(** Flip to shedding mode and wake every queued waiter (each returns
+    [Shed]). In-flight slots are unaffected — callers still
+    {!release} them. Idempotent. *)
+
+val draining : t -> bool
+val inflight : t -> int
+val waiting : t -> int

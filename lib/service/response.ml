@@ -3,17 +3,23 @@
    and bench/main so that every consumer (CLI, serve, bench) prints a
    given response identically. *)
 
-type error_code = Bad_request | Unknown_workload | Workload_failed
+type error_code =
+  | Bad_request
+  | Unknown_workload
+  | Workload_failed
+  | Overloaded
 
 let error_code_name = function
   | Bad_request -> "bad-request"
   | Unknown_workload -> "unknown-workload"
   | Workload_failed -> "workload-failed"
+  | Overloaded -> "overloaded"
 
 type error = {
   code : error_code;
   message : string;
   failure : Js_parallel.Supervisor.failure option;
+  retry_after_ms : int option;
 }
 
 type body =
@@ -31,8 +37,11 @@ type t = {
 
 let ok request body = { request = Some request; result = Ok body }
 
-let error ?request code message =
-  { request; result = Error { code; message; failure = None } }
+let error ?request ?retry_after_ms code message =
+  { request; result = Error { code; message; failure = None; retry_after_ms } }
+
+let overloaded ~retry_after_ms message =
+  error ~retry_after_ms Overloaded message
 
 let of_failure request fl =
   { request = Some request;
@@ -40,7 +49,24 @@ let of_failure request fl =
       Error
         { code = Workload_failed;
           message = Js_parallel.Supervisor.failure_to_string fl;
-          failure = Some fl } }
+          failure = Some fl;
+          retry_after_ms = None } }
+
+(* The watchdog's printer text (registered in Interp.Value): a failed
+   response whose exception was the vclock budget is a deadline
+   overrun, counted as [requests_timed_out] by the service. *)
+let budget_text = "interpreter vclock budget exhausted"
+
+let timed_out (t : t) =
+  match t.result with
+  | Error { failure = Some fl; _ } ->
+    let n = String.length budget_text in
+    let rec find i =
+      i + n <= String.length fl.exn_text
+      && (String.sub fl.exn_text i n = budget_text || find (i + 1))
+    in
+    find 0
+  | _ -> false
 
 let exit_code (t : t) =
   match t.result with
@@ -146,8 +172,12 @@ let to_json (t : t) : Ceres_util.Json.t =
       (head
        @ [ ( "error",
              Obj
-               [ ("code", Str (error_code_name e.code));
-                 ("message", Str e.message) ] ) ])
+               ([ ("code", Str (error_code_name e.code));
+                  ("message", Str e.message) ]
+                @
+                match e.retry_after_ms with
+                | None -> []
+                | Some ms -> [ ("retry_after_ms", Int ms) ]) ) ])
 
 (* ------------------------------------------------------------------ *)
 (* CLI text renderings — the historical byte formats. *)

@@ -4,7 +4,13 @@
     always printed (the CLI is a thin adapter over these, so serve and
     the subcommands cannot drift apart). *)
 
-type error_code = Bad_request | Unknown_workload | Workload_failed
+type error_code =
+  | Bad_request
+  | Unknown_workload
+  | Workload_failed
+  | Overloaded
+      (** shed by admission control or a draining server; carries a
+          [retry_after_ms] hint — never a silent drop *)
 
 val error_code_name : error_code -> string
 
@@ -13,6 +19,8 @@ type error = {
   message : string;  (** deterministic (virtual-time fields only) *)
   failure : Js_parallel.Supervisor.failure option;
       (** present for [Workload_failed] *)
+  retry_after_ms : int option;
+      (** present for [Overloaded]: when the client should retry *)
 }
 
 type body =
@@ -31,8 +39,18 @@ type t = {
 }
 
 val ok : Request.t -> body -> t
-val error : ?request:Request.t -> error_code -> string -> t
+val error : ?request:Request.t -> ?retry_after_ms:int -> error_code -> string -> t
+
+val overloaded : retry_after_ms:int -> string -> t
+(** The structured load-shedding response: code [overloaded] plus the
+    retry hint, rendered into the protocol JSON. *)
+
 val of_failure : Request.t -> Js_parallel.Supervisor.failure -> t
+
+val timed_out : t -> bool
+(** Whether this is a [Workload_failed] response whose exception was
+    the interpreter's vclock budget — i.e. the per-request deadline
+    (watchdog) fired. *)
 
 val exit_code : t -> int
 (** The repo-wide CLI convention (documented in the [jsceres] man

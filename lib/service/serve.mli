@@ -1,5 +1,7 @@
 (** The long-running JSONL protocol: one request per line on input,
-    one deterministic JSON response per line on output.
+    one deterministic JSON response per line on output. Shared by the
+    stdin loop ([jsceres serve]) and the socket server ({!Server}) so
+    the two transports cannot drift.
 
     Protocol, one JSON document per line:
     - an object with ["pass"]/["workload"] (see {!Request.of_json})
@@ -14,12 +16,16 @@
       line (all zeros);
     - [{"op": "telemetry"}] → a health snapshot: the pool's
       scheduling telemetry under ["pool"] ([null] without a pool),
-      the result cache's counters under ["cache"], and the process
-      GC totals (minor/promoted/major words, collection counts)
-      under ["gc"];
+      the result cache's counters under ["cache"], the server
+      request-lifecycle counters (admitted/shed/timed-out/dropped)
+      under ["server"], and the process GC totals under ["gc"];
+    - [{"op": "health"}] → transport liveness under ["health"];
+    - [{"op": "shutdown"}] → [{"ok":true,"draining":true}], then the
+      transport stops (stdin loop returns; socket server drains);
     - [{"op": "ping"}] → [{"ok": true}];
-    - anything else (bad JSON, unknown pass, unknown op) → one
-      [{"error": {...}}] line. The loop never crashes on input.
+    - anything else (bad JSON, unknown pass, unknown op, oversized
+      line) → one [{"error": {...}}] line. The loop never crashes on
+      input.
 
     Blank lines are ignored. EOF ends the loop. *)
 
@@ -29,11 +35,62 @@ type handler = {
   cache_stats : unit -> Cache.stats;
   cache_clear : unit -> unit;
   telemetry : unit -> Ceres_util.Json.t option;
+      (** pool scheduling stats; [None] when running single-job *)
+  health : unit -> Ceres_util.Json.t;
+      (** transport-specific liveness document for [{"op":"health"}] *)
 }
 
-val handle_line : handler -> string -> string option
-(** One protocol step: [None] for blank input, otherwise the response
-    line (no trailing newline). Never raises. *)
+type step =
+  | No_reply  (** blank line: nothing to send *)
+  | Reply of string  (** one response line *)
+  | Stop of string
+      (** final response line, then the transport must stop:
+          [{"op":"shutdown"}] acknowledged *)
 
-val serve : handler -> in_channel -> out_channel -> unit
-(** Run the loop until EOF, flushing after every response line. *)
+val default_max_request_bytes : int
+(** 1 MiB: longest request line accepted before the structured
+    oversize [bad-request] answer. *)
+
+val handle_doc : handler -> Ceres_util.Json.t -> step
+(** Dispatch one parsed document: control op, single request, or
+    batch array. Never raises — handler exceptions become
+    [bad-request] lines. *)
+
+val handle_line : handler -> string -> step
+(** [handle_doc] over one raw line: trims, parses, dispatches. *)
+
+val is_op : Ceres_util.Json.t -> bool
+(** Whether the document is a control op (an object with an ["op"]
+    key) — served without admission by the socket server — rather
+    than an execution request. *)
+
+val error_line : Response.error_code -> string -> string
+(** One rendered protocol error line (used by the server for
+    admission shedding and session-level errors). *)
+
+val oversized_line : int -> string
+(** The structured answer to a request line exceeding the size
+    bound. *)
+
+(** {1 Bounded line reading} *)
+
+type read_result =
+  | Line of string
+  | Oversized  (** line exceeded [max_bytes]; tail discarded to newline *)
+  | Eof of { partial : bool }
+      (** [partial] when input ended mid-line (a torn request) *)
+
+val read_line_bounded : max_bytes:int -> in_channel -> read_result
+(** Read one newline-terminated line without ever buffering more than
+    [max_bytes] of it: hostile lines stream past into [Oversized]
+    instead of growing the heap. *)
+
+val ignore_sigpipe : unit -> unit
+(** Make a vanished client raise [Sys_error] on write instead of
+    killing the process. Idempotent; no-op where SIGPIPE is absent. *)
+
+val serve :
+  ?max_request_bytes:int -> handler -> in_channel -> out_channel -> unit
+(** Session loop over a channel pair. Returns on EOF, on an
+    acknowledged [{"op":"shutdown"}], or on a client I/O error
+    ([Sys_error], e.g. broken pipe) — never raises. *)

@@ -13,6 +13,9 @@ module Response = Response
 module Cache = Cache
 module Batcher = Batcher
 module Serve = Serve
+module Admission = Admission
+module Server = Server
+module Loadgen = Loadgen
 
 module Exit = struct
   let ok = 0
@@ -84,7 +87,13 @@ let compute t (w : Workloads.Workload.t) (req : Request.t) key =
     let resp = Response.ok req body in
     Cache.add t.cache key resp;
     resp
-  | Error fl -> Response.of_failure req fl
+  | Error fl ->
+    let resp = Response.of_failure req fl in
+    (* A failure whose exception was the vclock watchdog is a missed
+       per-request deadline: visible in the server telemetry. *)
+    if Response.timed_out resp then
+      Js_parallel.Telemetry.note_request_timed_out ();
+    resp
 
 let unknown_workload req =
   Response.error ~request:req Response.Unknown_workload
@@ -162,9 +171,13 @@ let handler t : Serve.handler =
     cache_stats = (fun () -> cache_stats t);
     cache_clear = (fun () -> Cache.clear t.cache);
     telemetry =
-      (fun () -> Option.map Js_parallel.Telemetry.json_of_stats (pool_stats t)) }
+      (fun () -> Option.map Js_parallel.Telemetry.json_of_stats (pool_stats t));
+    health =
+      (fun () ->
+         Obj [ ("status", Str "ok"); ("transport", Str "stdio") ]) }
 
-let serve_channels t ic oc = Serve.serve (handler t) ic oc
+let serve_channels ?max_request_bytes t ic oc =
+  Serve.serve ?max_request_bytes (handler t) ic oc
 
 let shutdown t =
   match t.pool with None -> () | Some p -> Js_parallel.Pool.shutdown p

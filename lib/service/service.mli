@@ -16,6 +16,9 @@ module Response = Response
 module Cache = Cache
 module Batcher = Batcher
 module Serve = Serve
+module Admission = Admission
+module Server = Server
+module Loadgen = Loadgen
 
 (** {1 Exit codes}
 
@@ -71,8 +74,10 @@ val pool_stats : t -> Js_parallel.Telemetry.pool_stats option
 val handler : t -> Serve.handler
 (** The JSONL protocol handler over this service (see {!Serve}). *)
 
-val serve_channels : t -> in_channel -> out_channel -> unit
-(** Run the [jsceres serve] loop until EOF. *)
+val serve_channels :
+  ?max_request_bytes:int -> t -> in_channel -> out_channel -> unit
+(** Run the [jsceres serve] loop until EOF, an acknowledged
+    [{"op":"shutdown"}], or a client I/O failure. *)
 
 val shutdown : t -> unit
 (** Shut the batch pool down (idempotent). The cache survives; [run]

@@ -17,4 +17,5 @@ let () =
       ("behavior", Test_workload_behavior.suite);
       ("analysis", Test_analysis.suite);
       ("parexec", Test_parexec.suite);
-      ("service", Test_service.suite) ]
+      ("service", Test_service.suite);
+      ("server", Test_server.suite) ]

@@ -8,6 +8,12 @@ let qtest = QCheck_alcotest.to_alcotest
 let render (r : Service.Response.t) =
   Service.Json.to_string (Service.Response.to_json r)
 
+(* Collapse the protocol step to its response line (a [Stop] still
+   carries one — the shutdown acknowledgement). *)
+let reply = function
+  | Service.Serve.Reply l | Service.Serve.Stop l -> Some l
+  | Service.Serve.No_reply -> None
+
 (* ------------------------------------------------------------------ *)
 (* Request JSON round trip *)
 
@@ -128,7 +134,7 @@ let test_serve_cache_clear_op () =
   let req = "{\"pass\":\"analyze\",\"workload\":\"MyScript\"}" in
   ignore (Service.Serve.handle_line h req);
   ignore (Service.Serve.handle_line h req);
-  (match Service.Serve.handle_line h "{\"op\":\"cache-clear\"}" with
+  (match reply (Service.Serve.handle_line h "{\"op\":\"cache-clear\"}") with
    | Some l ->
      Alcotest.(check bool) "clear answers with zeroed stats" true
        (Helpers.contains ~sub:"\"hits\":0" l
@@ -257,18 +263,19 @@ let test_serve_protocol () =
   let svc = Service.create () in
   let h = Service.handler svc in
   Alcotest.(check (option string)) "blank line ignored" None
-    (Service.Serve.handle_line h "   ");
-  (match Service.Serve.handle_line h "{\"op\":\"ping\"}" with
+    (reply (Service.Serve.handle_line h "   "));
+  (match reply (Service.Serve.handle_line h "{\"op\":\"ping\"}") with
    | Some l -> Alcotest.(check string) "ping" "{\"ok\":true}" l
    | None -> Alcotest.fail "ping got no response");
-  (match Service.Serve.handle_line h "not json at all" with
+  (match reply (Service.Serve.handle_line h "not json at all") with
    | Some l ->
      Alcotest.(check bool) "bad JSON is an error line" true
        (Helpers.contains ~sub:"\"error\"" l)
    | None -> Alcotest.fail "bad JSON got no response");
   (match
-     Service.Serve.handle_line h
-       "{\"pass\":\"nosuch\",\"workload\":\"Ace\"}"
+     reply
+       (Service.Serve.handle_line h
+          "{\"pass\":\"nosuch\",\"workload\":\"Ace\"}")
    with
    | Some l ->
      Alcotest.(check bool) "unknown pass is bad-request" true
@@ -277,7 +284,7 @@ let test_serve_protocol () =
   let req = "{\"pass\":\"analyze\",\"workload\":\"MyScript\"}" in
   ignore (Service.Serve.handle_line h req);
   ignore (Service.Serve.handle_line h req);
-  match Service.Serve.handle_line h "{\"op\":\"cache-stats\"}" with
+  match reply (Service.Serve.handle_line h "{\"op\":\"cache-stats\"}") with
   | Some l ->
     Alcotest.(check bool) "repeat served from cache" true
       (Helpers.contains ~sub:"\"hits\":1" l)
@@ -293,8 +300,9 @@ let test_serve_matches_direct () =
     (fun (w : Workloads.Workload.t) ->
        let req = Service.Request.make Service.Request.Analyze w.name in
        let line =
-         Service.Serve.handle_line h
-           (Service.Json.to_string (Service.Request.to_json req))
+         reply
+           (Service.Serve.handle_line h
+              (Service.Json.to_string (Service.Request.to_json req)))
        in
        match line with
        | Some l ->
