@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos analyze serve-smoke serve-stress-smoke par-exec-smoke bench bench-smoke examples reports clean
+.PHONY: all build test check chaos analyze analyze-smoke serve-smoke serve-stress-smoke par-exec-smoke bench bench-smoke examples reports clean
 
 all: build
 
@@ -18,7 +18,7 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
-	$(MAKE) analyze
+	$(MAKE) analyze-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) serve-stress-smoke
 	$(MAKE) par-exec-smoke
@@ -48,6 +48,23 @@ analyze: build
 	      { echo "analyze $$name: report differs from golden"; exit 1; }; \
 	  fi; \
 	done; echo "analyze sweep OK ($(words $(ANALYZE_WORKLOADS)) workloads)"
+
+# Prover-power regression gate (in `make check`): the analyze sweep
+# must keep at least ANALYZE_PROVEN_FLOOR statically proven loops
+# (verdict parallel/reduction) across the 12 workloads — the PR-8
+# count — so analyzer changes cannot silently lose proofs. Counted
+# from the freshly generated reports, which `analyze` has already
+# diffed (or regenerated) against the committed goldens.
+ANALYZE_PROVEN_FLOOR = 22
+
+analyze-smoke: analyze
+	@proven=$$(grep -ho '"verdict": "parallel"\|"verdict": "reduction"' \
+	             _build/analyze-*.json | wc -l); \
+	if [ $$proven -lt $(ANALYZE_PROVEN_FLOOR) ]; then \
+	  echo "analyze-smoke: $$proven statically proven loops, floor is \
+	$(ANALYZE_PROVEN_FLOOR)"; exit 1; \
+	fi; \
+	echo "analyze-smoke OK ($$proven proven loops >= $(ANALYZE_PROVEN_FLOOR))"
 
 # Service-mode smoke test: pipe a fixed 7-request JSONL session (two
 # analyses, a repeated profile, a bad pass, a cache-stats probe, a

@@ -278,7 +278,23 @@ let table3 () =
     (Lazy.force inspection);
   Printf.printf
     "ordinal agreement with the paper: %d/%d cells exact, +%d within one level\n"
-    !agree !cells !near
+    !agree !cells !near;
+  (* static column totals over the inspected nests, five-way *)
+  let statics =
+    List.concat_map
+      (fun (_, rows) ->
+         List.map
+           (fun (r : Workloads.Harness.nest_row) -> r.static_verdict)
+           rows)
+      (Lazy.force inspection)
+  in
+  let n lbl = List.length (List.filter (String.equal lbl) statics) in
+  Printf.printf
+    "static verdicts over %d nests: %d parallel / %d reduction(oi) / %d \
+     reduction / %d rtc / %d seq\n"
+    (List.length statics) (n "parallel")
+    (n "reduction(oi)")
+    (n "reduction") (n "rtc") (n "seq")
 
 (* ------------------------------------------------------------------ *)
 

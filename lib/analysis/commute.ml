@@ -1,0 +1,48 @@
+(* Commutativity / order-insensitivity proofs for reductions
+   (stage 3.5).
+
+   A reduction verdict names accumulators whose only carried
+   dependence is [acc = acc op e]. The parallel executor can combine
+   per-chunk partials in any grouping only when the fold is
+   *order-insensitive bit-for-bit*; otherwise it must restore the
+   sequential order (journal replay) or fall back. This module decides
+   that bit per accumulator:
+
+   - [min]/[max] and the ToInt32 bitwise folds ([& | ^]) are
+     associative and commutative over the exact value domain the
+     interpreter computes in (IEEE doubles resp. int32), including
+     the -0/NaN corners of Math.min/max — always order-insensitive.
+   - [+] (and [-], which is [+] of negations) is order-insensitive
+     when {!Range} proves every contribution an exact integer of
+     magnitude at most 2^25: partial sums then stay exact integers
+     for any iteration count the executor accepts (its trip cap is
+     1e8 < 2^27, so |partial| < 2^25 * 2^27 = 2^52 < 2^53), and
+     integer addition under 2^53 is associative exactly. The final
+     entry+partials fold is additionally guarded by the executor's
+     own overflow taint.
+   - [*] and everything else: never proven (float rounding is
+     grouping-sensitive; integer products overflow too fast to
+     bound usefully). *)
+
+open Jsir
+
+(* |contribution| bound under which any executor-admissible trip
+   count keeps partial sums exactly representable. *)
+let sum_addend_bound = 33554432. (* 2^25 *)
+
+let order_insensitive (rng : Range.t) (fid : Scope.fid)
+    ~(env : string -> Range.iv option) ~(op : Verdict.acc_op)
+    ~(contribs : Ast.expr list) : bool =
+  match op with
+  | Verdict.Min | Verdict.Max | Verdict.Band | Verdict.Bor | Verdict.Bxor ->
+    true
+  | Verdict.Sum ->
+    contribs <> []
+    && List.for_all
+         (fun e ->
+            match Range.eval rng fid ~env e with
+            | Some iv ->
+              Range.exact_int iv && Range.bounded_by iv sum_addend_bound
+            | None -> false)
+         contribs
+  | Verdict.Prod | Verdict.Other -> false

@@ -1,0 +1,21 @@
+(** Order-insensitivity proofs for reduction accumulators.
+
+    Decides whether per-chunk partials of [acc = acc op e] may be
+    combined in any grouping bit-exactly: min/max/bitwise always;
+    [+] when {!Range} proves every contribution an exact integer of
+    bounded magnitude; [*] and opaque ops never. *)
+
+open Jsir
+
+val sum_addend_bound : float
+(** Magnitude bound (2^25) on addends of a provably-exact [+]
+    reduction; chosen so the executor's 1e8 trip cap keeps every
+    partial under 2^53. *)
+
+val order_insensitive :
+  Range.t ->
+  Scope.fid ->
+  env:(string -> Range.iv option) ->
+  op:Verdict.acc_op ->
+  contribs:Ast.expr list ->
+  bool

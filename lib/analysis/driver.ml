@@ -74,34 +74,38 @@ let to_text (rep : report) : string =
   Buffer.contents buf
 
 (* Uniform row shape so goldens diff cleanly: every row carries
-   [accumulators], [details] and [notes], empty when inapplicable. *)
+   [accumulators], [reductions], [war_roots], [details] and [notes],
+   empty when inapplicable. [details] is the ranked why-not chain:
+   each blocking fact with the pass that produced it. *)
 let json_of_report (rep : report) : Ceres_util.Json.t =
   let open Ceres_util.Json in
-  let details (pairs : (string * int) list) =
+  let details (facts : Verdict.fact list) =
     List
       (List.map
-         (fun (text, ln) -> Obj [ ("text", Str text); ("line", Int ln) ])
-         pairs)
+         (fun (f : Verdict.fact) ->
+            Obj
+              [ ("text", Str f.why);
+                ("line", Int f.line);
+                ("pass", Str f.pass) ])
+         facts)
   in
   Obj
     [ ( "loops",
         List
           (List.map
              (fun r ->
-                let accs, dets =
+                let reds =
                   match r.verdict with
-                  | Verdict.Parallel -> ([], [])
-                  | Verdict.Reduction accs -> (accs, [])
-                  | Verdict.Needs_runtime_check rs ->
-                    ( [],
-                      List.map
-                        (fun (x : Verdict.reason) -> (x.why, x.line))
-                        (List.sort_uniq compare rs) )
-                  | Verdict.Sequential ds ->
-                    ( [],
-                      List.map
-                        (fun (x : Verdict.dep) -> (x.what, x.line))
-                        (List.sort_uniq compare ds) )
+                  | Verdict.Reduction { accs; _ } ->
+                    List.map
+                      (fun (a : Verdict.acc) ->
+                         Obj
+                           [ ("name", Str a.aname);
+                             ("op", Str (Verdict.op_name a.op));
+                             ("order_insensitive", Bool a.order_insensitive)
+                           ])
+                      accs
+                  | _ -> []
                 in
                 Obj
                   [ ("id", Int r.info.Loops.id);
@@ -117,8 +121,18 @@ let json_of_report (rep : report) : Ceres_util.Json.t =
                       | Some f -> Str f
                       | None -> Null );
                     ("verdict", Str (Verdict.kind_name r.verdict));
-                    ("accumulators", List (List.map (fun a -> Str a) accs));
-                    ("details", details dets);
+                    ( "accumulators",
+                      List
+                        (List.map
+                           (fun a -> Str a)
+                           (Verdict.acc_names r.verdict)) );
+                    ("reductions", List reds);
+                    ( "war_roots",
+                      List
+                        (List.map
+                           (fun w -> Str w)
+                           (Verdict.war_roots r.verdict)) );
+                    ("details", details (Verdict.facts r.verdict));
                     ("notes", List (List.map (fun n -> Str n) r.notes)) ])
              rep.rows) ) ]
 

@@ -2,12 +2,15 @@
 
     Walks one iteration of each loop flow-sensitively, attributes heap
     accesses to memory roots with normalised subscripts, folds call
-    effects in through {!Effects}, and decides
-    {!Verdict.t} per loop. The soundness contract — checked by the
+    effects in through {!Effects} (inlining affine index helpers and
+    straight-line callee bodies where resolvable), and decides
+    {!Verdict.t} per loop — negative verdicts carry pass-attributed
+    blocking facts. The soundness contract — checked by the
     cross-validation harness — is that on a [Parallel] loop the
-    dynamic analyzer can never observe an iteration-carried conflict,
-    and on [Reduction accs] the only carried conflicts are
-    accumulating updates of [accs]. *)
+    dynamic analyzer can never observe an iteration-carried conflict
+    beyond anti dependences on the declared [war_roots], and on
+    [Reduction] the only further carried conflicts are accumulating
+    updates of the declared accumulators. *)
 
 open Jsir
 
@@ -17,7 +20,7 @@ type result = {
   line : int;
   verdict : Verdict.t;
   notes : string list;
-      (** sorted facts: [privatizable:x], [disjoint:root] *)
+      (** sorted facts: [privatizable:x], [disjoint:root], [war:root] *)
 }
 
 val analyze_program : Effects.t -> Ast.program -> result list

@@ -1,0 +1,298 @@
+(* Value-range analysis (stage 2.5).
+
+   A small abstract interpretation over the resolved AST producing
+   per-expression intervals with an exactness bit. The domain is the
+   product of a closed float interval [lo, hi] (infinities allowed)
+   and an [exact_int] flag meaning: every concrete value the
+   expression can take is an integer represented exactly by a double
+   (magnitude <= 2^53). Only IEEE-exact reasoning is admitted on the
+   exactness bit — addition, subtraction and multiplication of exact
+   integers whose result bound stays under 2^53; the ToInt32 family
+   ([& | ^ << >>], [x|0]); [>>>] (ToUint32); [Math.floor]/[ceil]/
+   [round]/[abs]/[min]/[max]; [charCodeAt]; [.length]. Anything else
+   drops to an unknown interval or clears exactness.
+
+   Consumers: {!Commute} (a `+` reduction whose every addend is an
+   exact bounded integer combines in any order bit-exactly up to the
+   executor's trip cap) and {!Subscript} via [const_env] (a symbolic
+   loop step [i += W] becomes a constant when [W] is a single-def
+   numeric global). Constant-global evaluation is deliberately
+   restricted to single-definition top-level bindings whose RHS
+   evaluates through exact operations; anything multiply-defined or
+   defined in a nested frame is refused. *)
+
+open Jsir
+
+let two53 = 9007199254740992. (* 2^53 *)
+
+type iv = { lo : float; hi : float; exact_int : bool }
+
+let top = { lo = Float.neg_infinity; hi = Float.infinity; exact_int = false }
+
+let point f =
+  { lo = f;
+    hi = f;
+    exact_int = Float.is_integer f && Float.abs f <= two53 }
+
+let int32_iv = { lo = -2147483648.; hi = 2147483647.; exact_int = true }
+let uint32_iv = { lo = 0.; hi = 4294967295.; exact_int = true }
+
+let join a b =
+  { lo = Float.min a.lo b.lo;
+    hi = Float.max a.hi b.hi;
+    exact_int = a.exact_int && b.exact_int }
+
+let exact_int (v : iv) = v.exact_int
+
+let bounded_by (v : iv) m = Float.abs v.lo <= m && Float.abs v.hi <= m
+
+(* Exactness of a sum/difference/product of exact ints survives as
+   long as the result magnitude provably stays at or under 2^53. *)
+let exact_through a b lo hi =
+  a.exact_int && b.exact_int
+  && Float.abs lo <= two53
+  && Float.abs hi <= two53
+
+let add_iv a b =
+  let lo = a.lo +. b.lo and hi = a.hi +. b.hi in
+  { lo; hi; exact_int = exact_through a b lo hi }
+
+let sub_iv a b =
+  let lo = a.lo -. b.hi and hi = a.hi -. b.lo in
+  { lo; hi; exact_int = exact_through a b lo hi }
+
+let mul_iv a b =
+  let ps = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
+  let ps =
+    List.map (fun p -> if Float.is_nan p then Float.infinity else p) ps
+  in
+  let lo = List.fold_left Float.min Float.infinity ps
+  and hi = List.fold_left Float.max Float.neg_infinity ps in
+  { lo; hi; exact_int = exact_through a b lo hi }
+
+let neg_iv a = { lo = -.a.hi; hi = -.a.lo; exact_int = a.exact_int }
+
+let floorish f a =
+  { lo = f a.lo;
+    hi = f a.hi;
+    exact_int = Float.abs a.lo <= two53 && Float.abs a.hi <= two53 }
+
+let abs_iv a =
+  if a.lo >= 0. then a
+  else if a.hi <= 0. then neg_iv a
+  else { lo = 0.; hi = Float.max (-.a.lo) a.hi; exact_int = a.exact_int }
+
+let min_iv a b =
+  { lo = Float.min a.lo b.lo;
+    hi = Float.min a.hi b.hi;
+    exact_int = a.exact_int && b.exact_int }
+
+let max_iv a b =
+  { lo = Float.max a.lo b.lo;
+    hi = Float.max a.hi b.hi;
+    exact_int = a.exact_int && b.exact_int }
+
+(* JS [%] on exact ints with a nonzero divisor: the result takes the
+   dividend's sign and |r| < |b|. *)
+let mod_iv a b =
+  if
+    a.exact_int && b.exact_int
+    && (b.lo > 0. || b.hi < 0.)
+    && Float.abs b.lo < two53
+    && Float.abs b.hi < two53
+  then begin
+    let m = Float.max (Float.abs b.lo) (Float.abs b.hi) -. 1. in
+    let lo = if a.lo < 0. then -.m else 0.
+    and hi = if a.hi > 0. then m else 0. in
+    { lo; hi; exact_int = true }
+  end
+  else top
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  scope : Scope.t;
+  consts : (string, float option) Hashtbl.t; (* global -> value, memo *)
+}
+
+let create scope = { scope; consts = Hashtbl.create 16 }
+
+(* Constant top-level globals: the binding must resolve to a global
+   with exactly one reaching definition, written from the top-level
+   frame, whose RHS folds through exact float arithmetic over
+   literals and other constant globals. A [visiting] set breaks
+   definition cycles. *)
+let rec const_global_rec t visiting name : float option =
+  match Hashtbl.find_opt t.consts name with
+  | Some v -> v
+  | None ->
+    if List.mem name visiting then None
+    else begin
+      let v =
+        match Scope.resolve t.scope 0 name with
+        | Scope.Rlocal _ -> None
+        | Scope.Rglobal _ as root -> (
+          match Scope.defs_of t.scope root with
+          | [ Scope.Dexpr (0, rhs, _) ] ->
+            const_eval_rec t (name :: visiting) rhs
+          | _ -> None)
+      in
+      Hashtbl.replace t.consts name v;
+      v
+    end
+
+and const_eval_rec t visiting (e : Ast.expr) : float option =
+  match e.e with
+  | Ast.Number f -> Some f
+  | Ast.Ident x -> const_global_rec t visiting x
+  | Ast.Unop (Ast.Neg, a) ->
+    Option.map (fun f -> -.f) (const_eval_rec t visiting a)
+  | Ast.Unop (Ast.Positive, a) -> const_eval_rec t visiting a
+  | Ast.Binop (op, a, b) -> (
+    match (const_eval_rec t visiting a, const_eval_rec t visiting b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x +. y)
+      | Ast.Sub -> Some (x -. y)
+      | Ast.Mul -> Some (x *. y)
+      | Ast.Div -> Some (x /. y)
+      | _ -> None)
+    | _ -> None)
+  | Ast.Call
+      ( { e = Ast.Member ({ e = Ast.Ident "Math"; _ }, "floor"); _ },
+        [ a ] ) ->
+    Option.map Float.floor (const_eval_rec t visiting a)
+  | _ -> None
+
+let const_global t name = const_global_rec t [] name
+
+(* ------------------------------------------------------------------ *)
+
+let is_math t fid (b : Ast.expr) =
+  match b.e with
+  | Ast.Ident "Math" -> (
+    match Scope.classify t.scope fid "Math" with
+    | Scope.Global -> true
+    | _ -> false)
+  | _ -> false
+
+(* Abstract evaluation of an expression in function [fid]. [env]
+   supplies intervals for names with loop-local facts (e.g. induction
+   variables); unknown names fall back to constant globals, then to
+   [top]-ish failure ([None]). *)
+let rec eval t fid ~(env : string -> iv option) (e : Ast.expr) : iv option =
+  let ev = eval t fid ~env in
+  match e.e with
+  | Ast.Number f -> Some (point f)
+  | Ast.Bool b -> Some (point (if b then 1. else 0.))
+  | Ast.Ident x -> (
+    match env x with
+    | Some v -> Some v
+    | None -> Option.map point (const_global t x))
+  | Ast.Unop (Ast.Neg, a) -> Option.map neg_iv (ev a)
+  | Ast.Unop (Ast.Positive, a) -> ev a
+  | Ast.Unop (Ast.Bitnot, _) -> Some int32_iv
+  | Ast.Binop (op, a, b) -> (
+    match op with
+    | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Lshift | Ast.Rshift ->
+      Some int32_iv
+    | Ast.Urshift -> Some uint32_iv
+    | Ast.Add -> (
+      match (ev a, ev b) with
+      | Some x, Some y -> Some (add_iv x y)
+      | _ -> None)
+    | Ast.Sub -> (
+      match (ev a, ev b) with
+      | Some x, Some y -> Some (sub_iv x y)
+      | _ -> None)
+    | Ast.Mul -> (
+      match (ev a, ev b) with
+      | Some x, Some y -> Some (mul_iv x y)
+      | _ -> None)
+    | Ast.Mod -> (
+      match (ev a, ev b) with
+      | Some x, Some y -> Some (mod_iv x y)
+      | _ -> None)
+    | _ -> None)
+  | Ast.Cond (_, th, el) -> (
+    match (ev th, ev el) with
+    | Some x, Some y -> Some (join x y)
+    | _ -> None)
+  | Ast.Seq (_, r) -> ev r
+  | Ast.Call ({ e = Ast.Member (b, m); _ }, args) when is_math t fid b -> (
+    match (m, args) with
+    | ("floor" | "round"), [ a ] ->
+      Option.map (floorish Float.floor) (ev a)
+      |> Option.map (fun v ->
+             if String.equal m "round" then
+               { v with hi = v.hi +. 1. }
+             else v)
+    | "ceil", [ a ] -> Option.map (floorish Float.ceil) (ev a)
+    | "abs", [ a ] -> Option.map abs_iv (ev a)
+    | "min", a :: rest ->
+      List.fold_left
+        (fun acc x ->
+           match (acc, ev x) with
+           | Some u, Some v -> Some (min_iv u v)
+           | _ -> None)
+        (ev a) rest
+    | "max", a :: rest ->
+      List.fold_left
+        (fun acc x ->
+           match (acc, ev x) with
+           | Some u, Some v -> Some (max_iv u v)
+           | _ -> None)
+        (ev a) rest
+    | _ -> None)
+  | Ast.Call ({ e = Ast.Member (_, "charCodeAt"); _ }, _) ->
+    Some { lo = 0.; hi = 65535.; exact_int = true }
+  | Ast.Member (_, "length") ->
+    Some { lo = 0.; hi = 4294967295.; exact_int = true }
+  | _ -> None
+
+(* Interval of a loop induction variable from its recognized header:
+   the value stays between the initial value and the bound. *)
+let induction_iv t fid ~env (ind : Subscript.induction) : iv option =
+  let lin_iv (l : Lin.t) =
+    (* evaluate a linear form through the same environment *)
+    let vars = Lin.vars l in
+    let base = point (float_of_int (Lin.const_part l)) in
+    List.fold_left
+      (fun acc v ->
+         match acc with
+         | None -> None
+         | Some iv_acc -> (
+           match Lin.split v l with
+           | Some (coeff, _) -> (
+             match Lin.is_const coeff with
+             | Some c -> (
+               let vi =
+                 match env v with
+                 | Some x -> Some x
+                 | None -> Option.map point (const_global t v)
+               in
+               match vi with
+               | Some x -> Some (add_iv iv_acc (mul_iv (point (float_of_int c)) x))
+               | None -> None)
+             | None -> None)
+           | None -> None))
+      (Some base) vars
+  in
+  ignore fid;
+  match (ind.Subscript.lower, ind.Subscript.upper) with
+  | Some lo, Some (up, strict) -> (
+    match (lin_iv lo, lin_iv up) with
+    | Some l, Some u ->
+      let u = if strict then sub_iv u (point 1.) else u in
+      if ind.Subscript.step > 0 then
+        Some
+          { lo = l.lo;
+            hi = Float.max l.hi u.hi;
+            exact_int = l.exact_int && u.exact_int }
+      else
+        Some
+          { lo = Float.min l.lo u.lo;
+            hi = l.hi;
+            exact_int = l.exact_int && u.exact_int }
+    | _ -> None)
+  | _ -> None

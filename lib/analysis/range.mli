@@ -1,0 +1,41 @@
+(** Value-range analysis: interval + integer-exactness abstract
+    interpretation over the resolved AST (stage 2.5).
+
+    An interval [iv] bounds every concrete value of an expression;
+    [exact_int] additionally asserts the value is always an integer
+    represented exactly by a double (magnitude at most 2^53). The
+    exactness bit only survives IEEE-exact operations — integer
+    add/sub/mul under the 2^53 bound, the ToInt32/ToUint32 family,
+    [Math.floor]-like rounders — so downstream proofs
+    ({!Commute}, {!Subscript}) can rely on it bit-for-bit. *)
+
+open Jsir
+
+type iv = { lo : float; hi : float; exact_int : bool }
+
+type t
+
+val create : Scope.t -> t
+
+val top : iv
+val point : float -> iv
+val join : iv -> iv -> iv
+val exact_int : iv -> bool
+
+val bounded_by : iv -> float -> bool
+(** Both interval ends within magnitude [m]. *)
+
+val const_global : t -> string -> float option
+(** Value of a single-definition top-level numeric global whose RHS
+    folds through exact arithmetic; [None] for anything reassigned,
+    non-numeric, or defined in a nested frame. *)
+
+val eval : t -> Scope.fid -> env:(string -> iv option) -> Ast.expr -> iv option
+(** Abstract-evaluate an expression; [env] supplies intervals for
+    names carrying loop-local facts (induction variables), unknown
+    names fall back to {!const_global}. [None] = no information. *)
+
+val induction_iv : t -> Scope.fid -> env:(string -> iv option) ->
+  Subscript.induction -> iv option
+(** Interval of a recognized induction variable over the whole loop:
+    initial value through bound. *)

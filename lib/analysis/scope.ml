@@ -65,7 +65,16 @@ type t = {
   direct_global_reads : (fid, SS.t) Hashtbl.t;
   direct_global_writes : (fid, SS.t) Hashtbl.t;
   mutable sites_memo : (root, string list option) Hashtbl.t;
+  swap_defs : (string, root * root) Hashtbl.t;
+      (* position of a stored def RHS -> the (canonical) root pair it
+         is a swap move of *)
+  swap_pairs : (root * root, unit) Hashtbl.t;
+      (* canonical pairs joined by a recognized swap idiom *)
 }
+
+(* Stable key for a source position; allocation-site keys and
+   swap-def tags both hang off it. *)
+let pos_key (e : Ast.expr) = Printf.sprintf "%d:%d" e.at.left.line e.at.left.col
 
 (* ------------------------------------------------------------------ *)
 (* Hoisting: collect the [var]-declared names of one function body,
@@ -154,6 +163,9 @@ let resolve_program (p : Ast.program) : t =
   let t_props = Hashtbl.create 16 in
   let t_greads = Hashtbl.create 16 in
   let t_gwrites = Hashtbl.create 16 in
+  let t_swap_redirect : (string, Ast.expr) Hashtbl.t = Hashtbl.create 8 in
+  let t_swap_defs : (string, root * root) Hashtbl.t = Hashtbl.create 8 in
+  let t_swap_pairs : (root * root, unit) Hashtbl.t = Hashtbl.create 8 in
   (* chain: innermost first, list of (fid, locals) *)
   let note_read chain name =
     match resolve_chain chain name with
@@ -190,9 +202,51 @@ let resolve_program (p : Ast.program) : t =
     in
     funcs := rec_ :: !funcs;
     let chain' = (fid, locals) :: chain in
-    List.iter (walk_stmt chain') f.body;
+    (* The self-name binds to the function itself inside its own body
+       (named function expressions and declarations alike) — without
+       this def, recursive calls resolve to a def-less binding and
+       every self-recursive function is demoted to [calls_unknown]. *)
+    (match fname with
+     | Some n ->
+       add_def chain' n (Dexpr (fid, Ast.mk (Ast.Function_expr f), Some fid))
+     | None -> ());
+    walk_stmts chain' f.body;
     fid
   and cur chain = fst (List.hd chain)
+  and walk_stmts chain (l : Ast.stmt list) =
+    (* Consecutive swap idiom [t = a; a = b; b = t]: at [b = t] the
+       temp provably holds [a]'s pre-swap value (nothing redefines it
+       in between), so the stored def for [b] is redirected to [a] for
+       the alias oracle, and both moves are tagged as swap moves of
+       the pair (a, b) — [swap_distinct] builds on these tags. *)
+    (match l with
+     | { s = Ast.Expr_stmt
+           { e = Ast.Assign (Ast.Tgt_ident tn, None,
+                             ({ e = Ast.Ident an; _ } as ea)); _ }; _ }
+       :: { s = Ast.Expr_stmt
+              { e = Ast.Assign (Ast.Tgt_ident an', None,
+                                ({ e = Ast.Ident bn; _ } as eb)); _ }; _ }
+       :: { s = Ast.Expr_stmt
+              { e = Ast.Assign (Ast.Tgt_ident bn', None,
+                                ({ e = Ast.Ident tn'; _ } as et)); _ }; _ }
+       :: _
+       when String.equal an an' && String.equal bn bn'
+            && String.equal tn tn'
+            && (not (String.equal tn an))
+            && (not (String.equal tn bn))
+            && not (String.equal an bn) ->
+       let ra = resolve_chain chain an and rb = resolve_chain chain bn in
+       let pair = if root_compare ra rb <= 0 then (ra, rb) else (rb, ra) in
+       Hashtbl.replace t_swap_redirect (pos_key et) ea;
+       Hashtbl.replace t_swap_defs (pos_key ea) pair;
+       Hashtbl.replace t_swap_defs (pos_key eb) pair;
+       Hashtbl.replace t_swap_pairs pair ()
+     | _ -> ());
+    match l with
+    | [] -> ()
+    | s :: rest ->
+      walk_stmt chain s;
+      walk_stmts chain rest
   and walk_stmt chain (st : Ast.stmt) =
     match st.s with
     | Ast.Empty | Ast.Break _ | Ast.Continue _ -> ()
@@ -244,14 +298,14 @@ let resolve_program (p : Ast.program) : t =
       ignore (walk_expr chain obj);
       walk_stmt chain b
     | Ast.Try (b, catch, fin) ->
-      List.iter (walk_stmt chain) b;
+      walk_stmts chain b;
       Option.iter
         (fun (p, cb) ->
            add_def chain p Dunknown;
-           List.iter (walk_stmt chain) cb)
+           walk_stmts chain cb)
         catch;
-      Option.iter (List.iter (walk_stmt chain)) fin
-    | Ast.Block b -> List.iter (walk_stmt chain) b
+      Option.iter (walk_stmts chain) fin
+    | Ast.Block b -> walk_stmts chain b
     | Ast.Func_decl f ->
       let fid = walk_func ~fname:f.fname ~parent:(Some (cur chain)) f chain in
       (match f.fname with
@@ -265,7 +319,7 @@ let resolve_program (p : Ast.program) : t =
       List.iter
         (fun (g, body) ->
            Option.iter (fun e -> ignore (walk_expr chain e)) g;
-           List.iter (walk_stmt chain) body)
+           walk_stmts chain body)
         cases
     | Ast.Labeled (_, b) -> walk_stmt chain b
   and walk_expr chain (e : Ast.expr) : fid option =
@@ -333,7 +387,14 @@ let resolve_program (p : Ast.program) : t =
        | Ast.Tgt_ident n ->
          if op <> None then note_read chain n;
          let vf = walk_expr chain rhs in
-         add_def chain n (Dexpr (cur chain, rhs, vf));
+         (* The closing move of a recognized swap idiom stores the
+            value the temp copied out of the pair's other binding. *)
+         let de, dvf =
+           match Hashtbl.find_opt t_swap_redirect (pos_key rhs) with
+           | Some src -> (src, None)
+           | None -> (rhs, vf)
+         in
+         add_def chain n (Dexpr (cur chain, de, dvf));
          note_write chain n
        | Ast.Tgt_member (o, p) ->
          ignore (walk_expr chain o);
@@ -373,7 +434,7 @@ let resolve_program (p : Ast.program) : t =
   next := 1;
   funcs := [ top ];
   let chain = [ (0, top_locals) ] in
-  List.iter (walk_stmt chain) p.stmts;
+  walk_stmts chain p.stmts;
   let arr = Array.make !next top in
   List.iter (fun (f : func_rec) -> arr.(f.fid) <- f) !funcs;
   { funcs = arr;
@@ -382,7 +443,9 @@ let resolve_program (p : Ast.program) : t =
     prop_funcs = t_props;
     direct_global_reads = t_greads;
     direct_global_writes = t_gwrites;
-    sites_memo = Hashtbl.create 32 }
+    sites_memo = Hashtbl.create 32;
+    swap_defs = t_swap_defs;
+    swap_pairs = t_swap_pairs }
 
 (* ------------------------------------------------------------------ *)
 
@@ -586,54 +649,195 @@ let fresh_method = function
 let site_key (e : Ast.expr) suffix =
   Printf.sprintf "%d:%d%s" e.at.left.line e.at.left.col suffix
 
-let alloc_sites t root : string list option =
-  let memo = t.sites_memo in
-  let visiting = Hashtbl.create 8 in
-  let rec of_root root =
-    match Hashtbl.find_opt memo root with
-    | Some r -> r
-    | None ->
-      if Hashtbl.mem visiting root then None
-      else begin
-        Hashtbl.replace visiting root ();
-        let r =
-          defs_of t root
-          |> List.fold_left
-               (fun acc d ->
-                  match (acc, d) with
-                  | None, _ -> None
-                  | _, Dunknown -> None
-                  | Some sites, Dexpr (fid, e, _) -> (
-                      match of_expr fid e with
-                      | Some s -> Some (List.rev_append s sites)
-                      | None -> None))
-               (Some [])
-          |> Option.map (List.sort_uniq String.compare)
-        in
-        Hashtbl.remove visiting root;
-        Hashtbl.replace memo root r;
-        r
-      end
-  and of_expr fid (e : Ast.expr) =
-    match e.e with
-    | Ast.Array_lit _ | Ast.Object_lit _ | Ast.New _ | Ast.Function_expr _ ->
-      Some [ site_key e "" ]
-    | Ast.Call ({ e = Ast.Member (_, m); _ }, _) when fresh_method m ->
-      Some [ site_key e "" ]
-    | Ast.Member (b, p) -> (
-        (* e.g. [img.data]: same buffer for every read of the same
-           [img], so derive the site from the base's sites. *)
-        match of_expr fid b with
-        | Some sites -> Some (List.map (fun s -> s ^ "." ^ p) sites)
-        | None -> None)
-    | Ast.Ident x -> of_root (resolve_in t fid x)
+(* Shared expression walk of the site evaluator, parameterized over
+   what an identifier resolves to (the fixpoint uses its iteration
+   env; the standalone expression query uses the memoized oracle).
+   Scalar-shaped expressions contribute *no* sites: a primitive —
+   [null], a number, a comparison — can never alias a heap root. *)
+let rec eval_sites_expr ~on_ident fid (e : Ast.expr) : string list option =
+  let union a b =
+    match (a, b) with
+    | Some s1, Some s2 -> Some (List.sort_uniq String.compare (s1 @ s2))
     | _ -> None
   in
-  of_root root
+  match e.e with
+  | Ast.Array_lit _ | Ast.Object_lit _ | Ast.New _ | Ast.Function_expr _ ->
+    Some [ site_key e "" ]
+  | Ast.Call ({ e = Ast.Member (_, m); _ }, _) when fresh_method m ->
+    Some [ site_key e "" ]
+  | Ast.Member (b, p) -> (
+      (* e.g. [img.data]: same buffer for every read of the same
+         [img], so derive the site from the base's sites. *)
+      match eval_sites_expr ~on_ident fid b with
+      | Some sites -> Some (List.map (fun s -> s ^ "." ^ p) sites)
+      | None -> None)
+  | Ast.Ident x -> on_ident fid x
+  | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+  | Ast.Binop _ | Ast.Unop _ | Ast.Update _ ->
+    Some []
+  | Ast.Logical (_, l, r) ->
+    union (eval_sites_expr ~on_ident fid l) (eval_sites_expr ~on_ident fid r)
+  | Ast.Cond (_, th, el) ->
+    union (eval_sites_expr ~on_ident fid th)
+      (eval_sites_expr ~on_ident fid el)
+  | Ast.Seq (_, r) | Ast.Assign (_, _, r) -> eval_sites_expr ~on_ident fid r
+  | _ -> None
 
-let may_alias t r1 r2 =
+(* Kleene iteration from [Some []] over the root dependency closure:
+   copy cycles (the swap idiom [tmp = u; u = u0; u0 = tmp]) converge
+   to the union of the allocation defs around the cycle instead of
+   collapsing to "unknown". *)
+let alloc_sites t root : string list option =
+  match Hashtbl.find_opt t.sites_memo root with
+  | Some r -> r
+  | None ->
+    let env : (root, string list option) Hashtbl.t = Hashtbl.create 16 in
+    let changed = ref false in
+    let rec eval_root r =
+      match Hashtbl.find_opt t.sites_memo r with
+      | Some res -> res
+      | None -> (
+          match Hashtbl.find_opt env r with
+          | Some a -> a
+          | None ->
+            Hashtbl.replace env r (Some []);
+            let res = eval_defs r in
+            if Hashtbl.find env r <> res then begin
+              Hashtbl.replace env r res;
+              changed := true
+            end;
+            res)
+    and eval_defs r =
+      defs_of t r
+      |> List.fold_left
+           (fun acc d ->
+              match (acc, d) with
+              | None, _ -> None
+              | _, Dunknown -> None
+              | Some sites, Dexpr (fid, e, _) -> (
+                  match eval_expr fid e with
+                  | Some s -> Some (List.rev_append s sites)
+                  | None -> None))
+           (Some [])
+      |> Option.map (List.sort_uniq String.compare)
+    and eval_expr fid e =
+      eval_sites_expr ~on_ident:(fun fid x -> eval_root (resolve_in t fid x))
+        fid e
+    in
+    ignore (eval_root root);
+    let rec iterate () =
+      changed := false;
+      let roots = Hashtbl.fold (fun r _ acc -> r :: acc) env [] in
+      List.iter
+        (fun r ->
+           let res = eval_defs r in
+           if Hashtbl.find env r <> res then begin
+             Hashtbl.replace env r res;
+             changed := true
+           end)
+        roots;
+      if !changed then iterate ()
+    in
+    iterate ();
+    Hashtbl.iter (fun r res -> Hashtbl.replace t.sites_memo r res) env;
+    Hashtbl.find t.sites_memo root
+
+let expr_sites t fid e =
+  eval_sites_expr ~on_ident:(fun fid x -> alloc_sites t (resolve_in t fid x))
+    fid e
+
+(* A pair joined by the swap idiom never aliases when each root has
+   exactly one allocation def (with distinct sites) and every other
+   def of either root is a swap move of this very pair: the two
+   bindings then always hold the two distinct allocations, permuted
+   (the only program points where they coincide are inside the
+   three-statement idiom itself, where no call or loop intervenes). *)
+let swap_distinct t r1 r2 =
+  let pair = if root_compare r1 r2 <= 0 then (r1, r2) else (r2, r1) in
+  Hashtbl.mem t.swap_pairs pair
+  && (not (is_param t r1))
+  && (not (is_param t r2))
+  &&
+  let alloc_site_of r =
+    let allocs, rest =
+      List.partition_map
+        (fun d ->
+           match d with
+           | Dexpr
+               ( _,
+                 ({ e = Ast.Array_lit _ | Ast.Object_lit _ | Ast.New _; _ }
+                  as e),
+                 _ ) ->
+             Either.Left (site_key e "")
+           | Dexpr
+               ( _,
+                 ({ e = Ast.Call ({ e = Ast.Member (_, m); _ }, _); _ } as e),
+                 _ )
+             when fresh_method m ->
+             Either.Left (site_key e "")
+           | d -> Either.Right d)
+        (defs_of t r)
+    in
+    let swap_move = function
+      | Dexpr (_, e, _) -> (
+          match Hashtbl.find_opt t.swap_defs (pos_key e) with
+          | Some p -> p = pair
+          | None -> false)
+      | Dunknown -> false
+    in
+    match allocs with
+    | [ s ] when List.for_all swap_move rest -> Some s
+    | _ -> None
+  in
+  match (alloc_site_of r1, alloc_site_of r2) with
+  | Some s1, Some s2 -> not (String.equal s1 s2)
+  | _ -> false
+
+let rec may_alias_k t depth r1 r2 =
   if root_compare r1 r2 = 0 then true
+  else if swap_distinct t r1 r2 then false
   else
-    match (alloc_sites t r1, alloc_sites t r2) with
-    | Some s1, Some s2 -> List.exists (fun s -> List.mem s s2) s1
-    | _ -> true
+    let sites_disjoint =
+      match (alloc_sites t r1, alloc_sites t r2) with
+      | Some s1, Some s2 -> not (List.exists (fun s -> List.mem s s2) s1)
+      | _ -> false
+    in
+    if sites_disjoint then false
+    else if depth <= 0 then true
+    else param_pair_alias t depth r1 r2
+
+(* Both parameters of the same function: a loop verdict inside the
+   callee must hold at every discovered call site, so the pair may
+   alias only if the actual arguments may alias at one of them. *)
+and param_pair_alias t depth r1 r2 =
+  match (r1, r2) with
+  | Rlocal (f1, n1), Rlocal (f2, n2)
+    when f1 = f2 && is_param t r1 && is_param t r2 -> (
+      let fr = t.funcs.(f1) in
+      match (param_index n1 fr.params, param_index n2 fr.params) with
+      | Some k1, Some k2 ->
+        let sites =
+          roots_of_func t f1 |> List.concat_map (fun r -> call_sites t r)
+        in
+        sites = []
+        || List.exists
+             (fun (caller, args) ->
+                match (List.nth_opt args k1, List.nth_opt args k2) with
+                | Some (e1, _), Some (e2, _) ->
+                  arg_may_alias t depth caller e1 e2
+                | _ -> true)
+             sites
+      | _ -> true)
+  | _ -> true
+
+and arg_may_alias t depth caller (e1 : Ast.expr) (e2 : Ast.expr) =
+  match (e1.e, e2.e) with
+  | Ast.Ident x1, Ast.Ident x2 ->
+    may_alias_k t (depth - 1) (resolve_in t caller x1)
+      (resolve_in t caller x2)
+  | _ -> (
+      match (expr_sites t caller e1, expr_sites t caller e2) with
+      | Some s1, Some s2 -> List.exists (fun s -> List.mem s s2) s1
+      | _ -> true)
+
+let may_alias t r1 r2 = may_alias_k t 3 r1 r2

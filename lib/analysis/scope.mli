@@ -85,8 +85,23 @@ val fresh_method : string -> bool
 val alloc_sites : t -> root -> string list option
 (** [Some sites] when every definition reaching the root is a fresh
     allocation (literal, [new], copying builtin, or the [.data] of
-    such); the allocation-site keys. [None] = not alias-isolated. *)
+    such) or a scalar; the allocation-site keys. Copy cycles between
+    roots (the pointer-swap idiom) resolve to the union of the
+    allocation defs around the cycle. [None] = not alias-isolated. *)
+
+val expr_sites : t -> fid -> Ast.expr -> string list option
+(** Allocation sites of an arbitrary expression evaluated in [fid]
+    (scalars have none, identifiers defer to {!alloc_sites}). *)
+
+val swap_distinct : t -> root -> root -> bool
+(** The pair is joined by a recognized three-statement swap idiom
+    [t = a; a = b; b = t], each root has exactly one (distinct)
+    allocation def, and every other def of either root is a move of
+    this very swap — the two bindings then always hold two distinct
+    allocations, so they never alias. *)
 
 val may_alias : t -> root -> root -> bool
 (** Conservative alias test: two roots may alias unless both are
-    alias-isolated with disjoint allocation-site sets. *)
+    alias-isolated with disjoint allocation-site sets, proven
+    swap-distinct, or parameters of one function whose actual
+    arguments are pairwise non-aliasing at every call site. *)

@@ -30,10 +30,13 @@ type induction = {
 (* ------------------------------------------------------------------ *)
 (* Expression -> linear form. [subst] supplies forms for local names
    proven single-assignment in the loop body; unknown names become
-   atoms (the caller later checks every residual atom is invariant). *)
+   atoms (the caller later checks every residual atom is invariant).
+   [call] lets the caller inline user helper calls — index helpers
+   like [IX(x, y) = x + (N+2)*y] — by substituting argument forms
+   into the callee's (pure, single-return, affine) body. *)
 
-let rec lin_of ~(subst : string -> Lin.t option) (e : Ast.expr) :
-  Lin.t option =
+let rec lin_of ?(call : (Ast.expr -> Ast.expr list -> Lin.t option) option)
+    ~(subst : string -> Lin.t option) (e : Ast.expr) : Lin.t option =
   match e.e with
   | Ast.Number f ->
     if Float.is_integer f && Float.abs f <= 1e9 then
@@ -42,20 +45,22 @@ let rec lin_of ~(subst : string -> Lin.t option) (e : Ast.expr) :
   | Ast.Ident x -> (
       match subst x with Some l -> Some l | None -> Some (Lin.var x))
   | Ast.Binop (Ast.Add, a, b) -> (
-      match (lin_of ~subst a, lin_of ~subst b) with
+      match (lin_of ?call ~subst a, lin_of ?call ~subst b) with
       | Some la, Some lb -> Some (Lin.add la lb)
       | _ -> None)
   | Ast.Binop (Ast.Sub, a, b) -> (
-      match (lin_of ~subst a, lin_of ~subst b) with
+      match (lin_of ?call ~subst a, lin_of ?call ~subst b) with
       | Some la, Some lb -> Some (Lin.sub la lb)
       | _ -> None)
   | Ast.Binop (Ast.Mul, a, b) -> (
-      match (lin_of ~subst a, lin_of ~subst b) with
+      match (lin_of ?call ~subst a, lin_of ?call ~subst b) with
       | Some la, Some lb -> Lin.mul la lb
       | _ -> None)
-  | Ast.Unop (Ast.Neg, a) -> Option.map Lin.neg (lin_of ~subst a)
-  | Ast.Unop (Ast.Positive, a) -> lin_of ~subst a
-  | Ast.Seq (_, r) -> lin_of ~subst r
+  | Ast.Unop (Ast.Neg, a) -> Option.map Lin.neg (lin_of ?call ~subst a)
+  | Ast.Unop (Ast.Positive, a) -> lin_of ?call ~subst a
+  | Ast.Seq (_, r) -> lin_of ?call ~subst r
+  | Ast.Call (f, args) -> (
+      match call with Some cb -> cb f args | None -> None)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -67,8 +72,23 @@ let const_of (e : Ast.expr) =
     Some (int_of_float f)
   | _ -> None
 
-(* The update gives us the variable and the step. *)
-let step_of (u : Ast.expr) : (string * int) option =
+(* The update gives us the variable and the step. [const_env]
+   (typically {!Range.const_global}) lets a symbolic step like
+   [i += W] resolve when [W] is a proven constant. *)
+let step_of ?(const_env = fun (_ : string) -> None) (u : Ast.expr) :
+  (string * int) option =
+  let const_of (e : Ast.expr) =
+    match const_of e with
+    | Some c -> Some c
+    | None -> (
+        match e.e with
+        | Ast.Ident n -> (
+            match const_env n with
+            | Some f when Float.is_integer f && Float.abs f <= 1e9 ->
+              Some (int_of_float f)
+            | _ -> None)
+        | _ -> None)
+  in
   match u.e with
   | Ast.Update (Ast.Incr, _, Ast.Tgt_ident x) -> Some (x, 1)
   | Ast.Update (Ast.Decr, _, Ast.Tgt_ident x) -> Some (x, -1)
@@ -113,9 +133,10 @@ let bound_of ~ivar ~step (c : Ast.expr) ~subst : (Lin.t * bool) option =
   | _ -> None
 
 let induction_of_for ?(subst = fun (_ : string) -> None)
-    (init : Ast.for_init option) (cond : Ast.expr option)
-    (update : Ast.expr option) ~(line : int) : induction option =
-  match Option.bind update step_of with
+    ?(const_env = fun (_ : string) -> None) (init : Ast.for_init option)
+    (cond : Ast.expr option) (update : Ast.expr option) ~(line : int) :
+  induction option =
+  match Option.bind update (step_of ~const_env) with
   | None -> None
   | Some (ivar, step) ->
     if step = 0 then None
@@ -150,11 +171,15 @@ let extent_of (ind : induction) : (Lin.t * Lin.t) option =
 (* ------------------------------------------------------------------ *)
 (* Footprint disjointness. *)
 
-type access = { sub : Lin.t; line : int }
+type access = { sub : Lin.t; line : int; w : bool }
 
 type footprint_result =
   | Disjoint
   | Same_slot of int (* all accesses hit one slot per iteration: line *)
+  | Anti_only
+    (* every cross-iteration conflict is an anti dependence: a later
+       iteration overwrites what an earlier one read — safe under
+       snapshot-fork execution, observable as WAR at runtime *)
   | Unproven of string * int
 
 (* Substitute an inner induction variable by its [lo, hi] range inside
@@ -176,6 +201,49 @@ let expand_var v (lo_v, hi_v) (lo, hi) =
   match (expand_end ~is_lo:true lo, expand_end ~is_lo:false hi) with
   | Some lo', Some hi' -> Some (lo', hi')
   | _ -> None
+
+(* Anti-only classification, tried when plain disjointness fails: with
+   a constant per-iteration stride [A = a*step] and point accesses
+   (no inner-loop spread), a read at offset [w + d] from the single
+   write-slot family conflicts with the write of iteration [k + d/A];
+   when [d/A > 0] the write happens *later* — the dependence is anti
+   (write-after-read), which snapshot-fork execution preserves (every
+   chunk reads pre-loop state, exactly what the sequential run reads
+   through an anti dependence). Non-divisible offsets never conflict.
+   Flow ([d/A < 0]) or output (distinct write slots in one residue
+   class) conflicts reject. *)
+let anti_only ~step oks =
+  match oks with
+  | [] -> false
+  | (a0, _, _, _, _) :: _ -> (
+      match Lin.is_const a0 with
+      | None | Some 0 -> false
+      | Some ac ->
+        let stride = ac * step in
+        List.for_all (fun (_, lo, hi, _, _) -> Lin.equal lo hi) oks
+        &&
+        let writes = List.filter (fun (_, _, _, _, w) -> w) oks in
+        let reads = List.filter (fun (_, _, _, _, w) -> not w) oks in
+        writes <> []
+        && List.for_all
+             (fun (_, w1, _, _, _) ->
+                List.for_all
+                  (fun (_, w2, _, _, _) ->
+                     match Lin.is_const (Lin.sub w1 w2) with
+                     | Some d -> d = 0 || d mod stride <> 0
+                     | None -> false)
+                  writes)
+             writes
+        && List.for_all
+             (fun (_, r, _, _, _) ->
+                List.for_all
+                  (fun (_, w, _, _, _) ->
+                     match Lin.is_const (Lin.sub r w) with
+                     | Some d ->
+                       d = 0 || d mod stride <> 0 || d * stride > 0
+                     | None -> false)
+                  writes)
+             reads)
 
 let check ~(ivar : string) ~(step : int)
     ~(inner : (string * (Lin.t * Lin.t)) list)
@@ -226,7 +294,7 @@ let check ~(ivar : string) ~(step : int)
                      | Some v ->
                        Error ("subscript depends on loop-varying " ^ v,
                               a.line)
-                     | None -> Ok (coeff_a, lo, hi, a.line))))
+                     | None -> Ok (coeff_a, lo, hi, a.line, a.w))))
           accesses
       in
       match
@@ -241,22 +309,26 @@ let check ~(ivar : string) ~(step : int)
               (function Ok x -> Some x | Error _ -> None)
               prepared
           in
-          let a0, _, _, _ = List.hd oks in
+          let a0, _, _, _, _ = List.hd oks in
           if
             not
-              (List.for_all (fun (a, _, _, _) -> Lin.equal a a0) oks)
+              (List.for_all (fun (a, _, _, _, _) -> Lin.equal a a0) oks)
           then
             Unproven
               ("accesses advance at different rates in the induction",
                first.line)
           else if Lin.is_zero a0 then Same_slot first.line
           else
+            let unproven_or_anti (why, ln) =
+              if anti_only ~step oks then Anti_only
+              else Unproven (why, ln)
+            in
             (* common symbolic part of the interval ends, extremal
                constant offsets *)
             let lo_syms =
-              List.map (fun (_, lo, _, _) -> Lin.drop_const lo) oks
+              List.map (fun (_, lo, _, _, _) -> Lin.drop_const lo) oks
             and hi_syms =
-              List.map (fun (_, _, hi, _) -> Lin.drop_const hi) oks
+              List.map (fun (_, _, hi, _, _) -> Lin.drop_const hi) oks
             in
             let lo0 = List.hd lo_syms and hi0 = List.hd hi_syms in
             if
@@ -264,17 +336,17 @@ let check ~(ivar : string) ~(step : int)
                 (List.for_all (Lin.equal lo0) lo_syms
                  && List.for_all (Lin.equal hi0) hi_syms)
             then
-              Unproven
+              unproven_or_anti
                 ("footprint ends differ symbolically across accesses",
                  first.line)
             else
               let lo_min =
                 List.fold_left
-                  (fun m (_, lo, _, _) -> min m (Lin.const_part lo))
+                  (fun m (_, lo, _, _, _) -> min m (Lin.const_part lo))
                   max_int oks
               and hi_max =
                 List.fold_left
-                  (fun m (_, _, hi, _) -> max m (Lin.const_part hi))
+                  (fun m (_, _, hi, _, _) -> max m (Lin.const_part hi))
                   min_int oks
               in
               let spread =
@@ -293,7 +365,7 @@ let check ~(ivar : string) ~(step : int)
                 || fits (Lin.sub (Lin.neg stride) spread)
               then Disjoint
               else
-                Unproven
+                unproven_or_anti
                   ( Printf.sprintf
                       "stride %s does not clear footprint spread %s"
                       (Lin.to_string stride) (Lin.to_string spread),

@@ -12,31 +12,43 @@ type induction = {
   span_line : int;
 }
 
-val lin_of : subst:(string -> Lin.t option) -> Ast.expr -> Lin.t option
+val lin_of :
+  ?call:(Ast.expr -> Ast.expr list -> Lin.t option) ->
+  subst:(string -> Lin.t option) ->
+  Ast.expr ->
+  Lin.t option
 (** Normalise an expression into a linear combination of names;
     [subst] supplies forms for names proven single-assignment in the
-    loop body. [None] when not (integer-)affine. *)
+    loop body; [call] may inline user index-helper calls into linear
+    forms. [None] when not (integer-)affine. *)
 
 val induction_of_for :
   ?subst:(string -> Lin.t option) ->
+  ?const_env:(string -> float option) ->
   Ast.for_init option ->
   Ast.expr option ->
   Ast.expr option ->
   line:int ->
   induction option
-(** Recognise [for (i = e0; i </<=/>/>= e1; i += c)] and friends. *)
+(** Recognise [for (i = e0; i </<=/>/>= e1; i += c)] and friends;
+    [const_env] (typically {!Range.const_global}) lets a symbolic
+    step [i += W] resolve to a constant. *)
 
 val extent_of : induction -> (Lin.t * Lin.t) option
 (** Inclusive value range of a counted inner loop (requires known
     lower bound, positive constant step, and an upper bound). *)
 
-type access = { sub : Lin.t; line : int }
+type access = { sub : Lin.t; line : int; w : bool  (** write access *) }
 
 type footprint_result =
   | Disjoint
   | Same_slot of int
       (** accesses hit a single slot every iteration — a carried
           dependence when the root is written *)
+  | Anti_only
+      (** every cross-iteration conflict is an anti (write-after-read)
+          dependence — safe under snapshot-fork execution, observable
+          as WAR triples at runtime *)
   | Unproven of string * int
 
 val check :

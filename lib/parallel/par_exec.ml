@@ -9,9 +9,18 @@
    per-fork heap diffs are merged back in chunk order — which
    reproduces the sequential last-writer-wins result for scatter
    writes and the sequential push order for appends. Recognized
-   reductions zero their accumulators per fork and combine the
-   partials exactly once ([entry + Σ partials], ascending chunk
-   order).
+   reductions are executed per operator: order-insensitive
+   accumulators (min/max/bitwise, and [+] over analysis-proven exact
+   integers) seed each fork with the operator identity and combine the
+   partials exactly once with the interpreter's own operator semantics
+   ([entry ⊕ partials], ascending chunk order); an order-*sensitive*
+   float [+] accumulator with a single accumulation site is run through
+   a per-iteration journal — the fork resets the accumulator to [-0.0]
+   around each iteration, so the value read back afterwards is exactly
+   that iteration's contribution ([fl (-0. +. v) = v] bitwise), and
+   replaying the journal in global iteration order reproduces the
+   sequential fold bit-for-bit. Products and unrecognized operators
+   have no deterministic parallel schedule and fall back.
 
    Anything the merge cannot prove deterministic *poisons* the nest:
    the forks are discarded, the untouched master re-runs the loop
@@ -28,7 +37,7 @@ open Interp.Value
 module J = Ceres_util.Json
 module Ast = Jsir.Ast
 
-type kind = Kparallel | Kreduction of string list
+type kind = Kparallel | Kreduction of Analysis.Verdict.acc list
 
 type mode = Measure | Parallel of Pool.t
 
@@ -197,13 +206,160 @@ let trip_count st scope (h : header) : (float * int) option =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Accumulator execution plans                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* How one proven accumulator is executed across chunks. [Afold id]
+   seeds each fork with the operator identity [id] and folds the
+   per-chunk partials into the entry value with the operator itself —
+   valid only when the analysis proved the fold order-insensitive.
+   [Ajournal] records the per-iteration contribution and replays the
+   journal in global iteration order — valid for any float [+] fold
+   with a single accumulation site, no commutativity needed. *)
+type acc_plan = Afold of float | Ajournal
+
+type acc_task = {
+  a_name : string;
+  a_op : Analysis.Verdict.acc_op;
+  a_plan : acc_plan;
+}
+
+(* Journal memory is 8 bytes per iteration per accumulator; cap it so
+   a huge trip count cannot balloon the forks. *)
+let journal_cap = 1 lsl 22
+
+(* Count syntactic accumulation sites of [acc] in a loop body. The
+   journal path needs *exactly one*, executing at most once per
+   iteration: only then does resetting the accumulator to [-0.0]
+   before the body capture the iteration's single contribution
+   ([fl (-0. +. v) = v] bitwise for every [v], and a skipped site
+   journals [-0.0], which replays as a no-op). Sites under a nested
+   loop or function body can fire repeatedly and count as two, which
+   disqualifies the plan. *)
+let accum_sites acc (body : Ast.stmt) : int =
+  let n = ref 0 in
+  let site ~deep = n := !n + if deep then 2 else 1 in
+  let rec target ~deep (t : Ast.target) =
+    match t with
+    | Ast.Tgt_ident x -> if String.equal x acc then site ~deep
+    | Ast.Tgt_member (b, _) -> expr ~deep b
+    | Ast.Tgt_index (b, ix) ->
+      expr ~deep b;
+      expr ~deep ix
+  and expr ~deep (e : Ast.expr) =
+    match e.e with
+    | Number _ | Ast.String _ | Bool _ | Null | Undefined | Ident _ | This -> ()
+    | Array_lit es -> List.iter (expr ~deep) es
+    | Object_lit fs -> List.iter (fun (_, v) -> expr ~deep v) fs
+    | Function_expr f -> List.iter (stmt ~deep:true) f.Ast.body
+    | Member (b, _) -> expr ~deep b
+    | Index (b, ix) ->
+      expr ~deep b;
+      expr ~deep ix
+    | Call (f, args) | New (f, args) ->
+      expr ~deep f;
+      List.iter (expr ~deep) args
+    | Unop (_, a) -> expr ~deep a
+    | Binop (_, a, b) | Logical (_, a, b) | Seq (a, b) ->
+      expr ~deep a;
+      expr ~deep b
+    | Cond (c, a, b) ->
+      expr ~deep c;
+      expr ~deep a;
+      expr ~deep b
+    | Assign (t, _, rhs) ->
+      target ~deep t;
+      expr ~deep rhs
+    | Update (_, _, t) -> target ~deep t
+    | Intrinsic (_, args) -> List.iter (expr ~deep) args
+  and stmt ~deep (s : Ast.stmt) =
+    match s.s with
+    | Expr_stmt e | Throw e -> expr ~deep e
+    | Var_decl ds ->
+      List.iter (fun (_, init) -> Option.iter (expr ~deep) init) ds
+    | If (c, a, b) ->
+      expr ~deep c;
+      stmt ~deep a;
+      Option.iter (stmt ~deep) b
+    | While (_, c, b) ->
+      expr ~deep:true c;
+      stmt ~deep:true b
+    | Do_while (_, b, c) ->
+      stmt ~deep:true b;
+      expr ~deep:true c
+    | For (_, init, c, u, b) ->
+      (match init with
+       | Some (Ast.Init_var ds) ->
+         List.iter (fun (_, i) -> Option.iter (expr ~deep) i) ds
+       | Some (Ast.Init_expr e) -> expr ~deep e
+       | None -> ());
+      Option.iter (expr ~deep:true) c;
+      Option.iter (expr ~deep:true) u;
+      stmt ~deep:true b
+    | For_in (_, _, obj, b) ->
+      expr ~deep obj;
+      stmt ~deep:true b
+    | Return e -> Option.iter (expr ~deep) e
+    | Break _ | Continue _ | Empty -> ()
+    | Try (b, c, f) ->
+      List.iter (stmt ~deep) b;
+      (match c with Some (_, ss) -> List.iter (stmt ~deep) ss | None -> ());
+      (match f with Some ss -> List.iter (stmt ~deep) ss | None -> ())
+    | Block ss -> List.iter (stmt ~deep) ss
+    | Func_decl f -> List.iter (stmt ~deep:true) f.Ast.body
+    | Switch (d, cases) ->
+      expr ~deep d;
+      List.iter (fun (_, ss) -> List.iter (stmt ~deep) ss) cases
+    | Labeled (_, b) -> stmt ~deep b
+  in
+  stmt ~deep:false body;
+  !n
+
+(* Pick the execution plan for one proven accumulator; [None] = no
+   deterministic parallel schedule exists (products, unrecognized
+   operators, multi-site order-sensitive sums) and the nest falls
+   back to sequential execution. *)
+let acc_task_of (lv : loop_visit) ~trips (a : Analysis.Verdict.acc) :
+    acc_task option =
+  let mk plan = Some { a_name = a.aname; a_op = a.op; a_plan = plan } in
+  match a.Analysis.Verdict.op with
+  | Analysis.Verdict.Min -> mk (Afold Float.infinity)
+  | Analysis.Verdict.Max -> mk (Afold Float.neg_infinity)
+  | Analysis.Verdict.Band -> mk (Afold (-1.)) (* ToInt32 all-ones *)
+  | Analysis.Verdict.Bor | Analysis.Verdict.Bxor -> mk (Afold 0.)
+  | Analysis.Verdict.Sum when a.Analysis.Verdict.order_insensitive ->
+    mk (Afold 0.)
+  | Analysis.Verdict.Sum ->
+    if trips <= journal_cap && accum_sites a.aname lv.lv_body = 1 then
+      mk Ajournal
+    else None
+  | Analysis.Verdict.Prod | Analysis.Verdict.Other -> None
+
+(* Fold partials with the interpreter's own operator semantics so the
+   combined value is the one sequential execution would compute:
+   [Float.min]/[Float.max] are exactly the [Math.min]/[Math.max]
+   builtins (NaN-propagating, [-0. < +0.]), and the bitwise ops mirror
+   {!Interp.Eval}'s ToInt32 coercion. *)
+let combine_of st (op : Analysis.Verdict.acc_op) : float -> float -> float =
+  let i32 f a b = Int32.to_float (f (to_int32 st (Num a)) (to_int32 st (Num b))) in
+  match op with
+  | Analysis.Verdict.Min -> Float.min
+  | Analysis.Verdict.Max -> Float.max
+  | Analysis.Verdict.Band -> i32 Int32.logand
+  | Analysis.Verdict.Bor -> i32 Int32.logor
+  | Analysis.Verdict.Bxor -> i32 Int32.logxor
+  | Analysis.Verdict.Sum | Analysis.Verdict.Prod | Analysis.Verdict.Other ->
+    ( +. )
+
+(* ------------------------------------------------------------------ *)
 (* Chunk execution                                                    *)
 (* ------------------------------------------------------------------ *)
 
 type chunk_result = {
   c_fork : Fork.t;
   c_status : (unit, string) result;
-  c_partials : (string * float) list; (* acc -> integer partial *)
+  c_partials : (string * float) list; (* folded acc -> chunk partial *)
+  c_journals : (string * float array) list; (* journaled acc -> per-trip *)
   c_fork_ms : float;
 }
 
@@ -229,42 +385,67 @@ let run_chunk master ~scope ~this ~(lv : loop_visit) ~(h : header) ~accs
   let cthis = Fork.value_in fork this in
   let cond = Option.get lv.lv_cond in
   let update = Option.get lv.lv_update in
+  let folds =
+    List.filter_map
+      (fun a -> match a.a_plan with Afold id0 -> Some (a, id0) | Ajournal -> None)
+      accs
+  in
+  let journals =
+    List.filter_map
+      (fun a ->
+         match a.a_plan with
+         | Ajournal -> Some (a.a_name, Array.make trips (-0.))
+         | Afold _ -> None)
+      accs
+  in
+  let fail why =
+    { c_fork = fork; c_status = Error why; c_partials = []; c_journals = [];
+      c_fork_ms = fork_ms }
+  in
   try
     write_home cscope h.iv (Num start_iv);
-    List.iter (fun acc -> write_home cscope acc (Num 0.)) accs;
-    for _ = 1 to trips do
+    List.iter (fun (a, id0) -> write_home cscope a.a_name (Num id0)) folds;
+    for it = 1 to trips do
+      (* journaled accumulators restart from -0.0 every iteration, so
+         the post-body read below is exactly this iteration's
+         contribution ([fl (-0. +. v) = v] bitwise) *)
+      List.iter (fun (n, _) -> write_home cscope n (Num (-0.))) journals;
       if not (to_boolean (Eval.eval cst cscope cthis cond)) then
         raise (Chunk_poison "loop bound drifted");
       (match Eval.exec_stmt cst cscope cthis lv.lv_body with
        | Eval.Cnormal | Eval.Ccontinue None -> ()
        | _ -> raise (Chunk_poison "abrupt completion inside chunk"));
-      ignore (Eval.eval cst cscope cthis update)
+      ignore (Eval.eval cst cscope cthis update);
+      List.iter
+        (fun (n, arr) ->
+           match read_home cscope n with
+           | Num v -> arr.(it - 1) <- v
+           | _ -> raise (Chunk_poison "non-numeric reduction journal"))
+        journals
     done;
     if is_last && to_boolean (Eval.eval cst cscope cthis cond) then
       raise (Chunk_poison "loop bound drifted at exit");
     let partials =
       List.map
-        (fun acc ->
-           match read_home cscope acc with
-           | Num p when Float.is_integer p -> (acc, p)
+        (fun ((a : acc_task), _) ->
+           match read_home cscope a.a_name with
+           (* an order-insensitive [+] partial must be an exact
+              integer, as the static proof promised; other operators
+              are order-insensitive over any numbers *)
+           | Num p
+             when a.a_op <> Analysis.Verdict.Sum || Float.is_integer p ->
+             (a.a_name, p)
            | _ -> raise (Chunk_poison "non-integer reduction partial"))
-        accs
+        folds
     in
-    { c_fork = fork; c_status = Ok (); c_partials = partials; c_fork_ms = fork_ms }
+    { c_fork = fork; c_status = Ok (); c_partials = partials;
+      c_journals = journals; c_fork_ms = fork_ms }
   with
-  | Chunk_poison why ->
-    { c_fork = fork; c_status = Error why; c_partials = []; c_fork_ms = fork_ms }
-  | Fork.Par_abort why ->
-    { c_fork = fork; c_status = Error why; c_partials = []; c_fork_ms = fork_ms }
-  | Js_throw _ ->
-    { c_fork = fork; c_status = Error "js exception inside chunk";
-      c_partials = []; c_fork_ms = fork_ms }
-  | Budget_exhausted ->
-    { c_fork = fork; c_status = Error "budget exhausted inside chunk";
-      c_partials = []; c_fork_ms = fork_ms }
-  | Stack_overflow ->
-    { c_fork = fork; c_status = Error "stack overflow inside chunk";
-      c_partials = []; c_fork_ms = fork_ms }
+  | Chunk_poison why -> fail why
+  | Fork.Par_abort why -> fail why
+  | Js_throw _ -> fail "js exception inside chunk"
+  | Budget_exhausted -> fail "budget exhausted inside chunk"
+  | Stack_overflow -> fail "stack overflow inside chunk"
 
 (* ------------------------------------------------------------------ *)
 (* The parallel instance: fork, run, validate, merge-or-poison        *)
@@ -272,23 +453,33 @@ let run_chunk master ~scope ~this ~(lv : loop_visit) ~(h : header) ~accs
 
 let run_parallel t pool st scope this (lv : loop_visit) kind (h : header) lo
     trips : bool =
-  let accs = match kind with Kparallel -> [] | Kreduction accs -> accs in
-  (* reduction entry values must be resolvable integers *)
-  let acc_homes_entry =
-    List.filter_map
-      (fun acc ->
-         if String.equal acc h.iv then None
-         else
-           match var_home scope acc with
-           | Some (s, slot) -> (
-             match scope_read s slot acc with
-             | Num e when Float.is_integer e ->
-               Some ({ Fork.owner = s; slot; name = acc }, e)
-             | _ -> None)
-           | None -> None)
-      accs
+  let vaccs = match kind with Kparallel -> [] | Kreduction accs -> accs in
+  let tasks = List.filter_map (acc_task_of lv ~trips) vaccs in
+  (* every accumulator needs a deterministic plan and a resolvable
+     numeric entry value — an exact integer for order-insensitive [+],
+     whose reordered total is only sequential-identical over exact
+     integer arithmetic; any number for the other plans *)
+  let entries =
+    if List.length tasks <> List.length vaccs then []
+    else
+      List.filter_map
+        (fun task ->
+           if String.equal task.a_name h.iv then None
+           else
+             match var_home scope task.a_name with
+             | Some (s, slot) -> (
+               match scope_read s slot task.a_name with
+               | Num e
+                 when (match task.a_plan with
+                       | Afold _ when task.a_op = Analysis.Verdict.Sum ->
+                         Float.is_integer e
+                       | _ -> true) ->
+                 Some (task, { Fork.owner = s; slot; name = task.a_name }, e)
+               | _ -> None)
+             | None -> None)
+        tasks
   in
-  if List.length acc_homes_entry <> List.length accs then false
+  if List.length entries <> List.length vaccs then false
   else begin
     let wall0 = Unix.gettimeofday () in
     let nchunks = min (t.jobs * 2) (trips / 2) in
@@ -301,7 +492,7 @@ let run_parallel t pool st scope this (lv : loop_visit) kind (h : header) lo
       let base_sid = max st.next_sid t.sid_floor in
       let results : chunk_result option array = Array.make nchunks None in
       let run k =
-        run_chunk st ~scope ~this ~lv ~h ~accs
+        run_chunk st ~scope ~this ~lv ~h ~accs:tasks
           ~next_oid:(base_oid + ((k + 1) * oid_stride))
           ~next_sid:(base_sid + ((k + 1) * sid_stride))
           ~start_iv:(lo +. (float_of_int (start_index k) *. h.step))
@@ -339,7 +530,7 @@ let run_parallel t pool st scope this (lv : loop_visit) kind (h : header) lo
            | Error why -> taint why
            | Ok () -> ())
         chunks;
-      let skip = List.map fst acc_homes_entry in
+      let skip = List.map (fun (_, home, _) -> home) entries in
       let diffs =
         if !poisoned <> None then []
         else
@@ -364,25 +555,46 @@ let run_parallel t pool st scope this (lv : loop_visit) kind (h : header) lo
              st.budget
            > 0
       then taint "budget would be exhausted";
-      (* reduction totals: entry + partials, ascending chunk order *)
+      (* reduction totals, ascending chunk order: folded accumulators
+         combine [entry ⊕ partials] with the operator itself;
+         journaled accumulators replay every iteration's contribution
+         in global order, reproducing the sequential float fold *)
       let totals =
         List.map
-          (fun (home, entry) ->
-             let sum =
-               List.fold_left
-                 (fun acc r ->
-                    let p =
-                      try List.assoc home.Fork.name r.c_partials
-                      with Not_found -> 0.
-                    in
-                    let acc = acc +. p in
-                    if not (Float.is_integer acc) || Float.abs acc > 2. ** 53.
-                    then taint "reduction overflow";
-                    acc)
-                 entry chunks
+          (fun (task, home, entry) ->
+             let total =
+               match task.a_plan with
+               | Afold id0 ->
+                 let combine = combine_of st task.a_op in
+                 List.fold_left
+                   (fun acc r ->
+                      let p =
+                        match List.assoc_opt task.a_name r.c_partials with
+                        | Some p -> p
+                        | None ->
+                          taint "missing reduction partial";
+                          id0
+                      in
+                      let acc = combine acc p in
+                      if
+                        task.a_op = Analysis.Verdict.Sum
+                        && (not (Float.is_integer acc)
+                            || Float.abs acc > 2. ** 53.)
+                      then taint "reduction overflow";
+                      acc)
+                   entry chunks
+               | Ajournal ->
+                 List.fold_left
+                   (fun acc r ->
+                      match List.assoc_opt task.a_name r.c_journals with
+                      | Some arr -> Array.fold_left ( +. ) acc arr
+                      | None ->
+                        taint "missing reduction journal";
+                        acc)
+                   entry chunks
              in
-             (home, sum))
-          acc_homes_entry
+             (home, total))
+          entries
       in
       match !poisoned with
       | Some _ ->
@@ -467,8 +679,8 @@ let install t (st : state) ~(report : Analysis.Driver.report) =
     (fun (row : Analysis.Driver.row) ->
        let id = row.Analysis.Driver.info.Jsir.Loops.id in
        (match row.Analysis.Driver.verdict with
-        | Analysis.Verdict.Parallel -> Hashtbl.replace t.plan id Kparallel
-        | Analysis.Verdict.Reduction accs ->
+        | Analysis.Verdict.Parallel _ -> Hashtbl.replace t.plan id Kparallel
+        | Analysis.Verdict.Reduction { accs; _ } ->
           Hashtbl.replace t.plan id (Kreduction accs)
         | _ -> ());
        Hashtbl.replace t.labels id (Analysis.Driver.row_header row))

@@ -5,8 +5,14 @@
     eligible [For] nests, partitions the iteration space into chunks,
     runs each chunk on a share-nothing {!Interp.Fork} of the loop-entry
     state and merges the per-fork heap diffs back in chunk order.
-    Reductions combine their partials exactly once (entry value + sum
-    of per-chunk partials, ascending chunk order). Any condition the
+    Reductions are executed per operator: order-insensitive folds
+    (min/max/bitwise, [+] over proven exact integers) seed each fork
+    with the operator identity and combine the partials exactly once
+    in ascending chunk order; order-sensitive float [+] accumulators
+    with a single accumulation site replay a per-iteration journal in
+    global order, reproducing the sequential fold bit-for-bit;
+    products and unrecognized operators never run in parallel. Any
+    condition the
     merge cannot prove deterministic — host access, timers,
     [Math.random], clock reads, abrupt completions, bound drift,
     conflicting array growth — poisons the instance: the forks are
@@ -14,7 +20,7 @@
     so observable output is byte-identical to sequential execution by
     construction. *)
 
-type kind = Kparallel | Kreduction of string list
+type kind = Kparallel | Kreduction of Analysis.Verdict.acc list
 
 type mode =
   | Measure

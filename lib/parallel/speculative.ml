@@ -180,12 +180,12 @@ let driver_verdict (rep : Analysis.Driver.report) =
 
 let statically_proven rep =
   match driver_verdict rep with
-  | Some Analysis.Verdict.Parallel -> true
-  | Some (Analysis.Verdict.Reduction accs) ->
+  | Some (Analysis.Verdict.Parallel _) -> true
+  | Some (Analysis.Verdict.Reduction _ as v) ->
     (* only the harness's own accumulator may be reduced: a reduction
        over user state would change observable behaviour under the
        share-nothing replay *)
-    List.for_all (String.equal "__acc") accs
+    List.for_all (String.equal "__acc") (Analysis.Verdict.acc_names v)
   | _ -> false
 
 let run ?(domains = Domain.recommended_domain_count ()) ?budget

@@ -183,9 +183,26 @@ type nest_row = {
   dep_difficulty : Ceres.Classify.difficulty;
   par_difficulty : Ceres.Classify.difficulty;
   warning_count : int;
-  static_verdict : string; (* Analysis.Verdict.kind_name of the root *)
+  static_verdict : string; (* refined label of the root, see {!static_label} *)
   advice : Ceres.Advice.recommendation list;
 }
+
+(* Five-way static classification for the Table 3 column: reductions
+   split by whether *every* accumulator was proven order-insensitive
+   (those run with identity-seeded partials; order-sensitive ones need
+   the journal-replay schedule). *)
+let static_label (v : Analysis.Verdict.t) =
+  match v with
+  | Analysis.Verdict.Parallel _ -> "parallel"
+  | Analysis.Verdict.Reduction { accs; _ } ->
+    if
+      List.for_all
+        (fun (a : Analysis.Verdict.acc) -> a.order_insensitive)
+        accs
+    then "reduction(oi)"
+    else "reduction"
+  | Analysis.Verdict.Needs_runtime_check _ -> "rtc"
+  | Analysis.Verdict.Sequential _ -> "seq"
 
 (* Inspect the top nests covering >= 2/3 of loop time (the paper's
    cutoff). The paper reports a known number of nests per application
@@ -259,7 +276,7 @@ let inspect ?(fraction = 0.667) ?max_nests (w : Workload.t) : nest_row list =
          warning_count = List.fold_left (fun a (_, c) -> a + c) 0 ws;
          static_verdict =
            (match Analysis.Driver.verdict_of static_report s.id with
-            | Some v -> Analysis.Verdict.kind_name v
+            | Some v -> static_label v
             | None -> "-");
          advice })
     nests
@@ -273,7 +290,12 @@ let inspect ?(fraction = 0.667) ?max_nests (w : Workload.t) : nest_row list =
    (Prop_overwrite) or anti (Prop_war) triple, or a scalar
    accumulation (Var_accum), whose carrier is that loop. A [Reduction]
    verdict additionally tolerates Var_accum warnings over exactly the
-   accumulators it declared. Privatizable Var_write / disjoint-scatter
+   accumulators it declared, and a proven verdict that *declares* anti
+   dependences ([war_roots]) tolerates Prop_war warnings on the loop:
+   the dynamic warning names the property, not the memory root, so the
+   tolerance is per-loop, and chunked snapshot-fork execution
+   satisfies anti dependences by construction (every chunk reads the
+   pre-loop state). Privatizable Var_write / disjoint-scatter
    Prop_write / Induction_write warnings are advisory on both sides
    and constrain neither verdict. *)
 
@@ -303,8 +325,11 @@ let crossval (w : Workload.t) : crossval_row list =
     (fun (r : Analysis.Driver.row) ->
        let allowed (wn : Ceres.Runtime.warning) =
          match (r.verdict, wn.kind) with
-         | Analysis.Verdict.Reduction accs, Ceres.Runtime.Var_accum n ->
-           List.mem n accs
+         | (Analysis.Verdict.Reduction _ as v), Ceres.Runtime.Var_accum n ->
+           List.mem n (Analysis.Verdict.acc_names v)
+         | v, Ceres.Runtime.Prop_war _ ->
+           Analysis.Verdict.is_proven v
+           && Analysis.Verdict.war_roots v <> []
          | _ -> false
        in
        let offending =

@@ -96,9 +96,15 @@ type nest_row = {
   par_difficulty : Ceres.Classify.difficulty;
   warning_count : int;
   static_verdict : string;
-      (** {!Analysis.Verdict.kind_name} of the nest root *)
+      (** {!static_label} of the nest root's verdict *)
   advice : Ceres.Advice.recommendation list;
 }
+
+val static_label : Analysis.Verdict.t -> string
+(** Five-way static classification backing the Table 3 column:
+    [parallel] / [reduction(oi)] (every accumulator proven
+    order-insensitive) / [reduction] (order-sensitive, journal-replay
+    schedule) / [rtc] / [seq]. *)
 
 val inspect :
   ?fraction:float -> ?max_nests:int -> Workload.t -> nest_row list

@@ -138,8 +138,14 @@ let test_footprints () =
   check_kind "stride 2 clears spread 1" "parallel"
     "var A = [1, 2, 3, 4, 5, 6, 7, 8]; for (var i = 0; i < 4; i++) { \
      A[2 * i] = A[2 * i + 1] + 1; }";
-  check_kind "shift reads the next slot" "needs-runtime-check"
+  (* A pure anti dependence: each iteration reads the slot the *next*
+     one writes, so every read sees the pre-loop value — exactly what
+     chunked snapshot-fork execution reproduces. Proven parallel with
+     the WAR declared; the flow-dependent mirror image must not be. *)
+  check_kind "shift reads the next slot" "parallel"
     "var A = [1, 2, 3, 4]; for (var i = 0; i < 3; i++) { A[i] = A[i + 1]; }";
+  check_kind "shift reads the previous slot" "needs-runtime-check"
+    "var A = [1, 2, 3, 4]; for (var i = 1; i < 4; i++) { A[i] = A[i - 1]; }";
   check_kind "same slot rewritten" "sequential"
     "var A = [1, 2, 3, 4]; for (var i = 0; i < 4; i++) { A[0] = i; }";
   check_kind "for-in over distinct keys" "parallel"
@@ -155,7 +161,8 @@ let test_reduction_recognition () =
           "var s = 0; for (var i = 0; i < 4; i++) { s += i; }")
        .Analysis.Driver.rows
    with
-   | { verdict = Analysis.Verdict.Reduction [ "s" ]; _ } -> ()
+   | { verdict = Analysis.Verdict.Reduction _ as v; _ }
+     when Analysis.Verdict.acc_names v = [ "s" ] -> ()
    | _ -> Alcotest.fail "expected reduction over s");
   (* Reading the running accumulator value makes the loop
      order-dependent: not a reduction. *)
@@ -275,7 +282,20 @@ let gen_program idx =
        "C[i] = A[i] - B[i];";
        "s += C[i];";
        "B[i] = s;";
-       "g = g + 1;"
+       "g = g + 1;";
+       (* user-function calls: an affine index helper (template
+          inlining) and a pure value callee (summary inlining) *)
+       "B[ix(i)] = i;";
+       "B[i] = scale2(A[i]);";
+       "A[ix(i)] = A[i];";
+       (* float accumulators: order-sensitive [+] (journal replay)
+          and order-insensitive min/max *)
+       "f = f + A[i] * 0.25;";
+       "f = Math.min(f, A[i]);";
+       "f = Math.max(f, C[i] - 2);";
+       (* pure anti dependence: read of the slot the next iteration
+          writes *)
+       "A[i] = A[i + 1];"
     |]
   in
   let n = 1 + Ceres_util.Prng.int r 4 in
@@ -283,30 +303,52 @@ let gen_program idx =
     String.concat " " (List.init n (fun _ -> Ceres_util.Prng.pick r pool))
   in
   Printf.sprintf
-    "var A = [1, 2, 3, 4, 5, 6, 7, 8];\n\
-     var B = [0, 0, 0, 0, 0, 0, 0, 0];\n\
-     var C = [0, 0, 0, 0, 0, 0, 0, 0];\n\
-     var s = 0; var g = 1;\n\
-     for (var i = 0; i < 8; i++) { %s }"
+    "function ix(k) { return k + 1; }\n\
+     function scale2(v) { return v * 2; }\n\
+     var A = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];\n\
+     var B = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];\n\
+     var C = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];\n\
+     var s = 0; var g = 1; var f = 0.5;\n\
+     for (var i = 0; i < 8; i++) { %s }\n\
+     console.log(s + \"|\" + g + \"|\" + f + \"|\" + A.join(\",\") + \"|\" \
+     + B.join(\",\") + \"|\" + C.join(\",\"));"
     body
 
-let dynamic_carried_for src ~loop_id ~allowed_accums =
+let dynamic_carried_for src ~loop_id ~allowed_accums ~war_declared =
   let _, rt = Helpers.analyze src in
   Ceres.Runtime.warnings rt
   |> List.filter (fun ((w : Ceres.Runtime.warning), _) ->
       w.carrier = Some loop_id
       &&
       match w.kind with
-      | Ceres.Runtime.Prop_overwrite _ | Ceres.Runtime.Prop_read _
+      | Ceres.Runtime.Prop_overwrite _ | Ceres.Runtime.Prop_read _ -> true
       | Ceres.Runtime.Prop_war _ ->
-        true
+        (* anti dependences are sound on a proven loop only when the
+           verdict declared them (mirrors the crossval contract) *)
+        not war_declared
       | Ceres.Runtime.Var_accum n -> not (List.mem n allowed_accums)
       | Ceres.Runtime.Var_write _ | Ceres.Runtime.Prop_write _
       | Ceres.Runtime.Induction_write _ ->
         false)
 
+(* One pool for all fuzzed par≡seq replays: a fresh pool per case
+   would dominate the battery's runtime. *)
+let fuzz_pool = lazy (Js_parallel.Pool.create ~domains:2 ())
+
+let run_console ?par src =
+  let st, _ = Helpers.fresh_state () in
+  let program = Jsir.Parser.parse_program src in
+  (match par with
+   | Some pe ->
+     let report = Analysis.Driver.analyze program in
+     Js_parallel.Par_exec.install pe st ~report
+   | None -> ());
+  Interp.Eval.run_program st program;
+  st.Interp.Value.console
+
 let fuzz_soundness =
-  QCheck.Test.make ~name:"static Parallel is dynamically conflict-free"
+  QCheck.Test.make
+    ~name:"static Parallel is dynamically conflict-free and par ≡ seq"
     ~count:120
     QCheck.(make Gen.(int_bound 100_000))
     (fun idx ->
@@ -316,10 +358,22 @@ let fuzz_soundness =
        | [ row ] -> (
            let id = row.info.Jsir.Loops.id in
            match row.verdict with
-           | Analysis.Verdict.Parallel ->
-             dynamic_carried_for src ~loop_id:id ~allowed_accums:[] = []
-           | Analysis.Verdict.Reduction accs ->
-             dynamic_carried_for src ~loop_id:id ~allowed_accums:accs = []
+           | Analysis.Verdict.Parallel _ | Analysis.Verdict.Reduction _ ->
+             dynamic_carried_for src ~loop_id:id
+               ~allowed_accums:(Analysis.Verdict.acc_names row.verdict)
+               ~war_declared:(Analysis.Verdict.war_roots row.verdict <> [])
+             = []
+             &&
+             (* every proven loop must also replay byte-identically
+                under fork/merge parallel execution (poisoned
+                instances fall back to the master, so equality holds
+                even when the merge refuses) *)
+             let pe =
+               Js_parallel.Par_exec.create
+                 ~mode:(Js_parallel.Par_exec.Parallel (Lazy.force fuzz_pool))
+                 ~jobs:2 ()
+             in
+             run_console ~par:pe src = run_console src
            | Analysis.Verdict.Needs_runtime_check _
            | Analysis.Verdict.Sequential _ ->
              true)
