@@ -1,7 +1,7 @@
 # js-ceres — OCaml reproduction of "Are web applications ready for
 # parallelism?" (PPoPP 2015)
 
-.PHONY: all build test check chaos analyze analyze-smoke serve-smoke serve-stress-smoke par-exec-smoke bench bench-smoke examples reports clean
+.PHONY: all build test check chaos analyze analyze-smoke advise advise-smoke serve-smoke serve-stress-smoke par-exec-smoke bench bench-smoke examples reports clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	dune runtest
 	dune exec bin/jsceres.exe -- pipeline --jobs 2 --stats Ace MyScript
 	$(MAKE) analyze-smoke
+	$(MAKE) advise-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) serve-stress-smoke
 	$(MAKE) par-exec-smoke
@@ -66,9 +67,53 @@ analyze-smoke: analyze
 	fi; \
 	echo "analyze-smoke OK ($$proven proven loops >= $(ANALYZE_PROVEN_FLOOR))"
 
-# Service-mode smoke test: pipe a fixed 7-request JSONL session (two
-# analyses, a repeated profile, a bad pass, a cache-stats probe, a
-# telemetry probe) through `jsceres serve` and byte-compare against
+# Advisor sweep: `jsceres advise --format=json` over every workload,
+# diffed against the committed goldens in test/golden/advise/ (the
+# reports are pure vclock arithmetic, so they are byte-deterministic).
+# After an intentional model or analyzer change, regenerate with
+# ADVISE_REGEN=1.
+advise: build
+	@for w in $(ANALYZE_WORKLOADS); do \
+	  name=$$(echo $$w | tr '_' ' '); \
+	  out=_build/advise-$$w.json; \
+	  dune exec bin/jsceres.exe -- advise "$$name" --format=json >$$out || \
+	    { echo "advise $$name: exit $$?"; exit 1; }; \
+	  if [ -n "$(ADVISE_REGEN)" ]; then \
+	    cp $$out test/golden/advise/$$w.json; \
+	  else \
+	    cmp -s $$out test/golden/advise/$$w.json || \
+	      { echo "advise $$name: report differs from golden"; exit 1; }; \
+	  fi; \
+	done; echo "advise sweep OK ($(words $(ANALYZE_WORKLOADS)) workloads)"
+
+# Advisor grading gate (in `make check`): beyond the golden diff of
+# the full sweep, the two par-exec workloads must (a) produce the
+# committed deterministic plan and (b) under --measure attach a
+# measured speedup row to at least one nest par-exec really executed
+# — so every executed nest carries predicted AND measured numbers.
+ADVISE_SMOKE_WORKLOADS = HAAR.js fluidSim
+
+advise-smoke: advise
+	@for w in $(ADVISE_SMOKE_WORKLOADS); do \
+	  out=_build/advise-$$w-measured.json; \
+	  dune exec bin/jsceres.exe -- advise "$$w" --measure -j 2 \
+	    --format=json >$$out 2>/dev/null || \
+	    { echo "advise-smoke: measured advise of $$w failed"; exit 1; }; \
+	  grep -q '"measured_nests"' $$out || \
+	    { echo "advise-smoke: $$w measured report lacks measured section"; \
+	      exit 1; }; \
+	  n=$$(grep -o '"measured_nests": [0-9]*' $$out | head -1 | grep -o '[0-9]*'); \
+	  test -n "$$n" -a "$$n" -gt 0 2>/dev/null || \
+	    { echo "advise-smoke: $$w: no nest carries a measured speedup"; exit 1; }; \
+	  grep -q '"predicted"' $$out || \
+	    { echo "advise-smoke: $$w measured report lacks predictions"; exit 1; }; \
+	  echo "advise-smoke: $$w OK (measured nests: $$n)"; \
+	done; echo "advise smoke OK ($(ADVISE_SMOKE_WORKLOADS))"
+
+# Service-mode smoke test: pipe a fixed 12-request JSONL session (two
+# analyses, a repeated profile — once explicitly versioned v1, a bad
+# pass, a rejected v2 request, an advise request, a cache-stats probe,
+# a telemetry probe) through `jsceres serve` and byte-compare against
 # the committed golden — the responses are deterministic, and the
 # final cache-stats line pins the hit/miss counters, so the repeated
 # request must have been served from the cache. The telemetry line's

@@ -507,6 +507,58 @@ let parexec () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The advisor grades itself: the deterministic plan's top nests with
+   their predicted whole-program speedups, next to the measured
+   program-equivalent speedup of every nest par-exec actually ran at
+   -j 2, and whether the measurement landed inside the documented
+   tolerance band (DESIGN.md §14). On a single-core host expect
+   off-model rows — that is the point of printing the band. *)
+let advise () =
+  header "Advisor: predicted vs measured whole-program speedup (-j 2)";
+  let tbl =
+    Ceres_util.Table.create
+      [ "workload"; "nest"; "verdict"; "busy%"; "pred @2"; "pred @4";
+        "meas @2"; "band" ]
+  in
+  Ceres_util.Table.set_align tbl
+    [ Left; Left; Left; Right; Right; Right; Right; Left ];
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+       let rep = Advisor.analyze w in
+       ignore (Advisor.measure ~jobs:2 rep w);
+       let pred (n : Advisor.nest) c =
+         match
+           List.find_opt (fun (p : Advisor.predicted) -> p.cores = c)
+             n.predicted
+         with
+         | Some p -> Printf.sprintf "%.2fx" p.speedup
+         | None -> "-"
+       in
+       List.iteri
+         (fun i (n : Advisor.nest) ->
+            if i < 3 then begin
+              let m =
+                List.find_opt
+                  (fun (m : Advisor.measured_row) -> m.m_id = n.id)
+                  rep.measured
+              in
+              Ceres_util.Table.add_row tbl
+                [ w.name; n.label; n.verdict;
+                  Printf.sprintf "%.1f" n.pct_busy;
+                  pred n 2; pred n 4;
+                  (match m with
+                   | Some m -> Printf.sprintf "%.2fx" m.m_program_speedup
+                   | None -> "-");
+                  (match m with
+                   | Some m -> if m.m_within_band then "ok" else "off-model"
+                   | None -> "-") ]
+            end)
+         rep.nests)
+    Workloads.Registry.all;
+  Ceres_util.Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+
 let overhead_program =
   {|
 var grid = [];
@@ -1034,6 +1086,7 @@ let bench_main argv =
       ("table3", table3); ("crossval", crossval);
       ("amdahl", amdahl); ("speedup", speedup);
       ("parexec", parexec);
+      ("advise", advise);
       ("overhead", overhead);
       ("polymorphism", polymorphism);
       ("callsites", callsites);

@@ -30,6 +30,12 @@ let subcommand_docs =
     ( "crossval",
       "Cross-validate the static verdicts against the dynamic dependence \
        run, one soundness line per loop." );
+    ( "advise",
+      "Causal what-if parallelism advisor: rank the hot loop nests into \
+       an optimization plan with predicted whole-program speedups at N \
+       cores (Amdahl over the deterministic profile), the static \
+       blockers, and transformation hints; --measure grades the \
+       predictions against real parallel execution." );
     ( "inspect",
       "Full Table 3 pipeline for one workload: profile, analyze, classify." );
     ( "pipeline",
@@ -109,9 +115,33 @@ let watchdog_ms_arg =
     & opt (some int) None
     & info [ "watchdog-ms" ] ~docv:"MS"
         ~doc:
-          "Watchdog budget in virtual milliseconds: a workload whose \
-           interpreter exceeds it fails with a budget-exhausted report \
-           instead of hanging the service.")
+          "Deprecated alias of $(b,--deadline-ms); accepted for script \
+           compatibility but warns on stderr. $(b,--deadline-ms) wins \
+           when both are given.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline in virtual milliseconds (the vclock \
+           watchdog): a request exceeding it answers a structured \
+           budget-exhausted failure instead of occupying its slot \
+           forever.")
+
+(* --watchdog-ms predates --deadline-ms and had drifted into an
+   undocumented alias. It stays accepted, but use earns a one-line
+   stderr deprecation warning, and --deadline-ms wins when both are
+   given. *)
+let resolve_deadline ~deadline_ms ~watchdog_ms =
+  (match watchdog_ms with
+   | Some _ ->
+     prerr_endline
+       "jsceres: warning: --watchdog-ms is a deprecated alias of \
+        --deadline-ms"
+   | None -> ());
+  match deadline_ms with Some _ -> deadline_ms | None -> watchdog_ms
 
 let find_workload name =
   match Workloads.Registry.find name with
@@ -186,24 +216,55 @@ let print_session (ctx : Workloads.Harness.run_context) =
     (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.now clock) /. 1000.)
     (Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.busy clock) /. 1000.)
 
+let timeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Write a ThreadScope-style scheduler event timeline to $(docv): \
+           one JSON object per line (per-domain task start/stop, steals, \
+           idle-span starts; schema in DESIGN.md §14) covering the \
+           parallel execution. Only the work-stealing pool emits events, \
+           so the file is empty without parallel execution.")
+
+(* Bracket [f] with the scheduler event trace when --timeline was
+   given; events only accrue while a pool is running inside [f]. *)
+let with_timeline timeline f =
+  match timeline with
+  | None -> f ()
+  | Some path ->
+    Js_parallel.Telemetry.Trace.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        Js_parallel.Telemetry.Trace.stop ();
+        Js_parallel.Telemetry.Trace.write_file path;
+        Printf.eprintf "jsceres: wrote timeline %s (%d event(s))\n%!" path
+          (List.length (Js_parallel.Telemetry.Trace.events ())))
+      f
+
 let run_cmd =
-  let run name par_exec jobs par_stats =
+  let run name par_exec jobs par_stats timeline =
     let w = find_workload name in
     if par_exec then
-      Js_parallel.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
-          let pe =
-            Js_parallel.Par_exec.create ~mode:(Js_parallel.Par_exec.Parallel pool)
-              ~jobs:(max 1 jobs) ()
-          in
-          let ctx = Workloads.Harness.run_plain ~par:pe w in
-          print_session ctx;
-          if par_stats then
-            Printf.eprintf "par-exec telemetry: %s\n%!"
-              (Js_parallel.Par_exec.stats_json ~pool pe))
+      with_timeline timeline (fun () ->
+          Js_parallel.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
+              let pe =
+                Js_parallel.Par_exec.create
+                  ~mode:(Js_parallel.Par_exec.Parallel pool)
+                  ~jobs:(max 1 jobs) ()
+              in
+              let ctx = Workloads.Harness.run_plain ~par:pe w in
+              print_session ctx;
+              if par_stats then
+                Printf.eprintf "par-exec telemetry: %s\n%!"
+                  (Js_parallel.Par_exec.stats_json ~pool pe)))
     else print_session (Workloads.Harness.run_plain w)
   in
   Cmd.v (cmd_info "run")
-    Term.(const run $ workload_arg $ par_exec_arg $ jobs_arg $ par_stats_arg)
+    Term.(
+      const run $ workload_arg $ par_exec_arg $ jobs_arg $ par_stats_arg
+      $ timeline_arg)
 
 let profile_cmd =
   let run name retries format =
@@ -252,6 +313,52 @@ let crossval_cmd =
   in
   Cmd.v (cmd_info "crossval")
     Term.(const run $ workload_arg $ retries_arg $ format_arg)
+
+let advise_cmd =
+  let run name cores measure jobs timeline retries format =
+    let w = find_workload name in
+    let svc = Service.create ~retries () in
+    let req = Service.Request.make ?cores Service.Request.Advise w.name in
+    let resp = Service.run svc req in
+    (* --timeline only records pool events, which only a --measure run
+       creates, so it implies the measurement pass. *)
+    let measure = measure || timeline <> None in
+    (match resp.result with
+     | Ok (Service.Response.Advise rep) when measure ->
+       (* Ground truth is attached after the deterministic plan is
+          computed, so the JSON/text renderings gain the measured
+          section but the plan itself is unchanged. *)
+       with_timeline timeline (fun () ->
+           let n = Advisor.measure ~jobs:(max 1 jobs) rep w in
+           Printf.eprintf "jsceres: measured %d nest(s) with par-exec\n%!" n)
+     | _ -> ());
+    emit
+      ~json:(fun resp -> Option.get (Service.Response.render_advise_json resp))
+      format resp
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "cores" ] ~docv:"N,.."
+          ~doc:
+            "Core counts to model predicted speedups at (comma-separated; \
+             default 2,4,8,16).")
+  in
+  let measure_arg =
+    Arg.(
+      value & flag
+      & info [ "measure" ]
+          ~doc:
+            "Grade the advisor: additionally execute the proven nests \
+             over a real work-stealing pool (-j domains) and attach \
+             measured speedups next to the predictions. Wall-clock \
+             based, so the measured section is not deterministic.")
+  in
+  Cmd.v (cmd_info "advise")
+    Term.(
+      const run $ workload_arg $ cores_arg $ measure_arg $ jobs_arg
+      $ timeline_arg $ retries_arg $ format_arg)
 
 let inspect_cmd =
   let run name retries format =
@@ -314,8 +421,9 @@ let report_cmd =
    survivors print their rows; stdout stays byte-identical per chaos
    seed (all printed failure fields are virtual-time based). *)
 let pipeline_cmd =
-  let run names jobs stats keep_going chaos_seed retries watchdog_ms format
-      par_exec =
+  let run names jobs stats keep_going chaos_seed retries watchdog_ms
+      deadline_ms format par_exec =
+    let watchdog_ms = resolve_deadline ~deadline_ms ~watchdog_ms in
     let ws =
       match names with
       | [] -> Workloads.Registry.all
@@ -448,8 +556,8 @@ let pipeline_cmd =
   Cmd.v (cmd_info "pipeline")
     Term.(
       const run $ names_arg $ jobs_arg $ stats_arg $ keep_going_arg
-      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg $ format_arg
-      $ par_exec_arg)
+      $ chaos_seed_arg $ retries_arg $ watchdog_ms_arg $ deadline_ms_arg
+      $ format_arg $ par_exec_arg)
 
 let serve_cmd =
   let run jobs retries watchdog_ms deadline_ms cache_capacity socket
@@ -458,11 +566,7 @@ let serve_cmd =
     (match chaos_seed with
      | Some seed -> Js_parallel.Fault.enable ~seed
      | None -> ignore (Js_parallel.Fault.enable_from_env ()));
-    (* --deadline-ms is the server-facing name; it wins over the
-       legacy --watchdog-ms spelling when both are given. *)
-    let watchdog_ms =
-      match deadline_ms with Some _ -> deadline_ms | None -> watchdog_ms
-    in
+    let watchdog_ms = resolve_deadline ~deadline_ms ~watchdog_ms in
     let svc =
       Service.create ~jobs ~retries ?watchdog_ms
         ?cache_capacity ()
@@ -552,17 +656,6 @@ let serve_cmd =
              accept, responses torn mid-write, mid-response disconnects \
              — keyed on the accept ordinal. Off by default so workload \
              chaos alone keeps per-session responses byte-identical.")
-  in
-  let deadline_ms_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "deadline-ms" ] ~docv:"MS"
-          ~doc:
-            "Per-request deadline in virtual milliseconds (the vclock \
-             watchdog): a request exceeding it answers a structured \
-             budget-exhausted failure instead of occupying its slot \
-             forever. Alias of --watchdog-ms.")
   in
   let chaos_seed_serve_arg =
     Arg.(
@@ -703,5 +796,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; loops_cmd; deps_cmd; analyze_cmd;
-            crossval_cmd; inspect_cmd; pipeline_cmd; serve_cmd; loadgen_cmd;
-            report_cmd; survey_cmd; file_cmd ]))
+            crossval_cmd; advise_cmd; inspect_cmd; pipeline_cmd; serve_cmd;
+            loadgen_cmd; report_cmd; survey_cmd; file_cmd ]))

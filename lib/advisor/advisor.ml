@@ -1,0 +1,416 @@
+(* Causal what-if advisor over the vclock profile.
+
+   TASKPROF's observation carries over directly: because the abstract
+   machine's clock is deterministic, a single loop-profile run yields
+   exact per-nest busy fractions, and Amdahl's law turns each fraction
+   into the whole-program speedup parallelizing that nest alone would
+   buy at N cores. The static analyzer supplies the other half of the
+   answer — whether the nest may be parallelized today (proven), after
+   a mechanical rewrite (the Advice hints), or not as written (the
+   why-not fact chain). [measure] closes the loop against Par_exec's
+   measured speedups on the nests it already executes. *)
+
+module PE = Js_parallel.Par_exec
+
+type predicted = { cores : int; speedup : float }
+
+type measured_row = {
+  m_id : int;
+  m_label : string;
+  m_fraction : float;
+  m_jobs : int;
+  m_seq_ms : float;
+  m_par_ms : float;
+  m_nest_speedup : float;
+  m_program_speedup : float;
+  m_predicted : float;
+  m_karp_flatt : float;
+  m_within_band : bool;
+}
+
+type nest = {
+  rank : int;
+  id : int;
+  label : string;
+  in_function : string option;
+  verdict : string;
+  proven : bool;
+  fraction : float;
+  pct_busy : float;
+  instances : int;
+  trips_mean : float;
+  bound : float;
+  predicted : predicted list;
+  blockers : Analysis.Verdict.fact list;
+  hints : string list;
+}
+
+type report = {
+  workload : string;
+  cores : int list;
+  busy_ms : float;
+  loop_ms : float;
+  nests : nest list;
+  mutable measured : measured_row list;
+  fractions : (int * float) list;
+}
+
+let default_cores = [ 2; 4; 8; 16 ]
+
+let sanitize_cores = function
+  | None -> default_cores
+  | Some cs -> (
+      match List.sort_uniq compare (List.filter (fun c -> c >= 1) cs) with
+      | [] -> default_cores
+      | cs -> cs)
+
+(* The tolerance band the advisor grades itself against (documented in
+   DESIGN.md §14): a measured program-equivalent speedup within 25% of
+   the prediction is on-model, anything further off is flagged. *)
+let within_band ~predicted ~measured =
+  Float.abs (predicted -. measured) <= 0.25 *. predicted
+
+(* ------------------------------------------------------------------ *)
+
+(* Whole-program speedup when the region covering [fraction] of busy
+   time runs [s]x faster — Amdahl generalized from a core count to an
+   arbitrary region speedup. *)
+let program_speedup ~fraction ~region_speedup:s =
+  if s <= 0. then 0. else 1. /. (1. -. fraction +. (fraction /. s))
+
+(* Hints: the dynamic Advice transformations (ranked, blockers first)
+   plus any statically-detected privatizable temporaries the dynamic
+   run did not already name. [Already_parallel] is a non-hint — the
+   verdict column says it better. *)
+let hints_for rt ~infos ~root ~notes =
+  let nest_ids = Jsir.Loops.descendants infos root in
+  let dom_count =
+    List.fold_left
+      (fun acc id -> acc + Ceres.Runtime.dom_accesses_in rt id)
+      0 nest_ids
+  in
+  let advice =
+    List.filter
+      (fun a -> a <> Ceres.Advice.Already_parallel)
+      (Ceres.Advice.for_nest rt ~root ~dom_accesses:dom_count)
+  in
+  let dynamic = List.map Ceres.Advice.recommendation_to_string advice in
+  let static_privatizable =
+    List.filter_map
+      (fun note ->
+         let prefix = "privatizable:" in
+         if String.length note > String.length prefix
+         && String.sub note 0 (String.length prefix) = prefix
+         then
+           let name =
+             String.sub note (String.length prefix)
+               (String.length note - String.length prefix)
+           in
+           let already =
+             List.exists
+               (function Ceres.Advice.Privatize n -> n = name | _ -> false)
+               advice
+           in
+           if already then None
+           else
+             Some
+               (Printf.sprintf
+                  "privatize variable '%s' (statically detected \
+                   loop-local temporary)"
+                  name)
+         else None)
+      notes
+  in
+  dynamic @ static_privatizable
+
+let analyze ?cores (w : Workloads.Workload.t) : report =
+  let cores = sanitize_cores cores in
+  let ctx, lp = Workloads.Harness.run_loop_profile w in
+  let _ctx_dep, rt = Workloads.Harness.run_dependence w in
+  let static_report = Analysis.Driver.analyze ctx.program in
+  let clock = ctx.st.Interp.Value.clock in
+  let busy_ms =
+    Ceres_util.Vclock.to_ms clock (Ceres_util.Vclock.busy clock)
+  in
+  let loop_ms = Ceres.Loop_profile.total_root_time_ms lp ctx.infos in
+  let fraction_of_time total_ms =
+    if busy_ms <= 0. then 0.
+    else Float.max 0. (Float.min 1. (total_ms /. busy_ms))
+  in
+  let fractions =
+    Array.to_list
+      (Array.map
+         (fun (info : Jsir.Loops.info) ->
+            let s = Ceres.Loop_profile.stats lp info.id in
+            (info.id, fraction_of_time (Ceres_util.Welford.total s.time)))
+         ctx.infos)
+  in
+  let ranked =
+    List.sort
+      (fun ((fa : float), (ia : int)) (fb, ib) ->
+         match compare fb fa with 0 -> compare ia ib | c -> c)
+      (List.map
+         (fun (s : Ceres.Loop_profile.loop_stats) ->
+            (fraction_of_time (Ceres_util.Welford.total s.time), s.id))
+         (Ceres.Loop_profile.hottest_roots lp ctx.infos))
+  in
+  let nests =
+    List.mapi
+      (fun i (fraction, id) ->
+         let s = Ceres.Loop_profile.stats lp id in
+         let info = Jsir.Loops.find ctx.infos id in
+         let verdict_t = Analysis.Driver.verdict_of static_report id in
+         let verdict, proven, blockers =
+           match verdict_t with
+           | Some v ->
+             ( Workloads.Harness.static_label v,
+               Analysis.Verdict.is_proven v,
+               Analysis.Verdict.facts v )
+           | None -> ("-", false, [])
+         in
+         let notes =
+           match
+             List.find_opt
+               (fun (r : Analysis.Driver.row) -> r.info.id = id)
+               static_report.rows
+           with
+           | Some r -> r.notes
+           | None -> []
+         in
+         { rank = i + 1;
+           id;
+           label = Jsir.Loops.label info;
+           in_function = info.in_function;
+           verdict;
+           proven;
+           fraction;
+           pct_busy = 100. *. fraction;
+           instances = Ceres_util.Welford.count s.time;
+           trips_mean = Ceres_util.Welford.mean s.trips;
+           bound = Js_parallel.Amdahl.asymptote ~parallel_fraction:fraction;
+           predicted =
+             List.map
+               (fun c ->
+                  { cores = c;
+                    speedup =
+                      Js_parallel.Amdahl.speedup ~parallel_fraction:fraction
+                        ~workers:c })
+               cores;
+           blockers;
+           hints = hints_for rt ~infos:ctx.infos ~root:id ~notes })
+      ranked
+  in
+  { workload = w.name;
+    cores;
+    busy_ms;
+    loop_ms;
+    nests;
+    measured = [];
+    fractions }
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth: the bench parexec plumbing — one Measure-mode run
+   (per-nest sequential baselines) and one Parallel run over a fresh
+   pool, joined by loop id. *)
+
+let measure ?(jobs = 2) (r : report) (w : Workloads.Workload.t) =
+  let m = PE.create ~mode:PE.Measure ~jobs:1 () in
+  ignore (Workloads.Harness.run_plain ~par:m w);
+  let rows =
+    Js_parallel.Pool.with_pool ~domains:jobs (fun pool ->
+        let p = PE.create ~mode:(PE.Parallel pool) ~jobs () in
+        ignore (Workloads.Harness.run_plain ~par:p w);
+        let seq_rows = PE.nest_rows m in
+        List.filter_map
+          (fun (id, label, (ps : PE.nest_stats)) ->
+             if ps.instances <= 0 then None
+             else begin
+               let seq_ms =
+                 match
+                   List.find_opt (fun (i, _, _) -> i = id) seq_rows
+                 with
+                 | Some (_, _, (ss : PE.nest_stats)) -> ss.seq_ms
+                 | None -> 0.
+               in
+               let nest_speedup =
+                 if ps.par_ms > 0. && seq_ms > 0. then seq_ms /. ps.par_ms
+                 else 0.
+               in
+               let fraction =
+                 match List.assoc_opt id r.fractions with
+                 | Some f -> f
+                 | None -> 0.
+               in
+               let predicted =
+                 Js_parallel.Amdahl.speedup ~parallel_fraction:fraction
+                   ~workers:jobs
+               in
+               let program =
+                 program_speedup ~fraction ~region_speedup:nest_speedup
+               in
+               Some
+                 { m_id = id;
+                   m_label = label;
+                   m_fraction = fraction;
+                   m_jobs = jobs;
+                   m_seq_ms = seq_ms;
+                   m_par_ms = ps.par_ms;
+                   m_nest_speedup = nest_speedup;
+                   m_program_speedup = program;
+                   m_predicted = predicted;
+                   m_karp_flatt =
+                     Js_parallel.Amdahl.karp_flatt
+                       ~measured_speedup:nest_speedup ~workers:jobs;
+                   m_within_band =
+                     within_band ~predicted ~measured:program }
+             end)
+          (PE.nest_rows p))
+  in
+  r.measured <- rows;
+  List.length rows
+
+(* ------------------------------------------------------------------ *)
+(* Renderings. All virtual-time numbers print through [Fixed] so the
+   default report is byte-deterministic; measured (wall-clock) fields
+   appear only after [measure] and never in golden-compared output. *)
+
+let json_of_fact (f : Analysis.Verdict.fact) : Ceres_util.Json.t =
+  Obj
+    [ ("pass", Str f.pass); ("why", Str f.why); ("line", Int f.line) ]
+
+let json_of_nest (n : nest) : Ceres_util.Json.t =
+  let open Ceres_util.Json in
+  Obj
+    [ ("rank", Int n.rank);
+      ("id", Int n.id);
+      ("label", Str n.label);
+      ( "function",
+        match n.in_function with Some f -> Str f | None -> Null );
+      ("verdict", Str n.verdict);
+      ("proven", Bool n.proven);
+      ("fraction", Fixed (4, n.fraction));
+      ("pct_busy", Fixed (1, n.pct_busy));
+      ("instances", Int n.instances);
+      ("trips_mean", Fixed (1, n.trips_mean));
+      ("bound", Fixed (2, n.bound));
+      ( "predicted",
+        List
+          (List.map
+             (fun (p : predicted) ->
+                Obj
+                  [ ("cores", Int p.cores);
+                    ("speedup", Fixed (2, p.speedup)) ])
+             n.predicted) );
+      ("blockers", List (List.map json_of_fact n.blockers));
+      ("hints", List (List.map (fun h -> Str h) n.hints)) ]
+
+let json_of_measured (m : measured_row) : Ceres_util.Json.t =
+  let open Ceres_util.Json in
+  Obj
+    [ ("id", Int m.m_id);
+      ("label", Str m.m_label);
+      ("fraction", Fixed (4, m.m_fraction));
+      ("jobs", Int m.m_jobs);
+      ("seq_ms", Fixed (1, m.m_seq_ms));
+      ("par_ms", Fixed (1, m.m_par_ms));
+      ("nest_speedup", Fixed (2, m.m_nest_speedup));
+      ("program_speedup", Fixed (2, m.m_program_speedup));
+      ("predicted", Fixed (2, m.m_predicted));
+      ("karp_flatt", Fixed (2, m.m_karp_flatt));
+      ("within_band", Bool m.m_within_band) ]
+
+let json_of_report (r : report) : Ceres_util.Json.t =
+  let open Ceres_util.Json in
+  Obj
+    ([ ("workload", Str r.workload);
+       ("cores", List (List.map (fun c -> Int c) r.cores));
+       ("busy_ms", Fixed (3, r.busy_ms));
+       ("loop_ms", Fixed (3, r.loop_ms));
+       ("plan", List (List.map json_of_nest r.nests)) ]
+     @
+     match r.measured with
+     | [] -> []
+     | ms ->
+       [ ( "measured",
+           Obj
+             [ ("measured_nests", Int (List.length ms));
+               ("nests", List (List.map json_of_measured ms)) ] ) ])
+
+let to_json r = Ceres_util.Json.to_string_pretty (json_of_report r)
+
+(* The headline core count of a plan line ("... at 4 cores"): 4 when
+   modeled, else the largest modeled count. *)
+let headline_cores r =
+  if List.mem 4 r.cores then 4
+  else match List.rev r.cores with c :: _ -> c | [] -> 4
+
+let to_text (r : report) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "advisor plan for %s: busy %.2f s, %.0f%% of it in root loop nests\n"
+       r.workload (r.busy_ms /. 1000.)
+       (if r.busy_ms <= 0. then 0. else 100. *. r.loop_ms /. r.busy_ms));
+  let hc = headline_cores r in
+  List.iter
+    (fun (n : nest) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%3d. %s%s — %s%s, %.1f%% of busy time\n" n.rank
+            n.label
+            (match n.in_function with
+             | Some f -> " in " ^ f
+             | None -> "")
+            n.verdict
+            (if n.proven then " (proven)" else "")
+            n.pct_busy);
+       let at_hc =
+         match List.find_opt (fun (p : predicted) -> p.cores = hc) n.predicted with
+         | Some p -> p.speedup
+         | None -> n.bound
+       in
+       Buffer.add_string buf
+         (Printf.sprintf "     predicted whole-program speedup: %s (bound %.2fx)\n"
+            (String.concat ", "
+               (List.map
+                  (fun (p : predicted) ->
+                     Printf.sprintf "%.2fx @%d" p.speedup p.cores)
+                  n.predicted))
+            n.bound);
+       Buffer.add_string buf
+         (if n.proven then
+            Printf.sprintf
+              "     parallelize this nest -> predicted whole-program %.2fx \
+               at %d cores\n"
+              at_hc hc
+          else
+            Printf.sprintf
+              "     if unblocked -> predicted whole-program %.2fx at %d \
+               cores\n"
+              at_hc hc);
+       List.iter
+         (fun (f : Analysis.Verdict.fact) ->
+            Buffer.add_string buf
+              (Printf.sprintf "     blocked by: %s [%s, line %d]\n" f.why
+                 f.pass f.line))
+         n.blockers;
+       List.iter
+         (fun h ->
+            Buffer.add_string buf (Printf.sprintf "     hint: %s\n" h))
+         n.hints)
+    r.nests;
+  (match r.measured with
+   | [] -> ()
+   | ms ->
+     Buffer.add_string buf
+       (Printf.sprintf "measured (par-exec, %d nest(s)):\n" (List.length ms));
+     List.iter
+       (fun (m : measured_row) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %s: seq %.1f ms -> par %.1f ms = %.2fx nest; program \
+                %.2fx vs predicted %.2fx @%d (karp-flatt %.2f) [%s]\n"
+               m.m_label m.m_seq_ms m.m_par_ms m.m_nest_speedup
+               m.m_program_speedup m.m_predicted m.m_jobs m.m_karp_flatt
+               (if m.m_within_band then "ok" else "off-model")))
+       ms);
+  Buffer.contents buf

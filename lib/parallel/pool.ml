@@ -86,9 +86,13 @@ let now_ms () = Unix.gettimeofday () *. 1000.
 (* Exponential backoff for participants that found no work: spin a
    few times on the core, then yield the OS thread, then sleep in
    sub-millisecond slices. The sleep cap bounds both the idle CPU burn
-   and the worst-case shutdown/join latency. *)
-let idle_backoff c spins =
+   and the worst-case shutdown/join latency. The first spin of an idle
+   streak marks the start of an idle span on the timeline trace (the
+   span ends at the domain's next event). *)
+let idle_backoff c ~dom spins =
   Telemetry.note_idle c;
+  if !spins = 0 && Telemetry.Trace.active () then
+    Telemetry.Trace.note ~domain:dom Telemetry.Trace.Idle_start;
   (if !spins < 32 then Domain.cpu_relax ()
    else if !spins < 256 then Thread.yield ()
    else Thread.delay 0.0005);
@@ -110,6 +114,8 @@ let try_get t id =
           match Deque.steal t.deques.((id + k) mod t.n) with
           | Some _ as r ->
             Telemetry.note_steal_success c;
+            if Telemetry.Trace.active () then
+              Telemetry.Trace.note ~domain:id Telemetry.Trace.Steal;
             r
           | None -> probe (k + 1)
         end
@@ -124,10 +130,13 @@ let try_get t id =
    [on_error] handler instead of being silently swallowed. *)
 let exec t id job =
   Telemetry.note_task t.counters.(id);
-  try job ()
-  with exn ->
-    Telemetry.note_task_failed t.counters.(id);
-    (try t.on_error exn with _ -> ())
+  let traced = Telemetry.Trace.active () in
+  if traced then Telemetry.Trace.note ~domain:id Telemetry.Trace.Task_start;
+  (try job ()
+   with exn ->
+     Telemetry.note_task_failed t.counters.(id);
+     (try t.on_error exn with _ -> ()));
+  if traced then Telemetry.Trace.note ~domain:id Telemetry.Trace.Task_stop
 
 let rec worker_loop t id spins =
   match try_get t id with
@@ -138,7 +147,7 @@ let rec worker_loop t id spins =
   | None ->
     if Atomic.get t.down then () (* closed and drained: exit *)
     else begin
-      idle_backoff t.counters.(id) spins;
+      idle_backoff t.counters.(id) ~dom:id spins;
       worker_loop t id spins
     end
 
@@ -261,7 +270,7 @@ let parallel_for t ~lo ~hi ?chunk f =
         spins := 0;
         exec t 0 job;
         t_busy_end := now_ms ()
-      | None -> idle_backoff c0 spins
+      | None -> idle_backoff c0 ~dom:0 spins
     done;
     let t_end = now_ms () in
     Telemetry.note_loop t.loops ~chunks:nchunks ~wall_ms:(t_end -. t0)

@@ -110,6 +110,95 @@ let server_counters_json () : Ceres_util.Json.t =
       ("sessions_dropped", Int (sessions_dropped ())) ]
 
 (* ------------------------------------------------------------------ *)
+(* ThreadScope-style event timeline. Unlike the counters above, which
+   aggregate, the trace records individual scheduling events with wall
+   timestamps so pool behaviour under [-j N] is inspectable span by
+   span. Disabled it costs one [Atomic.get] per potential event; when
+   armed, events land in pre-allocated arrays through a fetch-and-add
+   cursor (lock-free, single writer per slot). The buffer is bounded:
+   past [capacity] events are counted as dropped, never buffered into
+   OOM. *)
+
+module Trace = struct
+  type kind = Task_start | Task_stop | Steal | Idle_start
+
+  let kind_name = function
+    | Task_start -> "task_start"
+    | Task_stop -> "task_stop"
+    | Steal -> "steal"
+    | Idle_start -> "idle_start"
+
+  let capacity = 1 lsl 20
+  let enabled = Atomic.make false
+  let cursor = Atomic.make 0
+  let dropped_count = Atomic.make 0
+  let t0 = Atomic.make 0.
+  let times : float array ref = ref [||]
+  let doms : int array ref = ref [||]
+  let kinds : kind array ref = ref [||]
+
+  let start () =
+    if Array.length !times = 0 then begin
+      times := Array.make capacity 0.;
+      doms := Array.make capacity 0;
+      kinds := Array.make capacity Task_start
+    end;
+    Atomic.set cursor 0;
+    Atomic.set dropped_count 0;
+    Atomic.set t0 (Unix.gettimeofday ());
+    Atomic.set enabled true
+
+  let stop () = Atomic.set enabled false
+  let active () = Atomic.get enabled
+
+  let note ~domain kind =
+    let i = Atomic.fetch_and_add cursor 1 in
+    if i < capacity then begin
+      !times.(i) <- (Unix.gettimeofday () -. Atomic.get t0) *. 1000.;
+      !doms.(i) <- domain;
+      !kinds.(i) <- kind
+    end
+    else Atomic.incr dropped_count
+
+  let dropped () = Atomic.get dropped_count
+
+  let events () =
+    let n = min (Atomic.get cursor) capacity in
+    List.init n (fun i -> (!times.(i), !doms.(i), !kinds.(i)))
+
+  (* One event per line ({i JSON lines}), schema documented in
+     DESIGN.md: {"t_ms":<float>,"domain":<int>,"ev":<kind>}. Spans are
+     derived by the consumer: a task span runs task_start..task_stop
+     on one domain; an idle span runs idle_start..the domain's next
+     event. *)
+  let to_jsonl () =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (t, d, k) ->
+         Buffer.add_string buf
+           (Ceres_util.Json.to_string
+              (Obj
+                 [ ("t_ms", Fixed (3, t)); ("domain", Int d);
+                   ("ev", Str (kind_name k)) ]));
+         Buffer.add_char buf '\n')
+      (events ());
+    Buffer.contents buf
+
+  let write_file path =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+         output_string oc (to_jsonl ());
+         let d = dropped () in
+         if d > 0 then
+           output_string oc
+             (Ceres_util.Json.to_string
+                (Obj [ ("dropped", Int d) ])
+              ^ "\n"))
+end
+
+(* ------------------------------------------------------------------ *)
 
 type domain_stats = {
   domain : int;

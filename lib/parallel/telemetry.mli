@@ -80,6 +80,47 @@ val server_counters_json : unit -> Ceres_util.Json.t
 
 val reset_globals : unit -> unit
 
+(** {1 Event timeline (ThreadScope-style trace)}
+
+    A bounded, process-wide recording of individual scheduling events
+    — task start/stop, successful steals, the first spin of every idle
+    streak — with wall-clock timestamps and the participant id, so
+    pool behaviour under [-j N] is inspectable span by span
+    ([jsceres run --par-exec --timeline FILE]). Disabled (the default)
+    it costs one atomic load per potential event. *)
+
+module Trace : sig
+  type kind = Task_start | Task_stop | Steal | Idle_start
+
+  val kind_name : kind -> string
+  (** ["task_start" | "task_stop" | "steal" | "idle_start"] *)
+
+  val capacity : int
+  (** Event-buffer bound; events past it are counted as {!dropped}. *)
+
+  val start : unit -> unit
+  (** Reset the buffer, stamp t=0 and arm recording. *)
+
+  val stop : unit -> unit
+  val active : unit -> bool
+
+  val note : domain:int -> kind -> unit
+  (** Record one event for pool participant [domain]. The caller
+      checks {!active} first (the pool's hooks do). *)
+
+  val dropped : unit -> int
+  val events : unit -> (float * int * kind) list
+  (** (ms since {!start}, participant, kind), in recorded order. *)
+
+  val to_jsonl : unit -> string
+  (** One [{"t_ms":..,"domain":..,"ev":..}] object per line (the
+      [--timeline] export schema, documented in DESIGN.md §14); a
+      final [{"dropped":N}] line is appended by {!write_file} when
+      the buffer overflowed. *)
+
+  val write_file : string -> unit
+end
+
 (** {1 Per-loop records} *)
 
 type loop_log

@@ -13,11 +13,15 @@ type pass =
   | Analyze  (** static loop-parallelizability report *)
   | Crossval  (** static verdicts checked against the dynamic run *)
   | Pipeline  (** Table 2 timing + Table 3 nest rows, one workload *)
+  | Advise  (** causal what-if parallelism plan ({!Advisor.analyze}) *)
 
 type config = {
   scale : float option;  (** [SCALE] sizing global override *)
   focus : int option;  (** restrict [Deps] to one loop nest *)
   max_nests : int option;  (** widen the [Pipeline] row count *)
+  cores : int list option;
+      (** core counts the [Advise] pass models; normalized (positive,
+          sorted, deduplicated) on construction *)
 }
 
 type t = {
@@ -29,7 +33,13 @@ type t = {
 val default_config : config
 
 val make :
-  ?scale:float -> ?focus:int -> ?max_nests:int -> pass -> string -> t
+  ?scale:float ->
+  ?focus:int ->
+  ?max_nests:int ->
+  ?cores:int list ->
+  pass ->
+  string ->
+  t
 
 val pass_name : pass -> string
 val pass_of_name : string -> pass option
@@ -45,5 +55,7 @@ val key : source:string -> t -> string
 val to_json : t -> Ceres_util.Json.t
 val of_json : Ceres_util.Json.t -> (t, string) result
 (** Protocol form: [{"pass": "profile", "workload": "Ace"}] with
-    optional ["scale"], ["focus"], ["max_nests"] members. Unknown
-    members are rejected so client typos fail loudly. *)
+    optional ["scale"], ["focus"], ["max_nests"], ["cores"] members,
+    plus the optional protocol-version member ["v"] (must be [1] when
+    present; see DESIGN.md §9). Unknown members are rejected so client
+    typos fail loudly. *)

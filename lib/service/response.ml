@@ -8,12 +8,14 @@ type error_code =
   | Unknown_workload
   | Workload_failed
   | Overloaded
+  | Unsupported_version
 
 let error_code_name = function
   | Bad_request -> "bad-request"
   | Unknown_workload -> "unknown-workload"
   | Workload_failed -> "workload-failed"
   | Overloaded -> "overloaded"
+  | Unsupported_version -> "unsupported-version"
 
 type error = {
   code : error_code;
@@ -29,6 +31,7 @@ type body =
   | Analyze of Analysis.Driver.report
   | Crossval of Workloads.Harness.crossval_row list
   | Pipeline of Workloads.Harness.timing * Workloads.Harness.nest_row list
+  | Advise of Advisor.report
 
 type t = {
   request : Request.t option;
@@ -156,14 +159,22 @@ let json_of_body = function
     Ceres_util.Json.Obj
       [ ("timing", json_of_timing t);
         ("nests", Ceres_util.Json.List (List.map json_of_nest rows)) ]
+  | Advise rep -> Advisor.json_of_report rep
+
+(* Every protocol line leads with the envelope version (DESIGN.md §9)
+   so clients can dispatch on it before reading anything else. *)
+let protocol_version = 1
 
 let to_json (t : t) : Ceres_util.Json.t =
   let open Ceres_util.Json in
   let head =
-    match t.request with
-    | Some r ->
-      [ ("workload", Str r.workload); ("pass", Str (Request.pass_name r.pass)) ]
-    | None -> []
+    ("v", Int protocol_version)
+    ::
+    (match t.request with
+     | Some r ->
+       [ ("workload", Str r.workload);
+         ("pass", Str (Request.pass_name r.pass)) ]
+     | None -> [])
   in
   match t.result with
   | Ok body -> Obj (head @ [ ("result", json_of_body body) ])
@@ -243,6 +254,7 @@ let render_text (t : t) =
   | Ok (Pipeline (ti, rows)) ->
     timing_line (workload_name t) ti
     ^ String.concat "" (List.map (nest_line ~indent:"  ") rows)
+  | Ok (Advise rep) -> Advisor.to_text rep
 
 let render_inspect (t : t) =
   match t.result with
@@ -258,4 +270,9 @@ let render_inspect (t : t) =
 let render_analyze_json (t : t) =
   match t.result with
   | Ok (Analyze rep) -> Some (Analysis.Driver.to_json rep)
+  | _ -> None
+
+let render_advise_json (t : t) =
+  match t.result with
+  | Ok (Advise rep) -> Some (Advisor.to_json rep)
   | _ -> None

@@ -11,6 +11,9 @@ type error_code =
   | Overloaded
       (** shed by admission control or a draining server; carries a
           [retry_after_ms] hint — never a silent drop *)
+  | Unsupported_version
+      (** the request named a protocol version this server does not
+          speak (anything other than [1]; DESIGN.md §9) *)
 
 val error_code_name : error_code -> string
 
@@ -30,6 +33,7 @@ type body =
   | Analyze of Analysis.Driver.report
   | Crossval of Workloads.Harness.crossval_row list
   | Pipeline of Workloads.Harness.timing * Workloads.Harness.nest_row list
+  | Advise of Advisor.report  (** the ranked causal what-if plan *)
 
 type t = {
   request : Request.t option;
@@ -58,9 +62,13 @@ val exit_code : t -> int
     workload, failed workload, bad request), {b 2} analysis verdict —
     an [Analyze] response whose report proves some loop sequential. *)
 
+val protocol_version : int
+(** The protocol envelope version every JSONL response carries as its
+    leading ["v"] member (currently [1]; DESIGN.md §9). *)
+
 val to_json : t -> Ceres_util.Json.t
-(** Protocol form: [{"workload":..,"pass":..,"result":{..}}] on
-    success, [{"error":{"code":..,"message":..},..}] on error.
+(** Protocol form: [{"v":1,"workload":..,"pass":..,"result":{..}}] on
+    success, [{"v":1,"error":{"code":..,"message":..},..}] on error.
     Deterministic: rendering the same response twice (or a cached
     copy of it) is byte-identical. *)
 
@@ -79,3 +87,7 @@ val render_inspect : t -> string
 
 val render_analyze_json : t -> string option
 (** [Analyze] bodies: the pretty report for [--format=json]. *)
+
+val render_advise_json : t -> string option
+(** [Advise] bodies: the pretty report for [--format=json] (the
+    advise golden format). *)

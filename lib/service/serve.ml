@@ -32,15 +32,41 @@ let oversized_line max_bytes =
 
 let response_line resp = Ceres_util.Json.to_string (Response.to_json resp)
 
+(* Op replies are hand-built (they are not [Response.t]s), so each one
+   leads with the same versioned envelope as the response lines. *)
+let versioned fields =
+  Ceres_util.Json.Obj (("v", Int Response.protocol_version) :: fields)
+
 let cache_stats_line (s : Cache.stats) =
   Ceres_util.Json.to_string
-    (Obj
+    (versioned
        [ ( "cache",
            Ceres_util.Json.Obj
              [ ("hits", Int s.hits);
                ("misses", Int s.misses);
                ("evictions", Int s.evictions);
                ("entries", Int s.entries) ] ) ])
+
+(* Optional protocol version on any incoming document (DESIGN.md §9):
+   absent means v1, [1] is accepted, any other integer earns the
+   structured [unsupported-version] error — never a crash or a bare
+   parse failure. *)
+let version_mismatch (doc : Ceres_util.Json.t) =
+  match doc with
+  | Obj _ ->
+    (match Ceres_util.Json.member "v" doc with
+     | None -> None
+     | Some v ->
+       (match Ceres_util.Json.int_opt v with
+        | Some n when n = Response.protocol_version -> None
+        | Some n ->
+          Some
+            ( Response.Unsupported_version,
+              Printf.sprintf
+                "unsupported protocol version %d (this server speaks v%d)"
+                n Response.protocol_version )
+        | None -> Some (Response.Bad_request, "\"v\" must be an integer")))
+  | _ -> None
 
 (* The server needs to know whether a document is a control op (served
    without admission) or an execution request (admitted) before acting
@@ -53,6 +79,9 @@ let op_of_doc (doc : Ceres_util.Json.t) =
 let is_op doc = op_of_doc doc <> None
 
 let handle_doc h (doc : Ceres_util.Json.t) : step =
+  match version_mismatch doc with
+  | Some (code, msg) -> Reply (error_line code msg)
+  | None ->
   match doc with
   | Obj _ when Ceres_util.Json.member "op" doc <> None ->
     (match Option.bind (Ceres_util.Json.member "op" doc)
@@ -75,7 +104,7 @@ let handle_doc h (doc : Ceres_util.Json.t) : step =
        let gc = Gc.quick_stat () in
        Reply
          (Ceres_util.Json.to_string
-            (Obj
+            (versioned
                [ ( "telemetry",
                    Ceres_util.Json.Obj
                      [ ( "pool",
@@ -102,15 +131,15 @@ let handle_doc h (doc : Ceres_util.Json.t) : step =
      | Some "health" ->
        Reply
          (Ceres_util.Json.to_string
-            (Obj [ ("health", h.health ()) ]))
+            (versioned [ ("health", h.health ()) ]))
      | Some "shutdown" ->
        (* Acknowledge, then stop the transport: the stdin loop ends,
           the socket server begins its graceful drain. *)
        Stop
          (Ceres_util.Json.to_string
-            (Obj [ ("ok", Bool true); ("draining", Bool true) ]))
+            (versioned [ ("ok", Bool true); ("draining", Bool true) ]))
      | Some "ping" ->
-       Reply (Ceres_util.Json.to_string (Obj [ ("ok", Bool true) ]))
+       Reply (Ceres_util.Json.to_string (versioned [ ("ok", Bool true) ]))
      | Some op ->
        Reply
          (error_line Response.Bad_request (Printf.sprintf "unknown op %S" op))
@@ -121,6 +150,9 @@ let handle_doc h (doc : Ceres_util.Json.t) : step =
      | Ok req -> Reply (response_line (h.exec req))
      | Error msg -> Reply (error_line Response.Bad_request msg))
   | List items ->
+    (match List.find_map version_mismatch items with
+     | Some (code, msg) -> Reply (error_line code ("in batch: " ^ msg))
+     | None ->
     let parsed = List.map Request.of_json items in
     (match
        List.find_map (function Error m -> Some m | Ok _ -> None) parsed
@@ -133,7 +165,7 @@ let handle_doc h (doc : Ceres_util.Json.t) : step =
        in
        Reply
          (Ceres_util.Json.to_string
-            (List (List.map Response.to_json (h.exec_batch reqs)))))
+            (List (List.map Response.to_json (h.exec_batch reqs))))))
   | _ ->
     Reply (error_line Response.Bad_request "request must be an object or array")
 

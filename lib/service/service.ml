@@ -70,6 +70,8 @@ let execute_body (w : Workloads.Workload.t) (req : Request.t) :
     let timing = Workloads.Harness.run_lightweight ?scale:cfg.scale w in
     let rows = Workloads.Harness.inspect ?max_nests:cfg.max_nests w in
     Response.Pipeline (timing, rows)
+  | Request.Advise ->
+    Response.Advise (Advisor.analyze ?cores:cfg.cores w)
 
 (* Supervised execution of a cache miss; fills the cache on success.
    Failures are not cached: a transient fault must not be replayed

@@ -17,5 +17,6 @@ let () =
       ("behavior", Test_workload_behavior.suite);
       ("analysis", Test_analysis.suite);
       ("parexec", Test_parexec.suite);
+      ("advisor", Test_advisor.suite);
       ("service", Test_service.suite);
       ("server", Test_server.suite) ]

@@ -70,7 +70,7 @@ let close_client (_, _, oc) = try close_out oc with Sys_error _ -> ()
 let test_basic_roundtrip () =
   with_server (fun ~path ~server:_ ->
       let c = connect path in
-      Alcotest.(check string) "ping" "{\"ok\":true}"
+      Alcotest.(check string) "ping" "{\"v\":1,\"ok\":true}"
         (roundtrip c "{\"op\":\"ping\"}");
       let resp = roundtrip c "{\"pass\":\"analyze\",\"workload\":\"MyScript\"}" in
       Alcotest.(check bool) "analyze answered" true
@@ -109,7 +109,7 @@ let test_confinement () =
         (Helpers.contains ~sub:"invalid JSON" resp);
       close_client bad2;
       (* the good session never noticed *)
-      Alcotest.(check string) "good session alive" "{\"ok\":true}"
+      Alcotest.(check string) "good session alive" "{\"v\":1,\"ok\":true}"
         (roundtrip good "{\"op\":\"ping\"}");
       close_client good;
       (* the torn session was accounted *)
@@ -135,7 +135,7 @@ let test_shedding () =
       Alcotest.(check bool) "structured overloaded" true
         (Helpers.contains ~sub:"\"code\":\"overloaded\"" resp
          && Helpers.contains ~sub:"\"retry_after_ms\":" resp);
-      Alcotest.(check string) "ops bypass admission" "{\"ok\":true}"
+      Alcotest.(check string) "ops bypass admission" "{\"v\":1,\"ok\":true}"
         (roundtrip c "{\"op\":\"ping\"}");
       close_client c;
       Alcotest.(check bool) "shed counted" true
@@ -240,7 +240,7 @@ let test_shutdown_op () =
   let c = connect path in
   let ack = roundtrip c "{\"op\":\"shutdown\"}" in
   Alcotest.(check string) "shutdown acknowledged"
-    "{\"ok\":true,\"draining\":true}" ack;
+    "{\"v\":1,\"ok\":true,\"draining\":true}" ack;
   close_client c;
   Thread.join runner;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
@@ -331,7 +331,7 @@ let test_stdio_oversized_guard () =
   Alcotest.(check bool) "oversized line answered" true
     (Helpers.contains ~sub:"bad-request" first
      && Helpers.contains ~sub:"exceeds 100 bytes" first);
-  Alcotest.(check string) "loop continues after oversize" "{\"ok\":true}"
+  Alcotest.(check string) "loop continues after oversize" "{\"v\":1,\"ok\":true}"
     (input_line reader);
   Thread.join t;
   (try close_in reader with Sys_error _ -> ());
@@ -356,7 +356,7 @@ let test_stdio_shutdown_and_health () =
   (match Service.Serve.handle_line h "{\"op\":\"shutdown\"}" with
    | Serve.Stop l ->
      Alcotest.(check string) "shutdown stops the loop"
-       "{\"ok\":true,\"draining\":true}" l
+       "{\"v\":1,\"ok\":true,\"draining\":true}" l
    | _ -> Alcotest.fail "shutdown must stop");
   Service.shutdown svc
 

@@ -27,7 +27,71 @@ let test_request_roundtrip () =
     [ Service.Request.make Service.Request.Profile "MyScript";
       Service.Request.make ~scale:0.5 Service.Request.Profile "Ace";
       Service.Request.make ~focus:3 Service.Request.Deps "Ace";
-      Service.Request.make ~max_nests:16 Service.Request.Pipeline "D3.js" ]
+      Service.Request.make ~max_nests:16 Service.Request.Pipeline "D3.js";
+      Service.Request.make ~cores:[ 8; 2; 2; 4 ] Service.Request.Advise
+        "HAAR.js" ]
+
+(* The law behind the hand-picked cases: every pass — Advise included
+   — round-trips through the one strict parser whatever the config;
+   [make] normalizes cores so equality is exact. *)
+let request_roundtrip_all_passes =
+  QCheck.Test.make ~name:"request round trip (all passes, any config)"
+    ~count:200
+    QCheck.(
+      quad
+        (oneofl (List.map snd Service.Request.all_passes))
+        (pair
+           (option (oneofl [ 0.25; 0.5; 1.5; 2.0 ]))
+           (option (int_range 0 40)))
+        (pair
+           (option (int_range 1 32))
+           (option (list_of_size (Gen.int_range 0 6) (int_range (-2) 64))))
+        (oneofl [ "MyScript"; "Ace"; "D3.js"; "nosuch" ]))
+    (fun (pass, (scale, focus), (max_nests, cores), wl) ->
+       let req =
+         Service.Request.make ?scale ?focus ?max_nests ?cores pass wl
+       in
+       match Service.Request.of_json (Service.Request.to_json req) with
+       | Ok req' -> req = req'
+       | Error _ -> false)
+
+(* The optional protocol-version member (DESIGN.md §9): v1 accepted on
+   requests, ops and batches alike; any other version earns the
+   structured unsupported-version error line — never a crash. *)
+let test_serve_version_gate () =
+  let svc = Service.create () in
+  let h = Service.handler svc in
+  (match reply (Service.Serve.handle_line h "{\"v\":1,\"op\":\"ping\"}") with
+   | Some l -> Alcotest.(check string) "v1 ping" "{\"v\":1,\"ok\":true}" l
+   | None -> Alcotest.fail "v1 ping got no response");
+  (match
+     reply
+       (Service.Serve.handle_line h
+          "{\"v\":1,\"pass\":\"profile\",\"workload\":\"MyScript\"}")
+   with
+   | Some l ->
+     Alcotest.(check bool) "v1 request accepted" true
+       (Helpers.contains ~sub:"\"result\"" l)
+   | None -> Alcotest.fail "v1 request got no response");
+  List.iter
+    (fun line ->
+       match reply (Service.Serve.handle_line h line) with
+       | Some l ->
+         Alcotest.(check bool)
+           (Printf.sprintf "structured rejection for %s" line)
+           true
+           (Helpers.contains ~sub:"unsupported-version" l
+            && Helpers.contains ~sub:"{\"v\":1," l)
+       | None -> Alcotest.fail "version mismatch got no response")
+    [ "{\"v\":2,\"pass\":\"profile\",\"workload\":\"MyScript\"}";
+      "{\"v\":0,\"op\":\"ping\"}";
+      "[{\"v\":7,\"pass\":\"profile\",\"workload\":\"MyScript\"}]" ];
+  match reply (Service.Serve.handle_line h "{\"v\":true,\"op\":\"ping\"}")
+  with
+  | Some l ->
+    Alcotest.(check bool) "non-integer v is bad-request" true
+      (Helpers.contains ~sub:"bad-request" l)
+  | None -> Alcotest.fail "non-integer v got no response"
 
 let test_request_rejects_junk () =
   let bad json =
@@ -265,7 +329,7 @@ let test_serve_protocol () =
   Alcotest.(check (option string)) "blank line ignored" None
     (reply (Service.Serve.handle_line h "   "));
   (match reply (Service.Serve.handle_line h "{\"op\":\"ping\"}") with
-   | Some l -> Alcotest.(check string) "ping" "{\"ok\":true}" l
+   | Some l -> Alcotest.(check string) "ping" "{\"v\":1,\"ok\":true}" l
    | None -> Alcotest.fail "ping got no response");
   (match reply (Service.Serve.handle_line h "not json at all") with
    | Some l ->
@@ -349,6 +413,8 @@ let test_exit_codes_cli () =
 
 let suite =
   [ Alcotest.test_case "request JSON round trip" `Quick test_request_roundtrip;
+    qtest request_roundtrip_all_passes;
+    Alcotest.test_case "serve version gate" `Quick test_serve_version_gate;
     Alcotest.test_case "request rejects junk" `Quick test_request_rejects_junk;
     Alcotest.test_case "cache hit after miss is byte-identical" `Quick
       test_cache_hit_after_miss;
